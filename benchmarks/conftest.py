@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+The full 15-application run (classify -> emulate -> simulate -> analyze)
+happens once per session; per-figure benchmarks then measure and print
+their analyses over the cached results.  Every rendered table is also
+written to ``benchmarks/results/<name>.txt`` so the reproduced figures
+survive the run.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def all_results(runner):
+    """AppResults for all 15 applications, Table I order."""
+    return runner.results()
+
+
+@pytest.fixture(scope="session")
+def by_name(all_results):
+    return {r.name: r for r in all_results}
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Persist a rendered table and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(name, text):
+        path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print()
+        print(text)
+
+    return _emit
+
+
+def category_mean(results, category, metric):
+    """Mean of ``metric(result)`` over one application category."""
+    values = [metric(r) for r in results if r.category == category]
+    return sum(values) / len(values) if values else 0.0

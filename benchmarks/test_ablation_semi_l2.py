@@ -1,0 +1,42 @@
+"""Section X.C ablation: semi-global L2 caches.
+
+The paper proposes L2 slices shared by small SM clusters instead of all
+SMs, trading slice capacity for locality and shorter interconnect paths.
+This benchmark compares both organizations on data-sharing applications.
+"""
+
+from repro.experiments.render import format_table
+from repro.optim.semi_global_l2 import compare_l2_organizations
+
+APPS = ("2mm", "srad", "bfs")
+
+
+def test_semi_global_l2_ablation(benchmark, runner, by_name, emit):
+    def run_all():
+        return {name: compare_l2_organizations(by_name[name].run,
+                                               runner.config,
+                                               cluster_size=2)
+                for name in APPS}
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, per_org in outcomes.items():
+        g = per_org["global"]
+        s = per_org["semi_global"]
+        rows.append([name, g.l2_miss_ratio, s.l2_miss_ratio,
+                     g.mean_d_turnaround, s.mean_d_turnaround,
+                     g.cycles, s.cycles])
+        assert s.cycles > 0 and g.cycles > 0
+        assert 0.0 <= s.l2_miss_ratio <= 1.0
+    emit("ablation_semi_l2", format_table(
+        ["app", "global L2 miss", "semi L2 miss", "global D turn",
+         "semi D turn", "global cycles", "semi cycles"],
+        rows, title="Section X.C ablation: semi-global L2 (clusters of 2)"))
+
+    # the shorter cluster interconnect reduces deterministic-load
+    # turnaround for at least one data-sharing app
+    wins = sum(1 for per_org in outcomes.values()
+               if per_org["semi_global"].mean_d_turnaround
+               <= per_org["global"].mean_d_turnaround)
+    assert wins >= 1

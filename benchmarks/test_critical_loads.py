@@ -1,0 +1,53 @@
+"""Critical-load ranking: the paper's title, quantified.
+
+For the applications with non-deterministic loads, rank every static
+load PC by its total stall-cycle contribution and check the paper's
+thesis: the *non-deterministic* loads are the critical ones — a small
+number of static N loads owns the majority of the application's memory
+stall time.
+"""
+
+from repro.experiments.render import format_table
+from repro.profiling.critical import rank_critical_loads, stall_share_by_class
+
+APPS = ("spmv", "bfs", "sssp", "ccl", "mst", "mis")
+
+
+def test_critical_loads(benchmark, runner, by_name, emit):
+    def compute():
+        out = {}
+        for name in APPS:
+            result = by_name[name]
+            out[name] = (
+                rank_critical_loads(result.stats, result.config,
+                                    result.run.classifications),
+                stall_share_by_class(result.stats, result.config,
+                                     result.run.classifications),
+            )
+        return out
+
+    data = benchmark(compute)
+
+    rows = []
+    for name in APPS:
+        loads, shares = data[name]
+        worst = loads[0]
+        rows.append([name,
+                     "%s:%#x" % (worst.kernel, worst.pc),
+                     worst.load_class,
+                     "%.1f%%" % (100 * worst.stall_share),
+                     "%.1f%%" % (100 * shares.get("N", 0.0)),
+                     "%.1f%%" % (100 * shares.get("D", 0.0))])
+    emit("critical_loads", format_table(
+        ["app", "worst load", "cls", "its stall share", "all-N share",
+         "all-D share"],
+        rows, title="Critical loads: stall-cycle attribution per class"))
+
+    n_dominates = 0
+    for name in APPS:
+        loads, shares = data[name]
+        assert loads, name
+        if shares.get("N", 0.0) > shares.get("D", 0.0):
+            n_dominates += 1
+    # non-deterministic loads own the stall time for nearly every app
+    assert n_dominates >= len(APPS) - 1

@@ -1,0 +1,32 @@
+"""Figure 11: data blocks shared across CTAs.
+
+Paper claims reproduced: a significant fraction of data blocks is
+touched by multiple CTAs (28.7% in the paper), those blocks absorb a
+*disproportionate* share of accesses (50.9%), and shared blocks are
+touched by many CTAs — the "hidden data locality" private L1s cannot
+exploit.
+"""
+
+from repro.experiments.figures import fig11_data, render_fig11
+
+
+def test_fig11(benchmark, all_results, emit):
+    data = benchmark(fig11_data, all_results)
+    emit("fig11", render_fig11(all_results))
+
+    multi_cta = [name for name, (blocks, accesses, ctas) in data.items()
+                 if blocks > 0]
+    assert len(multi_cta) >= 10, "most apps must exhibit inter-CTA sharing"
+
+    amplified = 0
+    for name in multi_cta:
+        blocks, accesses, ctas = data[name]
+        assert ctas >= 2.0
+        if accesses > blocks:
+            amplified += 1
+    # shared blocks draw more than their proportional share of accesses
+    assert amplified >= len(multi_cta) // 2
+
+    mean_access_share = (sum(data[n][1] for n in multi_cta)
+                         / len(multi_cta))
+    assert mean_access_share > 0.2

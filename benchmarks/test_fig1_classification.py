@@ -1,0 +1,26 @@
+"""Figure 1: deterministic / non-deterministic load distribution.
+
+The paper's claim: linear algebra and image processing applications are
+(nearly) fully deterministic — spmv being the exception — while graph
+applications execute a substantial non-deterministic share.
+"""
+
+from repro.experiments.figures import fig1_data, render_fig1
+
+FULLY_DETERMINISTIC = ("2mm", "gaus", "grm", "lu",
+                       "htw", "mriq", "dwt", "bpr", "srad")
+MIXED = ("spmv", "bfs", "sssp", "ccl", "mst", "mis")
+
+
+def test_fig1(benchmark, all_results, emit):
+    data = benchmark(fig1_data, all_results)
+    emit("fig1", render_fig1(all_results))
+
+    for name in FULLY_DETERMINISTIC:
+        det, nondet = data[name]
+        assert det == 1.0, "%s must be fully deterministic" % name
+    for name in MIXED:
+        det, nondet = data[name]
+        assert nondet > 0.1, "%s must execute non-deterministic loads" % name
+        assert det > 0.0, ("%s still executes deterministic loads "
+                           "(paper: >50%% of graph loads are D)" % name)

@@ -1,0 +1,36 @@
+"""Figure 3: breakdown of L1 data-cache cycles.
+
+Paper claims reproduced: a large share of L1 cache cycles is wasted on
+reservation failures (the paper reports ~70% on average), and among the
+failure modes the lack of available cache *tags* dominates.  Applications
+with many non-deterministic loads lose the most cycles.
+"""
+
+from repro.experiments.figures import fig3_data, render_fig3
+from repro.sim.cache import Outcome
+
+
+def test_fig3(benchmark, all_results, emit):
+    data = benchmark(fig3_data, all_results)
+    emit("fig3", render_fig3(all_results))
+
+    fail_keys = (Outcome.RSRV_FAIL_TAGS.value, Outcome.RSRV_FAIL_MSHR.value,
+                 Outcome.RSRV_FAIL_ICNT.value)
+    fails = {name: sum(fr[k] for k in fail_keys)
+             for name, fr in data.items()}
+    # substantial average waste across the suite
+    mean_fail = sum(fails.values()) / len(fails)
+    assert mean_fail > 0.25, "mean reservation-fail share %.2f" % mean_fail
+    # tags dominate the failure modes in aggregate (paper Section VI)
+    total_tags = sum(fr[Outcome.RSRV_FAIL_TAGS.value]
+                     for fr in data.values())
+    total_mshr = sum(fr[Outcome.RSRV_FAIL_MSHR.value]
+                     for fr in data.values())
+    total_icnt = sum(fr[Outcome.RSRV_FAIL_ICNT.value]
+                     for fr in data.values())
+    assert total_tags > total_mshr
+    assert total_tags > total_icnt
+    # graph applications suffer high failure shares despite their small
+    # global-load fraction (the paper's headline irony)
+    graph_mean = sum(fails[n] for n in ("bfs", "sssp", "ccl", "mst", "mis")) / 5
+    assert graph_mean > 0.3

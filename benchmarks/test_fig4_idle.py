@@ -1,0 +1,25 @@
+"""Figure 4: fraction of idle cycles of the SP / SFU / LD-ST units.
+
+Paper claims reproduced: the LD/ST unit is occupied far more than its
+share of instructions would suggest and is the busiest unit for most
+applications; the SFU only lights up for transcendental-heavy kernels
+(mriq).
+"""
+
+from repro.experiments.figures import fig4_data, render_fig4
+
+
+def test_fig4(benchmark, all_results, emit):
+    data = benchmark(fig4_data, all_results)
+    emit("fig4", render_fig4(all_results))
+
+    mean = {unit: sum(d[unit] for d in data.values()) / len(data)
+            for unit in ("sp", "sfu", "ldst")}
+    # LD/ST is the busiest unit on average (lowest idle fraction)
+    assert mean["ldst"] < mean["sfu"]
+    # mriq exercises the SFU far more than the other applications
+    other_sfu = [d["sfu"] for name, d in data.items() if name != "mriq"]
+    assert data["mriq"]["sfu"] < min(other_sfu)
+    for d in data.values():
+        for unit in ("sp", "sfu", "ldst"):
+            assert 0.0 <= d[unit] <= 1.0

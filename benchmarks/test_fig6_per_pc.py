@@ -1,0 +1,37 @@
+"""Figure 6: turnaround time vs. number of generated requests for
+individual load PCs of bfs, sssp and spmv.
+
+Paper claims reproduced: deterministic loads create only 1-2 requests per
+execution, irrespective of the application; the same non-deterministic
+load generates a *varying* number of requests across executions, and its
+turnaround grows with the request count.
+"""
+
+from repro.experiments.figures import fig6_data, render_fig6
+
+
+def test_fig6(benchmark, all_results, by_name, emit):
+    apps = [by_name[n] for n in ("bfs", "sssp", "spmv")]
+    data = benchmark(lambda rs: {r.name: fig6_data(r) for r in rs}, apps)
+    emit("fig6", render_fig6(apps))
+
+    for app_name, series_map in data.items():
+        n_series = {k: v for k, v in series_map.items() if k[2] == "N"}
+        d_series = {k: v for k, v in series_map.items() if k[2] == "D"}
+        assert n_series, "%s needs non-deterministic series" % app_name
+        # D loads: at most 2 requests each
+        for key, points in d_series.items():
+            assert max(p.n_requests for p in points) <= 2
+        # N loads: varying request counts
+        spread = max(len(points) for points in n_series.values())
+        assert spread > 1, (
+            "%s N loads must vary their request counts" % app_name)
+        # turnaround grows with the request count (first vs last bucket)
+        grows = 0
+        candidates = 0
+        for points in n_series.values():
+            if len(points) >= 2:
+                candidates += 1
+                if points[-1].mean_turnaround > points[0].mean_turnaround:
+                    grows += 1
+        assert candidates == 0 or grows >= candidates / 2

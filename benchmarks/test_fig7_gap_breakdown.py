@@ -1,0 +1,30 @@
+"""Figure 7: turnaround breakdown for one bfs non-deterministic load.
+
+Paper claims reproduced: for a single static N load (the paper uses
+bfs PC 0x110), the added latency beyond the common (zero-contention)
+latency grows with the number of generated requests, and the "Gap at
+L1D" component — waiting for all of the warp's own reservations — is
+the growing part.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig7_data, render_fig7
+
+
+def test_fig7(benchmark, by_name, emit):
+    bfs = by_name["bfs"]
+    key, series = benchmark(fig7_data, bfs)
+    emit("fig7", render_fig7(bfs))
+
+    assert key is not None
+    assert len(series) >= 2
+    counts = np.array([p.n_requests for p in series], dtype=float)
+    gap_l1d = np.array([p.gap_l1d for p in series])
+    turnaround = np.array([p.mean_turnaround for p in series])
+    # the L1D gap correlates positively with the request count
+    assert len(counts) < 3 or np.corrcoef(counts, gap_l1d)[0, 1] > 0
+    # and total turnaround at the highest request count exceeds the lowest
+    assert turnaround[-1] > turnaround[0]
+    for p in series:
+        assert p.common_latency >= 0

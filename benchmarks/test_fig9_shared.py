@@ -1,0 +1,30 @@
+"""Figure 9: shared-memory loads per global-memory load.
+
+Paper claims reproduced: image-processing applications stage reused data
+in shared memory (the paper reports ~2.5 shared loads per global load on
+average for the category), while most linear-algebra and graph
+applications barely use it.
+"""
+
+from conftest import category_mean
+
+from repro.experiments.figures import fig9_data, render_fig9
+
+
+def test_fig9(benchmark, all_results, emit):
+    data = benchmark(fig9_data, all_results)
+    emit("fig9", render_fig9(all_results))
+
+    def ratio(result):
+        return data[result.name]
+
+    image = category_mean(all_results, "image", ratio)
+    linear = category_mean(all_results, "linear", ratio)
+    graph = category_mean(all_results, "graph", ratio)
+    assert image > linear
+    assert image > graph
+    # graph apps do not use shared memory at all
+    assert graph == 0.0
+    # htw and bpr individually stage through shared memory
+    assert data["htw"] > 0.5
+    assert data["bpr"] > 0.2

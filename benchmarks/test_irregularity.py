@@ -1,0 +1,48 @@
+"""Warp-level irregularity metrics across the suite (related work).
+
+Burtscher et al. (IISWC 2012), which the paper contrasts itself with,
+characterize GPU programs by control-flow and memory-access
+irregularity at the warp level.  The reproduction computes both metrics
+from its traces and checks the cross-category structure: graph apps are
+irregular on both axes, dense linear algebra on neither, and spmv shows
+the metrics are independent (memory-irregular yet control-regular).
+"""
+
+from conftest import category_mean
+
+from repro.experiments.render import format_table
+from repro.profiling.irregularity import measure_irregularity
+
+
+def test_irregularity(benchmark, all_results, emit):
+    def compute():
+        return {r.name: measure_irregularity(r.trace)
+                for r in all_results}
+
+    data = benchmark(compute)
+
+    rows = [[r.name, r.category,
+             data[r.name].control_flow_irregularity,
+             data[r.name].memory_access_irregularity,
+             data[r.name].mean_active_lanes]
+            for r in all_results]
+    emit("irregularity", format_table(
+        ["app", "cat", "CFI", "MAI", "mean lanes"],
+        rows, title="Warp-level irregularity (Burtscher-style metrics)"))
+
+    def cfi(result):
+        return data[result.name].control_flow_irregularity
+
+    def mai(result):
+        return data[result.name].memory_access_irregularity
+
+    graph_cfi = category_mean(all_results, "graph", cfi)
+    linear_cfi = category_mean(all_results, "linear", cfi)
+    graph_mai = category_mean(all_results, "graph", mai)
+    linear_mai = category_mean(all_results, "linear", mai)
+    assert graph_cfi > linear_cfi
+    assert graph_mai > linear_mai
+    # independence of the two metrics: spmv is memory-irregular but more
+    # control-regular than the graph mean
+    assert data["spmv"].memory_access_irregularity > 0.1
+    assert data["spmv"].control_flow_irregularity < graph_cfi

@@ -1,0 +1,21 @@
+"""Table III: CUDA-profiler-style counters for every application."""
+
+from repro.experiments.tables import render_table3, table3_rows
+
+
+def test_table3(benchmark, all_results, emit):
+    rows = benchmark(table3_rows, all_results)
+    emit("table3", render_table3(all_results))
+
+    for row in rows:
+        assert row["gld_request"] > 0
+        hits = row["l1_global_load_hit"]
+        misses = row["l1_global_load_miss"]
+        assert hits is not None and misses is not None
+        assert hits + misses > 0
+        queries = (row["l2_subp0_read_sector_queries"]
+                   + row["l2_subp1_read_sector_queries"])
+        l2_hits = (row["l2_subp0_read_hit_sectors"]
+                   + row["l2_subp1_read_hit_sectors"])
+        assert l2_hits <= queries
+        assert queries > 0

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Bring your own kernel: a strided-gather coalescing experiment.
+
+Writes a PTX-subset kernel from scratch, classifies it, executes it
+functionally, and sweeps the access stride through the timing model to
+show how request counts and turnaround degrade as a *deterministic* load
+becomes progressively uncoalesced — and then converts the same kernel
+into an index-array gather so the classifier flags it non-deterministic.
+"""
+
+import numpy as np
+
+from repro import GPU, TESLA_C2050, Emulator, MemoryImage, parse_kernel
+from repro.core import classify_kernel
+
+STRIDED = """
+.entry strided_copy (
+    .param .u64 src, .param .u64 dst, .param .u32 stride, .param .u32 n
+)
+{
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mov.u32 %r3, %tid.x;
+    mad.lo.u32 %r4, %r1, %r2, %r3;
+    ld.param.u32 %r5, [n];
+    setp.ge.u32 %p1, %r4, %r5;
+    @%p1 bra EXIT;
+    ld.param.u32 %r6, [stride];
+    mul.lo.u32 %r7, %r4, %r6;          // strided index (still parameterized!)
+    ld.param.u64 %rd1, [src];
+    cvt.u64.u32 %rd2, %r7;
+    shl.b64 %rd3, %rd2, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.f32 %f1, [%rd4];         // deterministic, maybe uncoalesced
+    ld.param.u64 %rd5, [dst];
+    cvt.u64.u32 %rd6, %r4;
+    shl.b64 %rd7, %rd6, 2;
+    add.u64 %rd8, %rd5, %rd7;
+    st.global.f32 [%rd8], %f1;
+EXIT:
+    exit;
+}
+"""
+
+GATHER = """
+.entry gather_copy (
+    .param .u64 src, .param .u64 dst, .param .u64 index, .param .u32 n
+)
+{
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mov.u32 %r3, %tid.x;
+    mad.lo.u32 %r4, %r1, %r2, %r3;
+    ld.param.u32 %r5, [n];
+    setp.ge.u32 %p1, %r4, %r5;
+    @%p1 bra EXIT;
+    ld.param.u64 %rd1, [index];
+    cvt.u64.u32 %rd2, %r4;
+    shl.b64 %rd3, %rd2, 2;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.u32 %r6, [%rd4];         // index[i] -- a data load
+    ld.param.u64 %rd5, [src];
+    cvt.u64.u32 %rd6, %r6;
+    shl.b64 %rd7, %rd6, 2;
+    add.u64 %rd8, %rd5, %rd7;
+    ld.global.f32 %f1, [%rd8];         // src[index[i]]: NON-deterministic
+    ld.param.u64 %rd9, [dst];
+    add.u64 %rd10, %rd9, %rd3;
+    st.global.f32 [%rd10], %f1;
+EXIT:
+    exit;
+}
+"""
+
+N = 2048
+BLOCK = 128
+
+
+def run_strided(stride):
+    kernel = parse_kernel(STRIDED)
+    mem = MemoryImage()
+    src = np.arange(N * max(stride, 1), dtype=np.float32)
+    p_src = mem.alloc_array("src", src)
+    p_dst = mem.alloc("dst", N * 4)
+    emu = Emulator(mem)
+    trace = emu.launch(kernel, N // BLOCK, BLOCK, {
+        "src": p_src, "dst": p_dst, "stride": stride, "n": N})
+    assert np.array_equal(mem.read_array("dst", np.float32, N),
+                          src[::stride][:N] if stride else src[:N])
+    gpu = GPU(TESLA_C2050.scaled(num_sms=2, num_partitions=2))
+    stats = gpu.run_launch(trace, classify_kernel(kernel))
+    cls = stats.classes["D"]
+    return cls.requests_per_warp(), cls.mean_turnaround(), stats.cycles
+
+
+def run_gather():
+    kernel = parse_kernel(GATHER)
+    result = classify_kernel(kernel)
+    print("gather kernel classification:")
+    for load in result:
+        print("   ", load)
+    mem = MemoryImage()
+    rng = np.random.default_rng(1)
+    src = rng.random(N).astype(np.float32)
+    index = rng.integers(0, N, size=N).astype(np.uint32)
+    p_src = mem.alloc_array("src", src)
+    p_idx = mem.alloc_array("index", index)
+    p_dst = mem.alloc("dst", N * 4)
+    emu = Emulator(mem)
+    trace = emu.launch(kernel, N // BLOCK, BLOCK, {
+        "src": p_src, "dst": p_dst, "index": p_idx, "n": N})
+    assert np.array_equal(mem.read_array("dst", np.float32, N), src[index])
+    gpu = GPU(TESLA_C2050.scaled(num_sms=2, num_partitions=2))
+    stats = gpu.run_launch(trace, result)
+    n_cls = stats.classes["N"]
+    print("random gather: %.1f requests/warp, mean turnaround %.0f cycles"
+          % (n_cls.requests_per_warp(), n_cls.mean_turnaround()))
+
+
+def main():
+    print("deterministic strided load: stride sweep")
+    print("%8s %14s %18s %10s" % ("stride", "requests/warp",
+                                  "mean turnaround", "cycles"))
+    for stride in (1, 2, 4, 8, 16, 32):
+        rpw, turnaround, cycles = run_strided(stride)
+        print("%8d %14.2f %18.0f %10d" % (stride, rpw, turnaround, cycles))
+    print()
+    run_gather()
+
+
+if __name__ == "__main__":
+    main()

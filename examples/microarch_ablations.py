@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The paper's Section X suggestions, measured.
+
+Runs the three microarchitectural ideas the paper discusses as runnable
+ablations on real application traces:
+
+* X.A — split non-deterministic loads into sub-warps with bounded
+  request bursts,
+* X.B — schedule neighbouring CTAs onto the same SM,
+* X.C — make the L2 semi-global (private to small SM clusters).
+"""
+
+from repro import TESLA_C2050, get_workload
+from repro.optim import (
+    compare_cta_policies,
+    compare_l2_organizations,
+    compare_warp_splitting,
+)
+
+CONFIG = TESLA_C2050.scaled(num_sms=4, num_partitions=2,
+                            l1_size=2 * 1024, l2_size=64 * 1024,
+                            l1_mshr_entries=32, l2_mshr_entries=16)
+
+
+def main():
+    bfs = get_workload("bfs", scale=0.5).run()
+    srad = get_workload("srad", scale=0.5).run()
+
+    print("=" * 72)
+    print("X.A  sub-warp splitting of non-deterministic loads (bfs)")
+    print("=" * 72)
+    outcome = compare_warp_splitting(bfs, CONFIG, max_requests=4)
+    for label, o in outcome.items():
+        print("  %-14s N req/warp %.2f | rsrv-fail share %.0f%% | "
+              "mean N turnaround %.0f cycles"
+              % (label, o.n_requests_per_warp,
+                 100 * o.reservation_fail_fraction, o.mean_n_turnaround))
+
+    print()
+    print("=" * 72)
+    print("X.B  clustered CTA scheduling (srad)")
+    print("=" * 72)
+    outcomes = compare_cta_policies(srad, CONFIG)
+    for name, o in outcomes.items():
+        print("  %-14s L1 miss %.1f%% | cycles %d"
+              % (name, 100 * o.l1_miss_ratio, o.cycles))
+
+    print()
+    print("=" * 72)
+    print("X.C  semi-global L2 (bfs, clusters of 2 SMs)")
+    print("=" * 72)
+    outcomes = compare_l2_organizations(bfs, CONFIG, cluster_size=2)
+    for name, o in outcomes.items():
+        print("  %-14s L2 miss %.1f%% | D turnaround %.0f | "
+              "N turnaround %.0f | cycles %d"
+              % (name, 100 * o.l2_miss_ratio, o.mean_d_turnaround,
+                 o.mean_n_turnaround, o.cycles))
+
+
+if __name__ == "__main__":
+    main()

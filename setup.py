@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which needs no wheel support.
+"""
+
+from setuptools import setup
+
+setup()

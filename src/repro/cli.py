@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    The benchmark suite with Table I metadata.
+``classify <app> | --file kernel.ptx``
+    Static load classification (the paper's Section V analysis).
+``run <app>``
+    Execute an application functionally, verify it, and print its
+    Table I characteristics.
+``simulate <app>``
+    Run the full pipeline including the timing model and print the
+    per-class statistics and the critical-load ranking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import classify_kernel, format_kernel_report
+from .profiling.critical import format_critical_loads, rank_critical_loads
+from .profiling.turnaround import class_breakdown
+from .ptx import parse_module
+from .sim.config import TESLA_C2050
+from .sim.gpu import GPU
+from .workloads import WORKLOAD_CLASSES, get_workload, workload_names
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Revealing Critical Loads and Hidden "
+                    "Data Locality in GPGPU Applications' (IISWC 2015)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 15 benchmark applications")
+
+    p_classify = sub.add_parser(
+        "classify", help="classify global loads (deterministic vs "
+                         "non-deterministic)")
+    p_classify.add_argument("app", nargs="?",
+                            help="workload name (e.g. bfs)")
+    p_classify.add_argument("--file", help="classify a PTX-subset file "
+                                           "instead of a workload")
+
+    p_run = sub.add_parser("run", help="execute and verify a workload")
+    p_run.add_argument("app", choices=workload_names())
+    p_run.add_argument("--scale", type=float, default=0.25)
+    p_run.add_argument("--seed", type=int, default=7)
+
+    p_sim = sub.add_parser("simulate",
+                           help="execute, verify and time-simulate")
+    p_sim.add_argument("app", choices=workload_names())
+    p_sim.add_argument("--scale", type=float, default=0.25)
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument("--sms", type=int, default=4)
+    p_sim.add_argument("--partitions", type=int, default=2)
+    p_sim.add_argument("--l1-kb", type=int, default=2)
+    p_sim.add_argument("--l2-kb", type=int, default=64)
+    p_sim.add_argument("--scheduler", choices=("lrr", "gto"),
+                       default="lrr")
+    p_sim.add_argument("--prefetcher",
+                       choices=("none", "stride", "indirect_oracle"),
+                       default="none")
+    p_sim.add_argument("--cta-policy",
+                       choices=("round_robin", "clustered"),
+                       default="round_robin")
+    p_sim.add_argument("--top", type=int, default=8,
+                       help="critical loads to list")
+
+    p_fig = sub.add_parser(
+        "figures", help="regenerate tables/figures for a set of apps and "
+                        "write them (plus results.json) to a directory")
+    p_fig.add_argument("--apps", default=None,
+                       help="comma-separated workload names "
+                            "(default: all 15)")
+    p_fig.add_argument("--scale", type=float, default=0.5)
+    p_fig.add_argument("--out", default="repro-results",
+                       help="output directory")
+    return parser
+
+
+def _cmd_list(args, out):
+    out.write("%-6s %-7s %-44s\n" % ("name", "cat", "description"))
+    for cls in WORKLOAD_CLASSES:
+        out.write("%-6s %-7s %-44s\n"
+                  % (cls.name, cls.category, cls.description))
+    return 0
+
+
+def _cmd_classify(args, out):
+    if args.file:
+        with open(args.file) as fh:
+            module = parse_module(fh.read())
+        for kernel in module:
+            out.write(format_kernel_report(classify_kernel(kernel)) + "\n\n")
+        return 0
+    if not args.app:
+        out.write("error: provide a workload name or --file\n")
+        return 2
+    workload = get_workload(args.app, scale=0.25)
+    module = parse_module(workload.ptx())
+    for kernel in module:
+        out.write(format_kernel_report(classify_kernel(kernel)) + "\n\n")
+    return 0
+
+
+def _cmd_run(args, out):
+    workload = get_workload(args.app, scale=args.scale, seed=args.seed)
+    run = workload.run()
+    trace = run.trace
+    total = trace.total_warp_instructions()
+    loads = trace.global_load_warp_count()
+    out.write("%s (%s): %s\n" % (workload.name, workload.category,
+                                 workload.data_set))
+    out.write("  launches:               %d\n" % len(trace))
+    out.write("  warp instructions:      %d\n" % total)
+    out.write("  global load warps:      %d (%.2f%%)\n"
+              % (loads, 100.0 * loads / total if total else 0.0))
+    out.write("  shared load warps:      %d\n"
+              % trace.shared_load_warp_count())
+    det, nondet = run.dynamic_class_split()
+    out.write("  dynamic D/N split:      %d / %d\n" % (det, nondet))
+    out.write("  functional verification: PASS\n")
+    return 0
+
+
+def _cmd_simulate(args, out):
+    workload = get_workload(args.app, scale=args.scale, seed=args.seed)
+    run = workload.run()
+    config = TESLA_C2050.scaled(
+        num_sms=args.sms, num_partitions=args.partitions,
+        l1_size=args.l1_kb * 1024, l2_size=args.l2_kb * 1024,
+        warp_scheduler=args.scheduler, prefetcher=args.prefetcher,
+    ).validate()
+    gpu = GPU(config, cta_policy=args.cta_policy)
+    for launch in run.trace:
+        gpu.run_launch(launch, run.classifications[launch.kernel_name])
+    stats = gpu.stats
+
+    out.write("%s simulated: %d warp insts in %d cycles\n"
+              % (workload.name, stats.issued_warp_insts, stats.cycles))
+    for label in ("D", "N"):
+        cls = stats.classes[label]
+        if cls.warp_insts == 0:
+            continue
+        breakdown = class_breakdown(stats, config, label)
+        out.write("  [%s] %d loads | %.2f req/warp | L1 miss %.0f%% | "
+                  "L2 miss %.0f%% | turnaround %.0f cycles\n"
+                  % (label, cls.warp_insts, cls.requests_per_warp(),
+                     100 * cls.l1_miss_ratio(), 100 * cls.l2_miss_ratio(),
+                     breakdown.total))
+    out.write("  L1 cycles lost to reservation fails: %.0f%%\n"
+              % (100 * stats.reservation_fail_fraction()))
+    idle = stats.unit_idle_fractions()
+    out.write("  unit idle: SP %.0f%%  SFU %.0f%%  LD/ST %.0f%%\n"
+              % (100 * idle["sp"], 100 * idle["sfu"], 100 * idle["ldst"]))
+    if stats.prefetch_issued:
+        out.write("  prefetches issued: %d\n" % stats.prefetch_issued)
+    out.write("\n")
+    loads = rank_critical_loads(stats, config, run.classifications,
+                                top=args.top)
+    out.write(format_critical_loads(loads, limit=args.top) + "\n")
+    return 0
+
+
+def _cmd_figures(args, out):
+    import os
+
+    from .experiments import export_json
+    from .experiments.runner import BENCH_CONFIG, ExperimentRunner
+    from .experiments import tables, figures as fig
+
+    names = (args.apps.split(",") if args.apps else workload_names())
+    runner = ExperimentRunner(scale=args.scale, config=BENCH_CONFIG)
+    results = runner.results(names)
+
+    os.makedirs(args.out, exist_ok=True)
+    renders = {
+        "table1": tables.render_table1,
+        "table3": tables.render_table3,
+        "fig1": fig.render_fig1, "fig2": fig.render_fig2,
+        "fig3": fig.render_fig3, "fig4": fig.render_fig4,
+        "fig5": fig.render_fig5, "fig6": fig.render_fig6,
+        "fig8": fig.render_fig8, "fig9": fig.render_fig9,
+        "fig10": fig.render_fig10, "fig11": fig.render_fig11,
+        "fig12": fig.render_fig12,
+    }
+    for name, render in renders.items():
+        path = os.path.join(args.out, "%s.txt" % name)
+        with open(path, "w") as fh:
+            fh.write(render(results) + "\n")
+        out.write("wrote %s\n" % path)
+    json_path = os.path.join(args.out, "results.json")
+    export_json(results, path=json_path)
+    out.write("wrote %s\n" % json_path)
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "classify": _cmd_classify,
+    "run": _cmd_run,
+    "simulate": _cmd_simulate,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe: not an error
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: backward-dataflow load classification.
+
+Global loads are split into *deterministic* (address built only from
+launch-time parameterized values) and *non-deterministic* (address depends
+on previously loaded data).  See :mod:`repro.core.classifier` for the
+algorithm and the paper's Section V for the definition.
+"""
+
+from .classifier import (
+    ClassificationResult,
+    ClassifiedLoad,
+    LoadClassifier,
+    classify_kernel,
+    classify_module,
+)
+from .defuse import ENTRY, ReachingDefs
+from .provenance import LoadClass, Provenance
+from .report import dynamic_split, format_kernel_report, merge_dynamic_split
+
+__all__ = [
+    "ClassificationResult",
+    "ClassifiedLoad",
+    "LoadClassifier",
+    "classify_kernel",
+    "classify_module",
+    "ENTRY",
+    "ReachingDefs",
+    "LoadClass",
+    "Provenance",
+    "dynamic_split",
+    "format_kernel_report",
+    "merge_dynamic_split",
+]

@@ -1,0 +1,126 @@
+"""Reaching-definitions analysis over a PTX-subset kernel.
+
+The paper's load classifier "traces the dependency graphs backwards for a
+source register that is used in the address computation of a load"
+(Section V).  Tracing backwards requires knowing, at each instruction, which
+instructions may have defined each source register — the classic
+*reaching definitions* dataflow problem [Aho et al., Compilers, 2nd ed.],
+which the paper cites as the underlying machinery.
+
+Definitions are identified by instruction index; the pseudo-definition
+:data:`ENTRY` stands for "live-in at kernel entry" (a register read before
+any write — legal PTX never does this, but the analysis must be total).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from ..ptx.cfg import CFG
+from ..ptx.isa import Reg
+
+#: Pseudo definition site: the register was never written on some path.
+ENTRY = -1
+
+_ENTRY_SET = frozenset((ENTRY,))
+
+
+class ReachingDefs:
+    """Computes and caches reaching definitions for one kernel.
+
+    After construction, :meth:`reaching` answers "which definition sites of
+    register ``reg`` may reach instruction ``inst_index``?".
+    """
+
+    def __init__(self, kernel, cfg=None):
+        self.kernel = kernel
+        self.cfg = cfg if cfg is not None else CFG(kernel)
+        self._block_in: List[Dict[str, FrozenSet[int]]] = []
+        self._solve()
+        # per-instruction cache filled lazily by :meth:`reaching`
+        self._cache: Dict[int, Dict[str, FrozenSet[int]]] = {}
+
+    # -- dataflow ------------------------------------------------------------
+
+    def _apply(self, state, inst, index):
+        """Apply one instruction's definitions to a mutable state dict."""
+        for reg in inst.writes():
+            if inst.pred is None:
+                state[reg.name] = frozenset((index,))
+            else:
+                # a predicated write may not execute: old defs survive
+                old = state.get(reg.name, _ENTRY_SET)
+                state[reg.name] = old | frozenset((index,))
+
+    def _transfer_block(self, in_state, block):
+        state = dict(in_state)
+        for i in range(block.start, block.end):
+            self._apply(state, self.kernel.instructions[i], i)
+        return state
+
+    def _register_universe(self):
+        """Every register name the kernel mentions."""
+        names = set()
+        for inst in self.kernel.instructions:
+            for reg in inst.writes():
+                names.add(reg.name)
+            for reg in inst.reads():
+                if isinstance(reg, Reg):
+                    names.add(reg.name)
+        return names
+
+    def _solve(self):
+        blocks = self.cfg.blocks
+        # The entry block is seeded with every register mapped to ENTRY; the
+        # pseudo-definition then flows (and is killed by real definitions)
+        # like any other, so "may be live-in" is tracked path-sensitively.
+        entry_in = {name: _ENTRY_SET for name in self._register_universe()}
+        in_state: List[Dict[str, FrozenSet[int]]] = [dict() for _ in blocks]
+        out_state: List[Dict[str, FrozenSet[int]]] = [dict() for _ in blocks]
+        if blocks:
+            in_state[0] = entry_in
+
+        changed = True
+        while changed:
+            changed = False
+            for block in blocks:
+                if block.index == 0:
+                    merged = dict(entry_in)
+                    # a loop back to the entry block also merges its preds
+                    for p in block.predecessors:
+                        for key, defs in out_state[p].items():
+                            merged[key] = merged.get(key, frozenset()) | defs
+                else:
+                    merged = {}
+                    for p in block.predecessors:
+                        for key, defs in out_state[p].items():
+                            merged[key] = merged.get(key, frozenset()) | defs
+                in_state[block.index] = merged
+                new_out = self._transfer_block(merged, block)
+                if new_out != out_state[block.index]:
+                    out_state[block.index] = new_out
+                    changed = True
+        self._block_in = in_state
+
+    # -- queries -----------------------------------------------------------------
+
+    def reaching(self, inst_index, reg):
+        """Definition sites of ``reg`` that may reach ``inst_index``.
+
+        ``reg`` may be a :class:`Reg` or a register name string.  Returns a
+        frozenset of instruction indices; may contain :data:`ENTRY`.
+        """
+        name = reg.name if isinstance(reg, Reg) else reg
+        state = self._cache.get(inst_index)
+        if state is None:
+            block = self.cfg.block_of(inst_index)
+            state = dict(self._block_in[block.index])
+            for i in range(block.start, inst_index):
+                self._apply(state, self.kernel.instructions[i], i)
+            self._cache[inst_index] = state
+        return state.get(name, _ENTRY_SET)
+
+    def definitions_of(self, reg_name):
+        """All instruction indices that write ``reg_name``."""
+        return [i for i, inst in enumerate(self.kernel.instructions)
+                if any(w.name == reg_name for w in inst.writes())]

@@ -1,0 +1,67 @@
+"""The address-provenance lattice used by the load classifier.
+
+The paper distinguishes two kinds of roots a load address can be traced
+back to (Section V):
+
+* **parameterized data** — CTA ids, thread ids, grid dimensions, constant
+  kernel parameters (read with ``ld.param``) and literals.  These are fixed
+  at kernel launch; an address built only from them is *deterministic*.
+* **non-parameterized data** — values produced by prior data loads
+  (``ld.global``, ``ld.local``, ``ld.shared``, ``ld.tex``) or atomics.  An
+  address that transitively depends on any of these is *non-deterministic*.
+
+We model provenance as a small powerset lattice (bitflags) so that joining
+along multiple dataflow paths is a bitwise OR and the fixpoint is trivially
+monotone.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Provenance(enum.IntFlag):
+    """Bitflags describing where a value may come from."""
+
+    #: No information yet (lattice bottom; only during fixpoint iteration).
+    BOTTOM = 0
+    #: Launch-time parameterized values: tid/ctaid/ntid/nctaid, ld.param,
+    #: ld.const, immediates.
+    PARAM = 1
+    #: Values read by data loads (global/local/shared/tex) or atomics.
+    DATA = 2
+    #: Register potentially live-in at kernel entry (read before write).
+    ENTRY = 4
+
+    def join(self, other):
+        """Lattice join: union of possible origins."""
+        return Provenance(self | other)
+
+    @property
+    def is_deterministic(self):
+        """True when the value is built purely from parameterized data.
+
+        A value tainted by :attr:`DATA` is non-deterministic.  A value with
+        an :attr:`ENTRY` component is treated as non-deterministic too: the
+        analysis cannot prove where it comes from, and the paper's
+        deterministic class requires a positive proof ("its source address
+        is generated from parameterized data").
+        """
+        return bool(self & Provenance.PARAM) and not (
+            self & (Provenance.DATA | Provenance.ENTRY))
+
+
+class LoadClass(enum.Enum):
+    """Final classification of a global load (the paper's two categories)."""
+
+    DETERMINISTIC = "D"
+    NONDETERMINISTIC = "N"
+
+    def __str__(self):
+        return self.value
+
+    @classmethod
+    def from_provenance(cls, prov):
+        if prov.is_deterministic:
+            return cls.DETERMINISTIC
+        return cls.NONDETERMINISTIC

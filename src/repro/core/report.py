@@ -1,0 +1,75 @@
+"""Human-readable reports for load-classification results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from .classifier import ClassificationResult
+from .provenance import LoadClass
+
+
+def format_kernel_report(result, dynamic_counts=None):
+    """Render one kernel's classification as an ASCII table.
+
+    Parameters
+    ----------
+    result:
+        A :class:`ClassificationResult`.
+    dynamic_counts:
+        Optional ``{pc: executed_warp_count}`` from a trace; when given, the
+        report includes per-load dynamic weights and the dynamic D/N split
+        (this is how the paper's Figure 1 weights static loads).
+    """
+    lines = []
+    lines.append("kernel %s: %d global loads (%d deterministic, %d non-deterministic)"
+                 % (result.kernel.name, len(result),
+                    len(result.deterministic), len(result.nondeterministic)))
+    header = "  %-6s %-2s %-38s %s" % ("PC", "", "instruction", "tainted by")
+    lines.append(header)
+    for load in result:
+        taint = ", ".join("%#x" % pc for pc in load.tainting_pcs) or "-"
+        row = "  %#06x %-2s %-38s %s" % (
+            load.pc, load.load_class, str(load.instruction)[:38], taint)
+        if dynamic_counts is not None:
+            row += "   x%d" % dynamic_counts.get(load.pc, 0)
+        lines.append(row)
+    if dynamic_counts is not None:
+        det, nondet = dynamic_split(result, dynamic_counts)
+        total = det + nondet
+        if total:
+            lines.append("  dynamic split: %.1f%% deterministic / %.1f%% non-deterministic"
+                         % (100.0 * det / total, 100.0 * nondet / total))
+    return "\n".join(lines)
+
+
+def dynamic_split(result, dynamic_counts):
+    """Dynamic (execution-weighted) load counts ``(deterministic, nondet)``.
+
+    This is the quantity Figure 1 of the paper plots: each static load's
+    class weighted by how many warp instructions it executed.
+    """
+    det = 0
+    nondet = 0
+    for load in result:
+        count = dynamic_counts.get(load.pc, 0)
+        if load.is_deterministic:
+            det += count
+        else:
+            nondet += count
+    return det, nondet
+
+
+def merge_dynamic_split(results_and_counts):
+    """Aggregate the dynamic D/N split over several kernels.
+
+    ``results_and_counts`` is an iterable of ``(ClassificationResult,
+    {pc: count})`` pairs — one per kernel launch (or per kernel with summed
+    counts).  Returns ``(deterministic, nondeterministic)`` totals.
+    """
+    det = 0
+    nondet = 0
+    for result, counts in results_and_counts:
+        d, n = dynamic_split(result, counts)
+        det += d
+        nondet += n
+    return det, nondet

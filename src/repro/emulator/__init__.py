@@ -1,0 +1,45 @@
+"""Functional SIMT emulator: executes PTX-subset kernels, produces traces.
+
+The emulator plays the role of "running the application": it executes every
+thread of a kernel launch functionally (verified against numpy/networkx
+references in the tests) and records warp-level traces with per-lane memory
+addresses.  Those traces feed the timing simulator (:mod:`repro.sim`) and
+the trace-level locality analyses (:mod:`repro.profiling`).
+"""
+
+from .grid import FULL_MASK, WARP_SIZE, Dim3, LaunchConfig, as_dim3, make_launch
+from .machine import EmulationError, Emulator
+from .memory import (
+    ALLOC_ALIGN,
+    GLOBAL_BASE,
+    Allocation,
+    MemoryImage,
+    SharedMemory,
+    np_dtype_for,
+)
+from .serialize import LoadedRun, load_run, save_run
+from .trace import ApplicationTrace, KernelLaunchTrace, TraceOp, WarpTrace
+
+__all__ = [
+    "FULL_MASK",
+    "WARP_SIZE",
+    "Dim3",
+    "LaunchConfig",
+    "as_dim3",
+    "make_launch",
+    "EmulationError",
+    "Emulator",
+    "ALLOC_ALIGN",
+    "GLOBAL_BASE",
+    "Allocation",
+    "MemoryImage",
+    "SharedMemory",
+    "np_dtype_for",
+    "LoadedRun",
+    "load_run",
+    "save_run",
+    "ApplicationTrace",
+    "KernelLaunchTrace",
+    "TraceOp",
+    "WarpTrace",
+]

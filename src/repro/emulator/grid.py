@@ -1,0 +1,98 @@
+"""Launch geometry: grids, CTAs, warps and thread indexing.
+
+Mirrors the CUDA execution model described in Section III of the paper:
+a kernel launch is a grid of CTAs (thread blocks); each CTA is split into
+warps of :data:`WARP_SIZE` threads that execute in lockstep on an SM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Threads per warp (32 on all NVIDIA architectures, incl. the paper's M2050).
+WARP_SIZE = 32
+
+#: All-lanes-active mask for one warp.
+FULL_MASK = (1 << WARP_SIZE) - 1
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA ``dim3``: x is the fastest-varying dimension."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    @property
+    def count(self):
+        return self.x * self.y * self.z
+
+    def unflatten(self, linear):
+        """Convert a linear index back to (x, y, z) coordinates."""
+        x = linear % self.x
+        y = (linear // self.x) % self.y
+        z = linear // (self.x * self.y)
+        return (x, y, z)
+
+    def flatten(self, x, y=0, z=0):
+        """Linearize coordinates: x + y*dim.x + z*dim.x*dim.y.
+
+        This matches the paper's "linearized CTA id" definition used for
+        the CTA-distance analysis (Figure 12).
+        """
+        return x + y * self.x + z * self.x * self.y
+
+    def __iter__(self):
+        return iter((self.x, self.y, self.z))
+
+
+def as_dim3(value):
+    """Coerce an int / tuple / Dim3 into a :class:`Dim3`."""
+    if isinstance(value, Dim3):
+        return value
+    if isinstance(value, int):
+        return Dim3(value)
+    return Dim3(*value)
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid and block dimensions of one kernel launch."""
+
+    grid: Dim3
+    block: Dim3
+
+    @property
+    def num_ctas(self):
+        return self.grid.count
+
+    @property
+    def threads_per_cta(self):
+        return self.block.count
+
+    @property
+    def warps_per_cta(self):
+        return (self.block.count + WARP_SIZE - 1) // WARP_SIZE
+
+    @property
+    def total_threads(self):
+        return self.num_ctas * self.threads_per_cta
+
+    def cta_coords(self, linear_cta):
+        return self.grid.unflatten(linear_cta)
+
+    def thread_coords(self, linear_thread):
+        """(x, y, z) of a thread from its linear id within the CTA."""
+        return self.block.unflatten(linear_thread)
+
+    def iter_ctas(self):
+        """Yields ``(linear_cta_id, (x, y, z))`` for every CTA in the grid."""
+        for i in range(self.num_ctas):
+            yield i, self.grid.unflatten(i)
+
+
+def make_launch(grid, block):
+    """Convenience constructor accepting ints/tuples."""
+    return LaunchConfig(grid=as_dim3(grid), block=as_dim3(block))

@@ -1,0 +1,569 @@
+"""Functional SIMT emulator for the PTX subset.
+
+Executes a kernel launch the way an SM would, minus timing:
+
+* threads are grouped into warps of 32 that execute in lockstep,
+* divergent branches are handled with the classic SIMT reconvergence
+  stack, reconverging at the immediate post-dominator of the branch
+  (the scheme GPGPU-Sim models),
+* ``bar.sync`` synchronizes the warps of a CTA,
+* every executed warp instruction is appended to a :class:`WarpTrace`,
+  with per-lane effective addresses for memory operations.
+
+The emulator is *functionally correct* — workload tests compare its memory
+state against numpy/networkx reference implementations — and its traces
+drive the timing simulator in :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..ptx.cfg import CFG
+from ..ptx.isa import DType, Imm, Instruction, MemRef, Reg, Space, SReg, Sym
+from ..ptx.module import Kernel
+from .grid import FULL_MASK, WARP_SIZE, LaunchConfig, as_dim3
+from .memory import MemoryImage, SharedMemory
+from .trace import KernelLaunchTrace, TraceOp, WarpTrace
+
+
+class EmulationError(Exception):
+    """Raised on runaway kernels, barrier deadlocks or bad operands."""
+
+
+#: Sentinel "reconverge never" PC index (divergence that only rejoins at exit).
+_NEVER = -0xDEAD
+
+
+def _wrap(value, bits):
+    return value & ((1 << bits) - 1)
+
+
+def _sx(value, bits):
+    """Interpret an unsigned bit pattern as a signed integer."""
+    value &= (1 << bits) - 1
+    if value >> (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+def _trunc_div(a, b):
+    """C-style truncating integer division (PTX ``div`` semantics)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trunc_rem(a, b):
+    return a - b * _trunc_div(a, b)
+
+
+class _WarpState:
+    """Execution state of one warp: register files + SIMT stack."""
+
+    __slots__ = ("warp_id", "regs", "sregs", "stack", "done_mask",
+                 "at_barrier", "trace", "init_mask")
+
+    def __init__(self, warp_id, init_mask, sregs, trace):
+        self.warp_id = warp_id
+        self.regs: List[Dict[str, object]] = [dict() for _ in range(WARP_SIZE)]
+        self.sregs = sregs                     # per-lane special-register dicts
+        self.stack = [[_NEVER, 0, init_mask]]  # [reconv_idx, pc_idx, mask]
+        self.done_mask = FULL_MASK & ~init_mask
+        self.at_barrier = False
+        self.trace = trace
+        self.init_mask = init_mask
+
+    @property
+    def finished(self):
+        return not self.stack
+
+
+class Emulator:
+    """Functionally executes kernel launches against a :class:`MemoryImage`."""
+
+    def __init__(self, memory, max_warp_insts=20_000_000, record_trace=True):
+        self.memory = memory
+        self.max_warp_insts = max_warp_insts
+        self.record_trace = record_trace
+        self._executed = 0
+
+    # ------------------------------------------------------------------ launch
+
+    def launch(self, kernel, grid, block, params):
+        """Run one kernel launch to completion; returns its trace.
+
+        Parameters
+        ----------
+        kernel:
+            A finalized :class:`repro.ptx.module.Kernel`.
+        grid, block:
+            Launch dimensions (int, tuple or :class:`Dim3`).
+        params:
+            ``{parameter_name: value}`` — pointers are integer device
+            addresses from :meth:`MemoryImage.alloc`.
+        """
+        config = LaunchConfig(grid=as_dim3(grid), block=as_dim3(block))
+        missing = [p.name for p in kernel.params if p.name not in params]
+        if missing:
+            raise EmulationError("launch of %r missing params: %s"
+                                 % (kernel.name, ", ".join(missing)))
+        cfg = CFG(kernel)
+        launch_trace = KernelLaunchTrace(kernel_name=kernel.name, config=config,
+                                         shared_size=kernel.shared_size)
+        self._executed = 0
+        for cta_linear in range(config.num_ctas):
+            self._run_cta(kernel, cfg, config, cta_linear, params, launch_trace)
+        return launch_trace
+
+    # ------------------------------------------------------------------- CTA
+
+    def _run_cta(self, kernel, cfg, config, cta_linear, params, launch_trace):
+        shared = SharedMemory(kernel.shared_size)
+        nthreads = config.threads_per_cta
+        ctaid = config.cta_coords(cta_linear)
+        warps = []
+        for w in range(config.warps_per_cta):
+            lanes = range(w * WARP_SIZE, min((w + 1) * WARP_SIZE, nthreads))
+            mask = 0
+            sregs = [None] * WARP_SIZE
+            for lane_idx, linear_tid in enumerate(lanes):
+                mask |= 1 << lane_idx
+                tid = config.thread_coords(linear_tid)
+                sregs[lane_idx] = self._make_sregs(tid, ctaid, config,
+                                                   lane_idx, w)
+            trace = WarpTrace(cta_id=cta_linear, warp_id=w)
+            if self.record_trace:
+                launch_trace.warps.append(trace)
+            warps.append(_WarpState(w, mask, sregs, trace))
+
+        # run warps round-robin, releasing barriers when every live warp
+        # has arrived
+        while True:
+            alive = [w for w in warps if not w.finished]
+            if not alive:
+                break
+            ran_any = False
+            for warp in alive:
+                if warp.at_barrier:
+                    continue
+                self._run_warp(kernel, cfg, warp, shared, params)
+                ran_any = True
+            waiting = [w for w in warps if not w.finished]
+            if waiting and all(w.at_barrier for w in waiting):
+                for w in waiting:
+                    w.at_barrier = False
+                continue
+            if not ran_any and waiting:
+                raise EmulationError(
+                    "barrier deadlock in kernel %r (CTA %d)"
+                    % (kernel.name, cta_linear))
+
+    @staticmethod
+    def _make_sregs(tid, ctaid, config, laneid, warpid):
+        block, grid = config.block, config.grid
+        return {
+            "%tid.x": tid[0], "%tid.y": tid[1], "%tid.z": tid[2],
+            "%ntid.x": block.x, "%ntid.y": block.y, "%ntid.z": block.z,
+            "%ctaid.x": ctaid[0], "%ctaid.y": ctaid[1], "%ctaid.z": ctaid[2],
+            "%nctaid.x": grid.x, "%nctaid.y": grid.y, "%nctaid.z": grid.z,
+            "%laneid": laneid, "%warpid": warpid,
+            "%smid": 0, "%gridid": 0,
+        }
+
+    # ------------------------------------------------------------------- warp
+
+    def _run_warp(self, kernel, cfg, warp, shared, params):
+        """Execute ``warp`` until it finishes or consumes a barrier."""
+        insts = kernel.instructions
+        stack = warp.stack
+        while stack:
+            rpc, pc, mask = stack[-1]
+            live = mask & ~warp.done_mask
+            if live == 0 or pc == rpc:
+                stack.pop()
+                continue
+            self._executed += 1
+            if self._executed > self.max_warp_insts:
+                raise EmulationError(
+                    "instruction budget exceeded (%d) in kernel %r at pc=%#x"
+                    % (self.max_warp_insts, kernel.name, insts[pc].pc))
+            inst = insts[pc]
+
+            exec_mask = live
+            if inst.pred is not None:
+                preg, negated = inst.pred
+                pmask = 0
+                for lane in _lanes_of(live):
+                    val = bool(warp.regs[lane].get(preg.name, False))
+                    if val != negated:
+                        pmask |= 1 << lane
+                exec_mask = pmask
+
+            if inst.is_branch:
+                self._trace(warp, inst, exec_mask)
+                taken = exec_mask
+                not_taken = live & ~exec_mask
+                target = kernel.target_index(inst)
+                entry = stack[-1]
+                if taken == 0:
+                    entry[1] = pc + 1
+                elif not_taken == 0:
+                    entry[1] = target
+                else:
+                    reconv = cfg.reconvergence_index(pc)
+                    rpc_idx = reconv if reconv is not None else _NEVER
+                    entry[1] = rpc_idx
+                    # push fall-through below taken so one path runs first;
+                    # order does not affect functional results
+                    stack.append([rpc_idx, pc + 1, not_taken])
+                    stack.append([rpc_idx, target, taken])
+                continue
+
+            if inst.is_exit:
+                self._trace(warp, inst, exec_mask)
+                warp.done_mask |= exec_mask
+                stack[-1][1] = pc + 1
+                continue
+
+            if inst.is_barrier:
+                self._trace(warp, inst, exec_mask)
+                stack[-1][1] = pc + 1
+                warp.at_barrier = True
+                return
+
+            if inst.opcode == "membar":
+                self._trace(warp, inst, exec_mask)
+                stack[-1][1] = pc + 1
+                continue
+
+            if inst.is_memory:
+                self._exec_memory(warp, inst, exec_mask, shared, params)
+            else:
+                self._exec_alu(warp, inst, exec_mask)
+            stack[-1][1] = pc + 1
+
+    def _trace(self, warp, inst, exec_mask, addresses=None):
+        if self.record_trace:
+            warp.trace.ops.append(TraceOp(inst, exec_mask, addresses))
+
+    # ------------------------------------------------------------------ memory
+
+    def _address(self, warp, lane, memref):
+        base = memref.base
+        if isinstance(base, Reg):
+            value = warp.regs[lane].get(base.name, 0)
+        elif isinstance(base, Imm):
+            value = base.value
+        elif isinstance(base, SReg):
+            value = warp.sregs[lane][base.name]
+        else:
+            raise EmulationError("cannot address through %r" % (base,))
+        return int(value) + memref.offset
+
+    def _exec_memory(self, warp, inst, exec_mask, shared, params):
+        space = inst.space
+        memref = inst.memref
+        dtype = inst.dtype
+
+        if space is Space.PARAM:
+            # parameter read: value comes from the launch parameters
+            name = memref.base.name
+            value = params[name]
+            for lane in _lanes_of(exec_mask):
+                warp.regs[lane][inst.dests[0].name] = value
+            self._trace(warp, inst, exec_mask)
+            return
+
+        addresses = []
+        width = dtype.nbytes
+        if inst.is_load:
+            dest_names = [d.name for d in inst.dests]
+            target = shared if space is Space.SHARED else self.memory
+            for lane in _lanes_of(exec_mask):
+                addr = self._address(warp, lane, memref)
+                addresses.append((lane, addr))
+                # vector loads move `vector` consecutive elements per lane
+                for k, name in enumerate(dest_names):
+                    warp.regs[lane][name] = target.load(addr + k * width,
+                                                        dtype)
+        elif inst.is_store:
+            value_ops = inst.srcs[1:]
+            target = shared if space is Space.SHARED else self.memory
+            for lane in _lanes_of(exec_mask):
+                addr = self._address(warp, lane, memref)
+                addresses.append((lane, addr))
+                for k, value_op in enumerate(value_ops):
+                    value = _coerce_store(
+                        self._value(warp, lane, value_op), dtype)
+                    target.store(addr + k * width, dtype, value)
+        elif inst.is_atomic:
+            dest = inst.dests[0].name
+            target = shared if space is Space.SHARED else self.memory
+            for lane in _lanes_of(exec_mask):
+                addr = self._address(warp, lane, memref)
+                addresses.append((lane, addr))
+                old = target.load(addr, dtype)
+                operand = self._value(warp, lane, inst.srcs[1])
+                operand2 = (self._value(warp, lane, inst.srcs[2])
+                            if len(inst.srcs) > 2 else None)
+                if dtype.is_signed:
+                    # register values are unsigned bit patterns; signed
+                    # atomics (e.g. atom.min.s32) must compare as signed
+                    operand = _sx(int(operand), dtype.bits)
+                    if operand2 is not None:
+                        operand2 = _sx(int(operand2), dtype.bits)
+                new = _atom_result(inst.atom_op, old, operand, operand2,
+                                   dtype)
+                target.store(addr, dtype, _coerce_store(new, dtype))
+                warp.regs[lane][dest] = old
+        self._trace(warp, inst, exec_mask, tuple(addresses))
+
+    # -------------------------------------------------------------------- ALU
+
+    def _value(self, warp, lane, op):
+        if isinstance(op, Imm):
+            return op.value
+        if isinstance(op, Reg):
+            return warp.regs[lane].get(op.name, 0)
+        if isinstance(op, SReg):
+            return warp.sregs[lane][op.name]
+        raise EmulationError("unsupported source operand %r" % (op,))
+
+    def _exec_alu(self, warp, inst, exec_mask):
+        self._trace(warp, inst, exec_mask)
+        if not inst.dests:
+            return
+        dest = inst.dests[0].name
+        op = inst.opcode
+        dtype = inst.dtype
+        for lane in _lanes_of(exec_mask):
+            srcs = [self._value(warp, lane, s) for s in inst.srcs]
+            warp.regs[lane][dest] = _evaluate(inst, op, dtype, srcs)
+
+
+# ---------------------------------------------------------------------------
+# scalar semantics
+# ---------------------------------------------------------------------------
+
+
+def _lanes_of(mask):
+    lanes = []
+    lane = 0
+    while mask:
+        if mask & 1:
+            lanes.append(lane)
+        mask >>= 1
+        lane += 1
+    return lanes
+
+
+def _coerce_store(value, dtype):
+    if dtype.is_float:
+        return float(value)
+    pattern = _wrap(int(value), dtype.bits)
+    if dtype.is_signed:
+        # registers hold unsigned bit patterns; reinterpret for packing
+        return _sx(pattern, dtype.bits)
+    return pattern
+
+
+def _atom_result(atom_op, old, operand, operand2, dtype):
+    if atom_op == "add":
+        return old + operand
+    if atom_op == "min":
+        return min(old, operand)
+    if atom_op == "max":
+        return max(old, operand)
+    if atom_op == "exch":
+        return operand
+    if atom_op == "and":
+        return int(old) & int(operand)
+    if atom_op == "or":
+        return int(old) | int(operand)
+    if atom_op == "xor":
+        return int(old) ^ int(operand)
+    if atom_op == "inc":
+        return 0 if old >= operand else old + 1
+    if atom_op == "dec":
+        return operand if (old == 0 or old > operand) else old - 1
+    if atom_op == "cas":
+        return operand2 if old == operand else old
+    raise EmulationError("unsupported atomic %r" % atom_op)
+
+
+def _as_signed_pair(a, b, dtype):
+    bits = dtype.bits
+    return _sx(int(a), bits), _sx(int(b), bits)
+
+
+def _compare(cmp_op, a, b, dtype):
+    if dtype.is_float:
+        fa, fb = float(a), float(b)
+    elif cmp_op.endswith("u") and cmp_op not in ("eq", "ne"):
+        fa, fb = _wrap(int(a), dtype.bits), _wrap(int(b), dtype.bits)
+        cmp_op = cmp_op[:-1]
+    elif dtype.is_signed:
+        fa, fb = _as_signed_pair(a, b, dtype)
+    else:
+        fa, fb = _wrap(int(a), dtype.bits), _wrap(int(b), dtype.bits)
+    if cmp_op == "eq":
+        return fa == fb
+    if cmp_op == "ne":
+        return fa != fb
+    if cmp_op == "lt":
+        return fa < fb
+    if cmp_op == "le":
+        return fa <= fb
+    if cmp_op == "gt":
+        return fa > fb
+    if cmp_op == "ge":
+        return fa >= fb
+    raise EmulationError("unsupported comparison %r" % cmp_op)
+
+
+def _evaluate(inst, op, dtype, srcs):
+    """Compute the result value of one non-memory instruction for one lane."""
+    if op == "mov" or op == "cvta":
+        value = srcs[0]
+        if dtype is not None and dtype.is_float:
+            return float(value)
+        if dtype is not None and dtype.is_integer:
+            return _wrap(int(value), dtype.bits)
+        return value
+
+    if op == "cvt":
+        return _convert(inst, dtype, srcs[0])
+
+    if op == "setp":
+        return _compare(inst.cmp_op, srcs[0], srcs[1], dtype)
+
+    if op == "selp":
+        return srcs[0] if bool(srcs[2]) else srcs[1]
+
+    if dtype is not None and dtype.is_float:
+        return _evaluate_float(op, srcs)
+
+    return _evaluate_int(inst, op, dtype, srcs)
+
+
+def _convert(inst, dest_dtype, value):
+    # source type is the second type suffix the parser stashed in modifiers
+    src_dtype = None
+    for mod in inst.modifiers:
+        try:
+            from ..ptx.isa import dtype_from_name
+            src_dtype = dtype_from_name(mod)
+            break
+        except Exception:
+            continue
+    if src_dtype is not None and src_dtype.is_integer and src_dtype.is_signed:
+        value = _sx(int(value), src_dtype.bits)
+    elif src_dtype is not None and src_dtype.is_integer:
+        value = _wrap(int(value), src_dtype.bits)
+    if dest_dtype.is_float:
+        return float(value)
+    return _wrap(int(value), dest_dtype.bits)
+
+
+def _evaluate_float(op, srcs):
+    a = float(srcs[0]) if srcs else 0.0
+    b = float(srcs[1]) if len(srcs) > 1 else 0.0
+    c = float(srcs[2]) if len(srcs) > 2 else 0.0
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op in ("mad", "fma"):
+        return a * b + c
+    if op == "div":
+        return a / b
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    if op == "abs":
+        return abs(a)
+    if op == "neg":
+        return -a
+    if op == "rcp":
+        return 1.0 / a
+    if op == "sqrt":
+        return math.sqrt(a)
+    if op == "rsqrt":
+        return 1.0 / math.sqrt(a)
+    if op == "sin":
+        return math.sin(a)
+    if op == "cos":
+        return math.cos(a)
+    if op == "ex2":
+        return 2.0 ** a
+    if op == "lg2":
+        return math.log2(a)
+    raise EmulationError("unsupported float op %r" % op)
+
+
+def _evaluate_int(inst, op, dtype, srcs):
+    bits = dtype.bits if dtype is not None else 32
+    signed = dtype.is_signed if dtype is not None else False
+    ints = [int(v) for v in srcs]
+
+    if op == "add":
+        return _wrap(ints[0] + ints[1], bits)
+    if op == "sub":
+        return _wrap(ints[0] - ints[1], bits)
+    if op == "mul":
+        if inst.mul_mode == "wide":
+            a, b = (_as_signed_pair(ints[0], ints[1], dtype)
+                    if signed else (_wrap(ints[0], bits), _wrap(ints[1], bits)))
+            return _wrap(a * b, bits * 2)
+        if inst.mul_mode == "hi":
+            a, b = (_as_signed_pair(ints[0], ints[1], dtype)
+                    if signed else (_wrap(ints[0], bits), _wrap(ints[1], bits)))
+            return _wrap((a * b) >> bits, bits)
+        return _wrap(ints[0] * ints[1], bits)
+    if op == "mad":
+        if inst.mul_mode == "wide":
+            a, b = (_as_signed_pair(ints[0], ints[1], dtype)
+                    if signed else (_wrap(ints[0], bits), _wrap(ints[1], bits)))
+            return _wrap(a * b + ints[2], bits * 2)
+        return _wrap(ints[0] * ints[1] + ints[2], bits)
+    if op == "div":
+        a, b = (_as_signed_pair(ints[0], ints[1], dtype)
+                if signed else (_wrap(ints[0], bits), _wrap(ints[1], bits)))
+        return _wrap(_trunc_div(a, b), bits)
+    if op == "rem":
+        a, b = (_as_signed_pair(ints[0], ints[1], dtype)
+                if signed else (_wrap(ints[0], bits), _wrap(ints[1], bits)))
+        return _wrap(_trunc_rem(a, b), bits)
+    if op == "min":
+        a, b = (_as_signed_pair(ints[0], ints[1], dtype)
+                if signed else (_wrap(ints[0], bits), _wrap(ints[1], bits)))
+        return _wrap(min(a, b), bits)
+    if op == "max":
+        a, b = (_as_signed_pair(ints[0], ints[1], dtype)
+                if signed else (_wrap(ints[0], bits), _wrap(ints[1], bits)))
+        return _wrap(max(a, b), bits)
+    if op == "abs":
+        return _wrap(abs(_sx(ints[0], bits)), bits)
+    if op == "neg":
+        return _wrap(-ints[0], bits)
+    if op == "and":
+        return _wrap(ints[0] & ints[1], bits)
+    if op == "or":
+        return _wrap(ints[0] | ints[1], bits)
+    if op == "xor":
+        return _wrap(ints[0] ^ ints[1], bits)
+    if op == "not":
+        return _wrap(~ints[0], bits)
+    if op == "shl":
+        shift = min(ints[1], bits)
+        return _wrap(ints[0] << shift, bits)
+    if op == "shr":
+        shift = min(ints[1], bits)
+        if signed:
+            return _wrap(_sx(ints[0], bits) >> shift, bits)
+        return _wrap(ints[0], bits) >> shift
+    raise EmulationError("unsupported integer op %r" % op)

@@ -1,0 +1,195 @@
+"""Device-memory model for the functional emulator.
+
+:class:`MemoryImage` plays the role of the GPU's global (and constant)
+address space: workloads allocate named buffers, copy numpy arrays in and
+out (the ``cudaMalloc``/``cudaMemcpy`` equivalents), and the emulator reads
+and writes scalars at absolute byte addresses during kernel execution.
+
+Shared memory is modeled separately by :class:`SharedMemory`, one instance
+per CTA, addressed from offset 0 (matching how PTX shared-space addressing
+works after symbol resolution).
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ptx.isa import DType
+
+#: Base of the global heap: matches the look of real CUDA device pointers
+#: and keeps address 0 invalid (null).
+GLOBAL_BASE = 0x1000_0000
+
+#: Allocation alignment.  256 B mirrors cudaMalloc's guarantee and keeps
+#: buffers aligned to the 128 B blocks the locality analysis uses.
+ALLOC_ALIGN = 256
+
+_STRUCT_FMT = {
+    DType.U8: "<B", DType.S8: "<b",
+    DType.U16: "<H", DType.S16: "<h",
+    DType.U32: "<I", DType.S32: "<i",
+    DType.B32: "<I",
+    DType.U64: "<Q", DType.S64: "<q",
+    DType.B64: "<Q",
+    DType.F32: "<f", DType.F64: "<d",
+}
+
+_NP_DTYPE = {
+    DType.U8: np.uint8, DType.S8: np.int8,
+    DType.U16: np.uint16, DType.S16: np.int16,
+    DType.U32: np.uint32, DType.S32: np.int32, DType.B32: np.uint32,
+    DType.U64: np.uint64, DType.S64: np.int64, DType.B64: np.uint64,
+    DType.F32: np.float32, DType.F64: np.float64,
+}
+
+
+class MemoryError_(Exception):
+    """Access outside any allocation (the emulator's segfault)."""
+
+
+class Allocation:
+    """One contiguous named device buffer."""
+
+    __slots__ = ("name", "base", "size", "data")
+
+    def __init__(self, name, base, size):
+        self.name = name
+        self.base = base
+        self.size = size
+        self.data = bytearray(size)
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+    def __repr__(self):
+        return "Allocation(%r, base=%#x, size=%d)" % (
+            self.name, self.base, self.size)
+
+
+class MemoryImage:
+    """The global device address space: named allocations + typed access."""
+
+    def __init__(self, base=GLOBAL_BASE):
+        self._next = base
+        self._allocs: List[Allocation] = []
+        self._bases: List[int] = []
+        self._by_name: Dict[str, Allocation] = {}
+
+    # -- allocation -------------------------------------------------------
+
+    def alloc(self, name, nbytes):
+        """Allocate ``nbytes``; returns the base address."""
+        if name in self._by_name:
+            raise ValueError("allocation %r already exists" % name)
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        base = (self._next + ALLOC_ALIGN - 1) // ALLOC_ALIGN * ALLOC_ALIGN
+        alloc = Allocation(name, base, nbytes)
+        self._allocs.append(alloc)
+        self._bases.append(base)
+        self._by_name[name] = alloc
+        self._next = base + nbytes
+        return base
+
+    def alloc_array(self, name, array):
+        """Allocate and copy a numpy array in; returns the base address."""
+        array = np.ascontiguousarray(array)
+        base = self.alloc(name, array.nbytes)
+        alloc = self._by_name[name]
+        alloc.data[:] = array.tobytes()
+        return base
+
+    def base_of(self, name):
+        return self._by_name[name].base
+
+    def allocation(self, name):
+        return self._by_name[name]
+
+    def read_array(self, name, np_dtype, count=None):
+        """Copy an allocation out as a numpy array."""
+        alloc = self._by_name[name]
+        arr = np.frombuffer(bytes(alloc.data), dtype=np_dtype)
+        if count is not None:
+            arr = arr[:count]
+        return arr.copy()
+
+    def write_array(self, name, array):
+        """Overwrite an allocation's contents from a numpy array."""
+        alloc = self._by_name[name]
+        raw = np.ascontiguousarray(array).tobytes()
+        if len(raw) > alloc.size:
+            raise ValueError("array larger than allocation %r" % name)
+        alloc.data[:len(raw)] = raw
+
+    # -- scalar access ---------------------------------------------------------
+
+    def _find(self, addr):
+        i = bisect.bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            alloc = self._allocs[i]
+            if alloc.base <= addr < alloc.end:
+                return alloc
+        raise MemoryError_("invalid global access at %#x" % addr)
+
+    def load(self, addr, dtype):
+        """Read one scalar of ``dtype`` at absolute address ``addr``."""
+        alloc = self._find(addr)
+        fmt = _STRUCT_FMT[dtype]
+        off = addr - alloc.base
+        if off + struct.calcsize(fmt) > alloc.size:
+            raise MemoryError_("access at %#x crosses end of %r"
+                               % (addr, alloc.name))
+        return struct.unpack_from(fmt, alloc.data, off)[0]
+
+    def store(self, addr, dtype, value):
+        """Write one scalar of ``dtype`` at absolute address ``addr``."""
+        alloc = self._find(addr)
+        fmt = _STRUCT_FMT[dtype]
+        off = addr - alloc.base
+        if off + struct.calcsize(fmt) > alloc.size:
+            raise MemoryError_("access at %#x crosses end of %r"
+                               % (addr, alloc.name))
+        struct.pack_into(fmt, alloc.data, off, value)
+
+    def valid(self, addr):
+        """True when ``addr`` falls inside some allocation."""
+        try:
+            self._find(addr)
+            return True
+        except MemoryError_:
+            return False
+
+    def allocations(self):
+        return list(self._allocs)
+
+
+class SharedMemory:
+    """Per-CTA shared memory, addressed from offset 0."""
+
+    def __init__(self, size):
+        self.size = max(size, 1)
+        self.data = bytearray(self.size)
+
+    def load(self, addr, dtype):
+        fmt = _STRUCT_FMT[dtype]
+        if addr < 0 or addr + struct.calcsize(fmt) > self.size:
+            raise MemoryError_("invalid shared access at %#x (size %d)"
+                               % (addr, self.size))
+        return struct.unpack_from(fmt, self.data, addr)[0]
+
+    def store(self, addr, dtype, value):
+        fmt = _STRUCT_FMT[dtype]
+        if addr < 0 or addr + struct.calcsize(fmt) > self.size:
+            raise MemoryError_("invalid shared access at %#x (size %d)"
+                               % (addr, self.size))
+        struct.pack_into(fmt, self.data, addr, value)
+
+
+def np_dtype_for(dtype):
+    """The numpy dtype matching a PTX :class:`DType`."""
+    return _NP_DTYPE[dtype]

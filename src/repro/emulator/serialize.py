@@ -1,0 +1,110 @@
+"""Trace (de)serialization: save an application run, replay it later.
+
+Emulation is the expensive step of the pipeline; serializing a
+:class:`WorkloadRun`'s traces lets downstream tooling (or a later
+session) re-run timing experiments without re-executing the kernels —
+the classic trace-driven-simulator workflow GPGPU-Sim users know.
+
+Format: gzip-compressed JSON.  The kernels travel along as printed
+PTX-subset text (the printer/parser roundtrip is classification-
+preserving, see ``tests/ptx/test_printer.py``), so a loaded file is
+fully self-contained: kernels, classifications and traces.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core import ClassificationResult, classify_kernel
+from ..ptx import Module, parse_module, print_module
+from .grid import Dim3, LaunchConfig
+from .trace import ApplicationTrace, KernelLaunchTrace, TraceOp, WarpTrace
+
+FORMAT_VERSION = 1
+
+
+def _encode_op(op):
+    if op.addresses is None:
+        return [op.pc, op.active_mask]
+    flat = []
+    for lane, addr in op.addresses:
+        flat.append(lane)
+        flat.append(addr)
+    return [op.pc, op.active_mask, flat]
+
+
+def _encode_launch(launch):
+    return {
+        "kernel": launch.kernel_name,
+        "grid": list(launch.config.grid),
+        "block": list(launch.config.block),
+        "shared_size": launch.shared_size,
+        "warps": [
+            {"cta": warp.cta_id, "warp": warp.warp_id,
+             "ops": [_encode_op(op) for op in warp.ops]}
+            for warp in launch.warps
+        ],
+    }
+
+
+def save_run(run, path):
+    """Serialize a :class:`WorkloadRun`'s kernels and traces to ``path``."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "name": run.trace.name,
+        "ptx": print_module(run.module),
+        "launches": [_encode_launch(l) for l in run.trace],
+    }
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return path
+
+
+@dataclass
+class LoadedRun:
+    """A deserialized run: kernels, classifications and traces."""
+
+    name: str
+    module: Module
+    trace: ApplicationTrace
+    classifications: Dict[str, ClassificationResult]
+
+
+def load_run(path):
+    """Load a file written by :func:`save_run`."""
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError("unsupported trace-file version: %r"
+                         % payload.get("version"))
+    module = parse_module(payload["ptx"])
+    classifications = {k.name: classify_kernel(k) for k in module}
+    app = ApplicationTrace(name=payload["name"])
+    for launch_data in payload["launches"]:
+        kernel = module[launch_data["kernel"]]
+        config = LaunchConfig(grid=Dim3(*launch_data["grid"]),
+                              block=Dim3(*launch_data["block"]))
+        launch = KernelLaunchTrace(
+            kernel_name=kernel.name, config=config,
+            shared_size=launch_data["shared_size"])
+        for warp_data in launch_data["warps"]:
+            warp = WarpTrace(cta_id=warp_data["cta"],
+                             warp_id=warp_data["warp"])
+            for encoded in warp_data["ops"]:
+                pc, mask = encoded[0], encoded[1]
+                inst = kernel.instruction_at(pc)
+                if len(encoded) > 2:
+                    flat = encoded[2]
+                    addresses = tuple(
+                        (flat[i], flat[i + 1])
+                        for i in range(0, len(flat), 2))
+                else:
+                    addresses = None
+                warp.ops.append(TraceOp(inst, mask, addresses))
+            launch.warps.append(warp)
+        app.add(launch)
+    return LoadedRun(name=payload["name"], module=module,
+                     trace=app, classifications=classifications)

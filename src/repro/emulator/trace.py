@@ -1,0 +1,178 @@
+"""Warp-level execution traces produced by the functional emulator.
+
+A trace records, per warp, every executed instruction with its active mask
+and (for memory operations) the per-lane effective addresses.  Traces are
+the interface between the functional emulator and both:
+
+* the timing simulator (:mod:`repro.sim`), which replays them through the
+  modeled memory hierarchy, and
+* the trace-level locality analyses (:mod:`repro.profiling.locality`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..ptx.isa import Instruction, Space
+from .grid import WARP_SIZE, LaunchConfig
+
+
+class TraceOp:
+    """One dynamic warp instruction.
+
+    ``addresses`` is ``None`` for non-memory instructions; for memory
+    instructions it is a tuple of ``(lane, byte_address)`` pairs covering
+    the lanes that actually issued an access.
+    """
+
+    __slots__ = ("inst", "active_mask", "addresses")
+
+    def __init__(self, inst, active_mask, addresses=None):
+        self.inst: Instruction = inst
+        self.active_mask: int = active_mask
+        self.addresses: Optional[Tuple[Tuple[int, int], ...]] = addresses
+
+    @property
+    def pc(self):
+        return self.inst.pc
+
+    @property
+    def active_count(self):
+        return bin(self.active_mask).count("1")
+
+    @property
+    def is_memory(self):
+        return self.addresses is not None
+
+    def __repr__(self):
+        return "TraceOp(%#x %s mask=%#010x%s)" % (
+            self.inst.pc, self.inst.mnemonic(), self.active_mask,
+            " %d addrs" % len(self.addresses) if self.addresses else "")
+
+
+@dataclass
+class WarpTrace:
+    """All ops executed by one warp of one CTA."""
+
+    cta_id: int           # linearized CTA id
+    warp_id: int          # warp index within the CTA
+    ops: List[TraceOp] = field(default_factory=list)
+
+    @property
+    def global_warp_key(self):
+        return (self.cta_id, self.warp_id)
+
+    def __len__(self):
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+
+@dataclass
+class KernelLaunchTrace:
+    """The complete trace of one kernel launch."""
+
+    kernel_name: str
+    config: LaunchConfig
+    warps: List[WarpTrace] = field(default_factory=list)
+    #: bytes of static shared memory per CTA (limits SM occupancy).
+    shared_size: int = 0
+
+    # -- aggregate statistics (Table I columns) -------------------------------
+
+    def total_warp_instructions(self):
+        return sum(len(w) for w in self.warps)
+
+    def total_thread_instructions(self):
+        """Thread-level dynamic instruction count (sums active lanes)."""
+        return sum(op.active_count for w in self.warps for op in w.ops)
+
+    def count_ops(self, predicate):
+        return sum(1 for w in self.warps for op in w.ops
+                   if predicate(op))
+
+    def global_load_warp_count(self):
+        """Number of executed global-load warp instructions."""
+        return self.count_ops(lambda op: op.inst.is_global_load)
+
+    def shared_load_warp_count(self):
+        return self.count_ops(lambda op: op.inst.is_shared_load)
+
+    def dynamic_counts_by_pc(self, only_global_loads=True):
+        """``{pc: executed warp count}`` — the weights for Figure 1."""
+        counts: Dict[int, int] = {}
+        for warp in self.warps:
+            for op in warp.ops:
+                if only_global_loads and not op.inst.is_global_load:
+                    continue
+                counts[op.pc] = counts.get(op.pc, 0) + 1
+        return counts
+
+    def iter_memory_ops(self, space=None, loads_only=False):
+        """Yields ``(warp_trace, op)`` for memory operations."""
+        for warp in self.warps:
+            for op in warp.ops:
+                if op.addresses is None:
+                    continue
+                if loads_only and not op.inst.is_load:
+                    continue
+                if space is not None and op.inst.space is not space:
+                    continue
+                yield warp, op
+
+    def __iter__(self):
+        return iter(self.warps)
+
+
+@dataclass
+class ApplicationTrace:
+    """Every launch an application performed, in order.
+
+    GPU applications often launch the same kernel repeatedly (BFS iterates
+    until the frontier is empty); the per-launch traces are concatenated
+    for whole-application statistics.
+    """
+
+    name: str
+    launches: List[KernelLaunchTrace] = field(default_factory=list)
+
+    def add(self, launch_trace):
+        self.launches.append(launch_trace)
+        return launch_trace
+
+    def total_warp_instructions(self):
+        return sum(l.total_warp_instructions() for l in self.launches)
+
+    def count_ops(self, predicate):
+        return sum(l.count_ops(predicate) for l in self.launches)
+
+    def global_load_warp_count(self):
+        return sum(l.global_load_warp_count() for l in self.launches)
+
+    def shared_load_warp_count(self):
+        return sum(l.shared_load_warp_count() for l in self.launches)
+
+    def dynamic_counts_by_pc(self, kernel_name):
+        """Summed per-PC global-load counts for one kernel across launches."""
+        counts: Dict[int, int] = {}
+        for launch in self.launches:
+            if launch.kernel_name != kernel_name:
+                continue
+            for pc, n in launch.dynamic_counts_by_pc().items():
+                counts[pc] = counts.get(pc, 0) + n
+        return counts
+
+    def kernel_names(self):
+        seen = []
+        for launch in self.launches:
+            if launch.kernel_name not in seen:
+                seen.append(launch.kernel_name)
+        return seen
+
+    def __iter__(self):
+        return iter(self.launches)
+
+    def __len__(self):
+        return len(self.launches)

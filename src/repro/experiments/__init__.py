@@ -1,0 +1,52 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .figures import (
+    fig1_data,
+    fig2_data,
+    fig3_data,
+    fig4_data,
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig8_data,
+    fig9_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+)
+from .export import export_json, export_results
+from .render import format_bar, format_stacked, format_table
+from .runner import (
+    BENCH_CONFIG,
+    BENCH_SCALE,
+    AppResult,
+    ExperimentRunner,
+    default_runner,
+)
+from .tables import render_table1, render_table3, table1_rows, table3_rows
+
+__all__ = [
+    "fig1_data", "fig2_data", "fig3_data", "fig4_data", "fig5_data",
+    "fig6_data", "fig7_data", "fig8_data", "fig9_data", "fig10_data",
+    "fig11_data", "fig12_data",
+    "render_fig1", "render_fig2", "render_fig3", "render_fig4",
+    "render_fig5", "render_fig6", "render_fig7", "render_fig8",
+    "render_fig9", "render_fig10", "render_fig11", "render_fig12",
+    "export_json", "export_results",
+    "format_bar", "format_stacked", "format_table",
+    "BENCH_CONFIG", "BENCH_SCALE", "AppResult", "ExperimentRunner",
+    "default_runner",
+    "render_table1", "render_table3", "table1_rows", "table3_rows",
+]

@@ -1,0 +1,89 @@
+"""JSON export of every experiment's data.
+
+``export_results`` converts a set of :class:`AppResult` objects into one
+JSON-serializable dictionary holding the data behind every table and
+figure, so downstream tooling (plotting scripts, regression trackers)
+can consume the reproduction without importing the library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..profiling.irregularity import measure_irregularity
+from . import figures
+from .tables import table1_rows, table3_rows
+
+
+def _breakdown_dict(breakdown):
+    return {
+        "completed": breakdown.completed,
+        "unloaded": breakdown.unloaded,
+        "rsrv_prev_warps": breakdown.rsrv_prev_warps,
+        "rsrv_current_warp": breakdown.rsrv_current_warp,
+        "wasted_memory": breakdown.wasted_memory,
+        "total": breakdown.total,
+    }
+
+
+def export_results(results):
+    """Build the full data dictionary for a list of :class:`AppResult`."""
+    fig5 = figures.fig5_data(results)
+    out = {
+        "apps": [r.name for r in results],
+        "table1": table1_rows(results),
+        "table3": table3_rows(results),
+        "fig1_class_split": {
+            name: {"deterministic": d, "nondeterministic": n}
+            for name, (d, n) in figures.fig1_data(results).items()},
+        "fig2_requests": figures.fig2_data(results),
+        "fig3_l1_cycles": figures.fig3_data(results),
+        "fig4_unit_idle": figures.fig4_data(results),
+        "fig5_turnaround": {
+            name: {label: _breakdown_dict(b)
+                   for label, b in per_class.items()}
+            for name, per_class in fig5.items()},
+        "fig8_miss_ratios": figures.fig8_data(results),
+        "fig9_shared_per_global": figures.fig9_data(results),
+        "fig10_cold_miss": {
+            name: {"cold_miss_ratio": cold, "accesses_per_block": acc}
+            for name, (cold, acc) in figures.fig10_data(results).items()},
+        "fig11_sharing": {
+            name: {"shared_block_ratio": b, "shared_access_ratio": a,
+                   "mean_ctas": c}
+            for name, (b, a, c) in figures.fig11_data(results).items()},
+        "fig12_cta_distance": {
+            name: {str(d): f for d, f in fractions.items()}
+            for name, fractions in figures.fig12_data(results).items()},
+        "irregularity": {},
+        "simulation": {},
+    }
+    for result in results:
+        irr = measure_irregularity(result.trace)
+        out["irregularity"][result.name] = {
+            "control_flow": irr.control_flow_irregularity,
+            "memory_access": irr.memory_access_irregularity,
+            "mean_active_lanes": irr.mean_active_lanes,
+        }
+        if result.stats is not None:
+            out["simulation"][result.name] = {
+                "cycles": result.stats.cycles,
+                "issued_warp_insts": result.stats.issued_warp_insts,
+                "reservation_fail_fraction":
+                    result.stats.reservation_fail_fraction(),
+                "dram_reads": result.stats.dram_reads,
+                "dram_writes": result.stats.dram_writes,
+            }
+    return out
+
+
+def export_json(results, path=None, indent=2):
+    """Serialize :func:`export_results` to a JSON string (and optionally
+    write it to ``path``)."""
+    data = export_results(results)
+    text = json.dumps(data, indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+    return text

@@ -1,0 +1,324 @@
+"""Per-figure computations for the paper's evaluation (Figures 1-12).
+
+Each ``figN_data`` function turns :class:`AppResult` objects into plain
+dicts/lists that benchmarks print and tests assert on; each
+``render_figN`` formats them as an ASCII table shaped like the paper's
+plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..profiling.counters import shared_per_global_ratio
+from ..profiling.turnaround import (
+    busiest_load_pcs,
+    class_breakdown,
+    pc_turnaround_series,
+)
+from ..sim.cache import Outcome
+from .render import format_table
+
+# ---------------------------------------------------------------------------
+# Figure 1: deterministic / non-deterministic load distribution
+# ---------------------------------------------------------------------------
+
+
+def fig1_data(results):
+    """{app: (det_fraction, nondet_fraction)} over dynamic global loads."""
+    out = {}
+    for result in results:
+        det, nondet = result.run.dynamic_class_split()
+        total = det + nondet
+        if total == 0:
+            out[result.name] = (1.0, 0.0)
+        else:
+            out[result.name] = (det / total, nondet / total)
+    return out
+
+
+def render_fig1(results):
+    data = fig1_data(results)
+    return format_table(
+        ["app", "deterministic", "non-deterministic"],
+        [[r.name, data[r.name][0], data[r.name][1]] for r in results],
+        title="Figure 1: dynamic global-load class distribution")
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: memory requests per warp / per active thread
+# ---------------------------------------------------------------------------
+
+
+def fig2_data(results):
+    """{app: {class: (reqs_per_warp, reqs_per_active_thread)}}."""
+    out = {}
+    for result in results:
+        per_class = {}
+        for label in ("N", "D"):
+            cls = result.stats.classes[label]
+            per_class[label] = (cls.requests_per_warp(),
+                                cls.requests_per_active_thread())
+        out[result.name] = per_class
+    return out
+
+
+def render_fig2(results):
+    data = fig2_data(results)
+    rows = []
+    for r in results:
+        n = data[r.name]["N"]
+        d = data[r.name]["D"]
+        rows.append([r.name, n[0], n[1], d[0], d[1]])
+    return format_table(
+        ["app", "N req/warp", "N req/thread", "D req/warp", "D req/thread"],
+        rows, title="Figure 2: memory requests per warp and active thread")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: L1 cache-cycle breakdown
+# ---------------------------------------------------------------------------
+
+_FIG3_ORDER = [Outcome.HIT, Outcome.HIT_RESERVED, Outcome.MISS,
+               Outcome.RSRV_FAIL_TAGS, Outcome.RSRV_FAIL_MSHR,
+               Outcome.RSRV_FAIL_ICNT]
+
+
+def fig3_data(results):
+    """{app: {outcome_name: fraction of L1 cache cycles}}."""
+    out = {}
+    for result in results:
+        fractions = result.stats.l1_cycle_fractions()
+        out[result.name] = {o.value: fractions[o] for o in _FIG3_ORDER}
+    return out
+
+
+def render_fig3(results):
+    data = fig3_data(results)
+    rows = [[r.name] + [data[r.name][o.value] for o in _FIG3_ORDER]
+            for r in results]
+    return format_table(["app"] + [o.value for o in _FIG3_ORDER], rows,
+                        title="Figure 3: breakdown of L1 data-cache cycles")
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: functional-unit idle fractions
+# ---------------------------------------------------------------------------
+
+
+def fig4_data(results):
+    """{app: {unit: idle fraction}}."""
+    return {r.name: r.stats.unit_idle_fractions() for r in results}
+
+
+def render_fig4(results):
+    data = fig4_data(results)
+    rows = [[r.name, data[r.name]["sp"], data[r.name]["sfu"],
+             data[r.name]["ldst"]] for r in results]
+    return format_table(["app", "SP idle", "SFU idle", "LD/ST idle"], rows,
+                        title="Figure 4: fraction of idle unit cycles")
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: turnaround-time breakdown per class
+# ---------------------------------------------------------------------------
+
+
+def fig5_data(results):
+    """{app: {class: TurnaroundBreakdown}}."""
+    out = {}
+    for result in results:
+        out[result.name] = {
+            label: class_breakdown(result.stats, result.config, label)
+            for label in ("N", "D")}
+    return out
+
+
+def render_fig5(results):
+    data = fig5_data(results)
+    rows = []
+    for r in results:
+        for label in ("N", "D"):
+            b = data[r.name][label]
+            rows.append([r.name, label, b.completed, b.unloaded,
+                         b.rsrv_prev_warps, b.rsrv_current_warp,
+                         b.wasted_memory, b.total])
+    return format_table(
+        ["app", "cls", "warps", "unloaded", "rsrv prev", "rsrv cur",
+         "wasted mem", "total"],
+        rows, title="Figure 5: mean global-load turnaround breakdown "
+                    "(cycles)", floatfmt="%.1f")
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 & 7: per-PC turnaround vs. request count
+# ---------------------------------------------------------------------------
+
+
+def classified_pcs(result, kernel_name, load_class):
+    """Load PCs of one kernel belonging to one class."""
+    classification = result.run.classifications.get(kernel_name)
+    if classification is None:
+        return []
+    return [l.pc for l in classification
+            if str(l.load_class) == load_class]
+
+
+def fig6_data(result, max_pcs=2):
+    """Per-PC turnaround series for one app: ``{(kernel, pc, class):
+    [RequestCountPoint]}`` for its busiest D and N loads."""
+    out = {}
+    for kernel_name in result.run.trace.kernel_names():
+        busy = busiest_load_pcs(result.stats, kernel_name, limit=16)
+        for label in ("N", "D"):
+            pcs = [pc for pc in busy
+                   if pc in classified_pcs(result, kernel_name, label)]
+            for pc in pcs[:max_pcs]:
+                series = pc_turnaround_series(
+                    result.stats, kernel_name, pc, result.config)
+                if series:
+                    out[(kernel_name, pc, label)] = series
+    return out
+
+
+def render_fig6(results):
+    rows = []
+    for result in results:
+        for (kernel, pc, label), series in sorted(fig6_data(result).items()):
+            for point in series:
+                rows.append(["%s(%#x:%s)" % (result.name, pc, label),
+                             point.n_requests, point.count,
+                             point.mean_turnaround])
+    return format_table(
+        ["load", "#requests", "samples", "mean turnaround"],
+        rows, title="Figure 6: turnaround time vs. generated requests",
+        floatfmt="%.1f")
+
+
+def fig7_data(result, kernel_name=None, pc=None):
+    """Gap breakdown vs. request count for one non-deterministic load
+    (defaults to the app's busiest N load)."""
+    if kernel_name is None or pc is None:
+        candidates = fig6_data(result)
+        n_loads = {k: v for k, v in candidates.items() if k[2] == "N"}
+        if not n_loads:
+            return None, []
+        key = max(n_loads,
+                  key=lambda k: sum(p.count for p in n_loads[k]))
+        kernel_name, pc, _label = key
+    series = pc_turnaround_series(result.stats, kernel_name, pc,
+                                  result.config)
+    return (kernel_name, pc), series
+
+
+def render_fig7(result):
+    key, series = fig7_data(result)
+    if not series:
+        return "Figure 7: no non-deterministic loads in %s" % result.name
+    rows = [[p.n_requests, p.count, p.common_latency, p.gap_l1d,
+             p.gap_icnt_l2, p.gap_l2_icnt] for p in series]
+    return format_table(
+        ["#requests", "samples", "common", "gap L1D", "gap icnt-L2",
+         "gap L2-icnt"],
+        rows,
+        title="Figure 7: turnaround breakdown for %s load PC %#x"
+              % (key[0], key[1]),
+        floatfmt="%.1f")
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: L1 / L2 miss ratios per class
+# ---------------------------------------------------------------------------
+
+
+def fig8_data(results):
+    """{app: {class: (l1_miss_ratio, l2_miss_ratio)}}."""
+    out = {}
+    for result in results:
+        out[result.name] = {
+            label: (result.stats.classes[label].l1_miss_ratio(),
+                    result.stats.classes[label].l2_miss_ratio())
+            for label in ("N", "D")}
+    return out
+
+
+def render_fig8(results):
+    data = fig8_data(results)
+    rows = []
+    for r in results:
+        n, d = data[r.name]["N"], data[r.name]["D"]
+        rows.append([r.name, n[0], n[1], d[0], d[1]])
+    return format_table(
+        ["app", "N L1 miss", "N L2 miss", "D L1 miss", "D L2 miss"],
+        rows, title="Figure 8: cache miss ratios per load class")
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: shared loads per global load
+# ---------------------------------------------------------------------------
+
+
+def fig9_data(results):
+    return {r.name: shared_per_global_ratio(r.run) for r in results}
+
+
+def render_fig9(results):
+    data = fig9_data(results)
+    return format_table(
+        ["app", "shared loads / global load"],
+        [[r.name, data[r.name]] for r in results],
+        title="Figure 9: shared-memory load intensity")
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-12: locality
+# ---------------------------------------------------------------------------
+
+
+def fig10_data(results):
+    """{app: (cold_miss_ratio, mean_accesses_per_block)}."""
+    return {r.name: (r.locality.cold_miss_ratio,
+                     r.locality.mean_accesses_per_block) for r in results}
+
+
+def render_fig10(results):
+    data = fig10_data(results)
+    return format_table(
+        ["app", "cold miss ratio", "accesses / 128B block"],
+        [[r.name, data[r.name][0], data[r.name][1]] for r in results],
+        title="Figure 10: cold misses and block reuse")
+
+
+def fig11_data(results):
+    """{app: (shared_block_ratio, shared_access_ratio, mean_ctas)}."""
+    return {r.name: (r.locality.shared_block_ratio,
+                     r.locality.shared_access_ratio,
+                     r.locality.mean_ctas_per_shared_block)
+            for r in results}
+
+
+def render_fig11(results):
+    data = fig11_data(results)
+    return format_table(
+        ["app", "multi-CTA blocks", "multi-CTA accesses", "mean #CTAs"],
+        [[r.name, data[r.name][0], data[r.name][1], data[r.name][2]]
+         for r in results],
+        title="Figure 11: data blocks shared across CTAs")
+
+
+def fig12_data(results, max_distance=64):
+    """{app: {cta_distance: fraction of shared accesses}}."""
+    return {r.name: r.locality.distance_fractions(max_distance=max_distance)
+            for r in results}
+
+
+def render_fig12(results, top=6):
+    rows = []
+    for r in results:
+        fractions = r.locality.distance_fractions()
+        ranked = sorted(fractions.items(), key=lambda kv: -kv[1])[:top]
+        cells = ", ".join("d=%d:%.2f" % (d, f) for d, f in ranked)
+        rows.append([r.name, r.category, cells or "-"])
+    return format_table(
+        ["app", "cat", "top CTA distances (fraction of shared accesses)"],
+        rows, title="Figure 12: CTA-distance distribution of shared blocks")

@@ -1,0 +1,71 @@
+"""Reference numbers from the paper, used for paper-vs-measured reports.
+
+Values quoted in the paper's text are exact; values only shown in figures
+are approximate visual readings and are marked as such in EXPERIMENTS.md.
+"""
+
+#: Table I: application order and categories.
+PAPER_APPS = {
+    "2mm": "linear", "gaus": "linear", "grm": "linear", "lu": "linear",
+    "spmv": "linear",
+    "htw": "image", "mriq": "image", "dwt": "image", "bpr": "image",
+    "srad": "image",
+    "bfs": "graph", "sssp": "graph", "ccl": "graph", "mst": "graph",
+    "mis": "graph",
+}
+
+#: Table I: fraction of executed instructions that are global loads.
+PAPER_GLOBAL_LOAD_FRACTION = {
+    "2mm": 0.1810, "gaus": 0.0304, "grm": 0.2475, "lu": 0.0665,
+    "spmv": 0.1173,
+    "htw": 0.0856, "mriq": 0.0003, "dwt": 0.0241, "bpr": 0.0371,
+    "srad": 0.0357,
+    "bfs": 0.0117, "sssp": 0.0566, "ccl": 0.0578, "mst": 0.0119,
+    "mis": 0.0019,
+}
+
+#: Section IV: average global-load fraction overall and per category.
+PAPER_AVG_GLOBAL_LOAD_FRACTION = 0.0643
+PAPER_CATEGORY_GLOBAL_LOAD_FRACTION = {
+    "linear": 0.1285, "image": 0.0366, "graph": 0.0280}
+
+#: Figure 1 (visual reading): fraction of dynamic global loads that are
+#: deterministic.  Linear/image apps are ~1.0 except spmv; graph apps mix.
+PAPER_DETERMINISTIC_FRACTION = {
+    "2mm": 1.00, "gaus": 1.00, "grm": 1.00, "lu": 1.00, "spmv": 0.70,
+    "htw": 1.00, "mriq": 1.00, "dwt": 1.00, "bpr": 1.00, "srad": 1.00,
+    "bfs": 0.55, "sssp": 0.55, "ccl": 0.45, "mst": 0.60, "mis": 0.55,
+}
+
+#: Section VI (text): bfs generates ~0.8 requests per active thread per
+#: non-deterministic load; spmv ~6 requests per warp for N loads.
+PAPER_BFS_N_REQS_PER_ACTIVE_THREAD = 0.8
+PAPER_SPMV_N_REQS_PER_WARP = 6.0
+
+#: Figure 3 (text): ~70% of L1 cache cycles wasted on reservation fails,
+#: mostly by tags.
+PAPER_L1_RESERVATION_FAIL_FRACTION = 0.70
+
+#: Figure 4 (text): mean busy fractions of the unit first pipeline stages.
+PAPER_UNIT_BUSY = {"sp": 0.093, "sfu": 0.115, "ldst": 0.544}
+
+#: Figure 8 (text): miss ratios of both classes exceed 50% in most cases.
+PAPER_MISS_RATIO_FLOOR = 0.50
+
+#: Figure 9 (text): image apps issue ~2.5 shared loads per global load.
+PAPER_IMAGE_SHARED_PER_GLOBAL = 2.5
+
+#: Figure 10 (text): cold-miss ratio 16% on average, 38.8% for image apps;
+#: graph apps average 18.1 accesses per 128 B block.
+PAPER_COLD_MISS_AVG = 0.16
+PAPER_COLD_MISS_IMAGE = 0.388
+PAPER_GRAPH_ACCESSES_PER_BLOCK = 18.1
+
+#: Figure 11 (text): 28.7% of blocks touched by multiple CTAs; 50.9% of
+#: accesses go to such blocks.
+PAPER_SHARED_BLOCK_RATIO = 0.287
+PAPER_SHARED_ACCESS_RATIO = 0.509
+
+#: Figure 12 (text): sharing concentrates at small CTA distances
+#: (distance 1 most likely; 2mm at 1 and 32; lu at 1 and 64).
+PAPER_TOP_CTA_DISTANCE = 1

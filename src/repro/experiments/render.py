@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's figures are bar charts and line plots; the harness prints
+the same data as aligned ASCII tables (one row per application or per
+x-position) so the shape is inspectable from a terminal and diffable in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers, rows, title=None, floatfmt="%.3f"):
+    """Render an aligned ASCII table.
+
+    ``rows`` holds sequences whose items are strings or numbers; floats
+    are formatted with ``floatfmt``.
+    """
+    def fmt(value):
+        if isinstance(value, float):
+            return floatfmt % value
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_bar(fraction, width=40, fill="#"):
+    """A one-line horizontal bar for a [0, 1] fraction."""
+    fraction = max(0.0, min(1.0, fraction))
+    n = int(round(fraction * width))
+    return fill * n + "." * (width - n)
+
+
+def format_stacked(parts, total=None, width=40, symbols="#=+~o*"):
+    """A stacked horizontal bar: ``parts`` is ``[(label, value), ...]``.
+
+    Returns ``(bar, legend)``; each part gets its own fill symbol.
+    """
+    values = [max(0.0, float(v)) for _l, v in parts]
+    total = total if total else sum(values)
+    if total <= 0:
+        return "." * width, ""
+    bar = []
+    for i, value in enumerate(values):
+        n = int(round(width * value / total))
+        bar.append(symbols[i % len(symbols)] * n)
+    text = "".join(bar)[:width].ljust(width, ".")
+    legend = "  ".join("%s=%s" % (symbols[i % len(symbols)], label)
+                       for i, (label, _v) in enumerate(parts))
+    return text, legend

@@ -1,0 +1,66 @@
+"""Table I and Table III reproduction."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..profiling.counters import COUNTER_DESCRIPTIONS, collect_counters
+from .render import format_table
+
+
+def table1_rows(results):
+    """Table I: application characteristics, one dict per app."""
+    rows = []
+    for result in results:
+        trace = result.trace
+        launches = list(trace)
+        num_ctas = sum(l.config.num_ctas for l in launches)
+        threads_per_cta = launches[0].config.threads_per_cta if launches else 0
+        total = trace.total_warp_instructions()
+        gld = trace.global_load_warp_count()
+        rows.append({
+            "name": result.name,
+            "category": result.category,
+            "data_set": result.run.workload.data_set,
+            "description": result.run.workload.description,
+            "num_ctas": num_ctas,
+            "threads_per_cta": threads_per_cta,
+            "total_insts": total,
+            "global_loads": gld,
+            "global_load_fraction": gld / total if total else 0.0,
+        })
+    return rows
+
+
+def render_table1(results):
+    rows = table1_rows(results)
+    return format_table(
+        ["app", "cat", "data set", "#CTAs", "thr/CTA", "warp insts",
+         "global lds", "fraction"],
+        [[r["name"], r["category"], r["data_set"][:28], r["num_ctas"],
+          r["threads_per_cta"], r["total_insts"], r["global_loads"],
+          "%.2f%%" % (100 * r["global_load_fraction"])] for r in rows],
+        title="Table I: application characteristics")
+
+
+def table3_rows(results):
+    """Table III-style profiler counters per application."""
+    rows = []
+    for result in results:
+        counters = collect_counters(result.run, result.stats)
+        counters["name"] = result.name
+        rows.append(counters)
+    return rows
+
+
+def render_table3(results):
+    rows = table3_rows(results)
+    names = ["gld_request", "shared_load", "l1_global_load_hit",
+             "l1_global_load_miss", "l2_subp0_read_hit_sectors",
+             "l2_subp1_read_hit_sectors", "l2_subp0_read_sector_queries",
+             "l2_subp1_read_sector_queries"]
+    return format_table(
+        ["app"] + [n.replace("_read_", "_rd_") for n in names],
+        [[r["name"]] + [("-" if r[n] is None else r[n]) for n in names]
+         for r in rows],
+        title="Table III: CUDA-profiler-style counters")

@@ -1,0 +1,37 @@
+"""Section X's suggested microarchitectural optimizations as runnable
+ablations: clustered CTA scheduling, sub-warp splitting of
+non-deterministic loads, and semi-global L2 caches."""
+
+from .coalesce_oracle import (
+    CoalesceOutcome,
+    coalesced_launch,
+    compare_perfect_coalescing,
+)
+from .cta_clustered import PolicyOutcome, compare_cta_policies, run_policy
+from .semi_global_l2 import (
+    L2Outcome,
+    SemiGlobalL2GPU,
+    compare_l2_organizations,
+)
+from .warp_split import (
+    SplitOutcome,
+    compare_warp_splitting,
+    split_launch,
+    split_op,
+)
+
+__all__ = [
+    "CoalesceOutcome",
+    "coalesced_launch",
+    "compare_perfect_coalescing",
+    "PolicyOutcome",
+    "compare_cta_policies",
+    "run_policy",
+    "L2Outcome",
+    "SemiGlobalL2GPU",
+    "compare_l2_organizations",
+    "SplitOutcome",
+    "compare_warp_splitting",
+    "split_launch",
+    "split_op",
+]

@@ -1,0 +1,61 @@
+"""Section X.B ablation: clustered vs. round-robin CTA scheduling.
+
+"It would be better to assign neighbouring two CTAs to the same SM
+(i.e. CTA0 and CTA1 to SM0, CTA2 and CTA3 to SM1, ...) for better data
+locality in L1 cache."  This module runs the same application trace
+under both policies and reports the L1 behaviour delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.config import GPUConfig
+from ..sim.gpu import GPU
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Headline metrics of one policy run."""
+
+    policy: str
+    cycles: int
+    l1_miss_ratio: float
+    l1_hits: int
+    l1_misses: int
+    reservation_fail_fraction: float
+
+    @staticmethod
+    def from_stats(policy, stats):
+        hits = sum(c.l1_hit + c.l1_hit_reserved
+                   for c in stats.classes.values())
+        misses = sum(c.l1_miss for c in stats.classes.values())
+        total = hits + misses
+        return PolicyOutcome(
+            policy=policy,
+            cycles=stats.cycles,
+            l1_miss_ratio=misses / total if total else 0.0,
+            l1_hits=hits,
+            l1_misses=misses,
+            reservation_fail_fraction=stats.reservation_fail_fraction(),
+        )
+
+
+def run_policy(run, config, policy, cluster=2):
+    """Simulate one application run under a CTA scheduling policy."""
+    gpu = GPU(config, cta_policy=policy)
+    for launch in run.trace:
+        gpu.run_launch(launch, run.classifications.get(launch.kernel_name))
+    return PolicyOutcome.from_stats(policy, gpu.stats)
+
+
+def compare_cta_policies(run, config):
+    """Run round-robin and clustered scheduling on the same trace.
+
+    Returns ``{policy_name: PolicyOutcome}``.
+    """
+    return {
+        "round_robin": run_policy(run, config, "round_robin"),
+        "clustered": run_policy(run, config, "clustered"),
+    }

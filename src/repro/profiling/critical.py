@@ -1,0 +1,126 @@
+"""Critical-load identification — the "critical loads" of the title.
+
+The paper's analysis implies a ranking: a handful of static load
+instructions (mostly non-deterministic ones) account for most of the
+memory-system stall time.  This module makes that ranking explicit by
+attributing to every static global-load PC the total *stall cycles* its
+dynamic executions injected:
+
+    stall(load) = sum over executions of (turnaround - l1_hit_latency)
+
+i.e. every cycle a dependent instruction had to wait beyond what a
+first-level cache hit would cost — misses, reservation-fail waits,
+queueing, imbalanced partition service — is charged to the load that
+suffered it.  Loads are then ranked by their share of the application's
+total stall cycles; the head of the list is what a hardware mechanism
+(prefetching, sub-warp splitting, bypassing) should target, which is
+exactly the instruction-specific specialization the paper argues for in
+Section X.A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class CriticalLoad:
+    """One static load's contribution to memory stall time."""
+
+    kernel: str
+    pc: int
+    load_class: Optional[str]
+    executions: int
+    total_requests: int
+    mean_turnaround: float
+    total_stall_cycles: float
+    stall_share: float          # of the application's total stall cycles
+
+    def __str__(self):
+        cls = self.load_class or "?"
+        return ("[%s] %s:%#06x  x%-6d  %.1f cyc avg, %.0f stall cycles "
+                "(%.1f%% of app stalls)"
+                % (cls, self.kernel, self.pc, self.executions,
+                   self.mean_turnaround, self.total_stall_cycles,
+                   100 * self.stall_share))
+
+
+def rank_critical_loads(stats, config, classifications=None, top=None):
+    """Rank every profiled load PC by total stall-cycle contribution.
+
+    Parameters
+    ----------
+    stats:
+        :class:`SimStats` from a timing simulation.
+    config:
+        The :class:`GPUConfig` used (its zero-contention latency defines
+        the stall baseline).
+    classifications:
+        Optional ``{kernel_name: ClassificationResult}`` to label each PC
+        with its D/N class.
+    top:
+        Return only the ``top`` worst loads (default: all).
+
+    Returns a list of :class:`CriticalLoad`, worst first.
+    """
+    per_pc: Dict[Tuple[str, int], List[float]] = {}
+    # aggregate the (kernel, pc, n_requests) buckets per (kernel, pc)
+    for (kernel, pc, _n_requests), bucket in stats.pc_buckets.items():
+        entry = per_pc.setdefault((kernel, pc), [0, 0, 0.0, 0.0])
+        entry[0] += bucket.count
+        entry[1] += bucket.count * _n_requests
+        entry[2] += bucket.turnaround_sum
+
+    baseline = config.l1_hit_latency
+    records = []
+    total_stalls = 0.0
+    for (kernel, pc), (count, requests, turnaround_sum, _) in per_pc.items():
+        stall = max(0.0, turnaround_sum - baseline * count)
+        total_stalls += stall
+        records.append((kernel, pc, count, requests, turnaround_sum, stall))
+
+    loads = []
+    for kernel, pc, count, requests, turnaround_sum, stall in records:
+        load_class = None
+        if classifications is not None:
+            result = classifications.get(kernel)
+            if result is not None:
+                found = result.get(pc)
+                if found is not None:
+                    load_class = str(found.load_class)
+        loads.append(CriticalLoad(
+            kernel=kernel,
+            pc=pc,
+            load_class=load_class,
+            executions=count,
+            total_requests=requests,
+            mean_turnaround=turnaround_sum / count if count else 0.0,
+            total_stall_cycles=stall,
+            stall_share=stall / total_stalls if total_stalls else 0.0,
+        ))
+    loads.sort(key=lambda l: -l.total_stall_cycles)
+    if top is not None:
+        loads = loads[:top]
+    return loads
+
+
+def stall_share_by_class(stats, config, classifications):
+    """``{class_label: share of total stall cycles}`` — quantifies the
+    paper's claim that non-deterministic loads are the critical ones."""
+    loads = rank_critical_loads(stats, config, classifications)
+    shares: Dict[str, float] = {}
+    for load in loads:
+        label = load.load_class or "other"
+        shares[label] = shares.get(label, 0.0) + load.stall_share
+    return shares
+
+
+def format_critical_loads(loads, limit=10):
+    """Render the ranking as an ASCII table."""
+    lines = ["critical loads (by total stall cycles):"]
+    for i, load in enumerate(loads[:limit], 1):
+        lines.append("  %2d. %s" % (i, load))
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Trace-level data-locality analysis (the paper's Sections VIII-IX).
+
+Operates directly on emulator traces — no timing model needed — exactly
+as the paper computes these metrics:
+
+* **cold-miss ratio** (Figure 10): memory is divided into 128 B blocks;
+  an access is a cold miss when it is the first access to its block by
+  *any* SM/CTA.  Denominator = all coalesced global-load accesses.
+* **accesses per block** (Figure 10's line): mean access count over
+  touched blocks.
+* **inter-CTA sharing** (Figure 11): fraction of blocks touched by 2+
+  distinct CTAs, fraction of accesses going to such blocks, and the mean
+  number of CTAs per shared block.
+* **CTA distance** (Figure 12): when an access touches a block whose
+  previous access came from a *different* CTA, record the absolute
+  difference of the two linearized CTA ids.  The histogram is normalized
+  by total shared accesses.  Distances are tracked per load class, which
+  is how the paper shows non-deterministic loads disperse sharing across
+  wide CTA ranges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..emulator.trace import ApplicationTrace
+from ..ptx.isa import Space
+
+BLOCK_SIZE = 128
+
+
+@dataclass
+class BlockInfo:
+    """Per-128B-block bookkeeping."""
+
+    accesses: int = 0
+    ctas: set = field(default_factory=set)
+    last_cta: int = -1
+
+
+@dataclass
+class LocalityReport:
+    """All Figure 10-12 quantities for one application run."""
+
+    total_accesses: int = 0
+    cold_misses: int = 0
+    num_blocks: int = 0
+    shared_blocks: int = 0
+    shared_accesses: int = 0
+    total_cta_count_on_shared: int = 0
+    #: {distance: weighted access count}, per load class and combined.
+    distance_hist: Counter = field(default_factory=Counter)
+    distance_hist_by_class: Dict[str, Counter] = field(
+        default_factory=lambda: {"D": Counter(), "N": Counter()})
+
+    # -- Figure 10 -----------------------------------------------------------
+
+    @property
+    def cold_miss_ratio(self):
+        if not self.total_accesses:
+            return 0.0
+        return self.cold_misses / self.total_accesses
+
+    @property
+    def mean_accesses_per_block(self):
+        if not self.num_blocks:
+            return 0.0
+        return self.total_accesses / self.num_blocks
+
+    # -- Figure 11 -------------------------------------------------------------
+
+    @property
+    def shared_block_ratio(self):
+        if not self.num_blocks:
+            return 0.0
+        return self.shared_blocks / self.num_blocks
+
+    @property
+    def shared_access_ratio(self):
+        if not self.total_accesses:
+            return 0.0
+        return self.shared_accesses / self.total_accesses
+
+    @property
+    def mean_ctas_per_shared_block(self):
+        if not self.shared_blocks:
+            return 0.0
+        return self.total_cta_count_on_shared / self.shared_blocks
+
+    # -- Figure 12 ---------------------------------------------------------------
+
+    def distance_fractions(self, max_distance=None, load_class=None):
+        """``{distance: fraction of shared accesses}``, sorted by distance."""
+        hist = (self.distance_hist if load_class is None
+                else self.distance_hist_by_class.get(load_class, Counter()))
+        total = sum(self.distance_hist.values())
+        if not total:
+            return {}
+        items = sorted(hist.items())
+        if max_distance is not None:
+            items = [(d, c) for d, c in items if d <= max_distance]
+        return {d: c / total for d, c in items}
+
+
+class LocalityAnalyzer:
+    """Streams traces and accumulates a :class:`LocalityReport`."""
+
+    def __init__(self, block_size=BLOCK_SIZE, include_stores=False):
+        self.block_size = block_size
+        self.include_stores = include_stores
+        self._blocks: Dict[int, BlockInfo] = {}
+        self._report = LocalityReport()
+
+    def analyze_application(self, app_trace, classifications=None):
+        """Process every launch of an application.
+
+        ``classifications`` maps kernel name to its
+        :class:`ClassificationResult` (enables the per-class Figure 12
+        split); without it all distances land in the combined histogram.
+        """
+        for launch in app_trace:
+            pc_classes = {}
+            if classifications is not None:
+                result = classifications.get(launch.kernel_name)
+                if result is not None:
+                    pc_classes = {l.pc: str(l.load_class) for l in result}
+            self.analyze_launch(launch, pc_classes)
+        return self.report()
+
+    def analyze_launch(self, launch_trace, pc_classes=None):
+        pc_classes = pc_classes or {}
+        for warp, op in launch_trace.iter_memory_ops(space=Space.GLOBAL):
+            if op.inst.is_store and not self.include_stores:
+                continue
+            if not op.inst.is_load and not op.inst.is_store:
+                continue  # atomics excluded, as in the paper's load focus
+            load_class = pc_classes.get(op.pc)
+            self._record(op, warp.cta_id, load_class)
+
+    def _record(self, op, cta_id, load_class):
+        report = self._report
+        blocks = self._blocks
+        size = self.block_size
+        touched = set()
+        for _lane, addr in op.addresses:
+            touched.add(addr // size)
+        for block_id in touched:
+            info = blocks.get(block_id)
+            if info is None:
+                info = blocks[block_id] = BlockInfo()
+                report.cold_misses += 1
+            report.total_accesses += 1
+            info.accesses += 1
+            if info.last_cta >= 0 and info.last_cta != cta_id:
+                distance = abs(cta_id - info.last_cta)
+                report.distance_hist[distance] += 1
+                if load_class in report.distance_hist_by_class:
+                    report.distance_hist_by_class[load_class][distance] += 1
+            info.last_cta = cta_id
+            info.ctas.add(cta_id)
+
+    def report(self):
+        """Finalize the per-block aggregates and return the report."""
+        report = self._report
+        report.num_blocks = len(self._blocks)
+        report.shared_blocks = 0
+        report.shared_accesses = 0
+        report.total_cta_count_on_shared = 0
+        for info in self._blocks.values():
+            if len(info.ctas) >= 2:
+                report.shared_blocks += 1
+                report.shared_accesses += info.accesses
+                report.total_cta_count_on_shared += len(info.ctas)
+        return report
+
+
+def analyze_run(run):
+    """One-shot helper: locality report for a :class:`WorkloadRun`."""
+    analyzer = LocalityAnalyzer()
+    return analyzer.analyze_application(run.trace, run.classifications)

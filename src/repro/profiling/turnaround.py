@@ -1,0 +1,110 @@
+"""Turnaround-time breakdowns (the paper's Figures 5, 6 and 7).
+
+All raw data comes from :class:`repro.sim.stats.SimStats`; this module
+shapes it into the paper's bar components:
+
+Figure 5 (per class):
+    * un-loaded memory system latency — the zero-contention constant from
+      the configuration,
+    * reservation fails by previous warps — mean cycles from LD/ST issue
+      until the warp's *first* request is accepted by the L1,
+    * reservation fails by the current warp — mean cycles from first to
+      *last* request acceptance,
+    * wasted cycles in L2 and DRAMs — whatever of the measured mean
+      turnaround the other three do not explain.
+
+Figure 6: mean turnaround vs. number of generated requests, per load PC.
+
+Figure 7 (one PC): per-request-count breakdown into common latency,
+Gap at L1D, Gap at icnt-L2 and Gap at L2-icnt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TurnaroundBreakdown:
+    """Figure 5 components for one load class (cycles, means)."""
+
+    load_class: str
+    completed: int
+    unloaded: float
+    rsrv_prev_warps: float
+    rsrv_current_warp: float
+    wasted_memory: float
+
+    @property
+    def total(self):
+        return (self.unloaded + self.rsrv_prev_warps
+                + self.rsrv_current_warp + self.wasted_memory)
+
+
+def class_breakdown(stats, config, load_class):
+    """Compute the Figure 5 bar for one load class (``"D"`` or ``"N"``)."""
+    cls = stats.classes[load_class]
+    if cls.completed == 0:
+        return TurnaroundBreakdown(load_class, 0, 0.0, 0.0, 0.0, 0.0)
+    mean_turnaround = cls.mean_turnaround()
+    rsrv_prev = cls.mean_wait_prev()
+    rsrv_cur = cls.mean_wait_cur()
+    # the unloaded constant cannot exceed what is left of the measured mean
+    unloaded = min(config.unloaded_miss_latency,
+                   max(0.0, mean_turnaround - rsrv_prev - rsrv_cur))
+    wasted = max(0.0, mean_turnaround - unloaded - rsrv_prev - rsrv_cur)
+    return TurnaroundBreakdown(
+        load_class=load_class,
+        completed=cls.completed,
+        unloaded=unloaded,
+        rsrv_prev_warps=rsrv_prev,
+        rsrv_current_warp=rsrv_cur,
+        wasted_memory=wasted,
+    )
+
+
+@dataclass(frozen=True)
+class RequestCountPoint:
+    """One x-position of Figures 6/7: loads that generated ``n_requests``."""
+
+    n_requests: int
+    count: int
+    mean_turnaround: float
+    common_latency: float
+    gap_l1d: float
+    gap_icnt_l2: float
+    gap_l2_icnt: float
+
+
+def pc_turnaround_series(stats, kernel_name, pc, config):
+    """Figure 6/7 series for one static load: sorted by request count."""
+    points = []
+    for n_requests, bucket in stats.pc_series(kernel_name, pc):
+        mean_turn = bucket.mean("turnaround_sum")
+        gap_l1d = bucket.mean("gap_l1d_sum") + bucket.mean("wait_first_sum")
+        gap_icnt_l2 = bucket.mean("gap_icnt_l2_sum")
+        gap_l2_icnt = bucket.mean("gap_l2_icnt_sum")
+        common = max(0.0, mean_turn - gap_l1d - gap_icnt_l2 - gap_l2_icnt)
+        points.append(RequestCountPoint(
+            n_requests=n_requests,
+            count=bucket.count,
+            mean_turnaround=mean_turn,
+            common_latency=common,
+            gap_l1d=gap_l1d,
+            gap_icnt_l2=gap_icnt_l2,
+            gap_l2_icnt=gap_l2_icnt,
+        ))
+    return points
+
+
+def busiest_load_pcs(stats, kernel_name, limit=5):
+    """Load PCs of one kernel ordered by completed-warp count — used to
+    pick the representative loads Figures 6/7 plot."""
+    totals: Dict[int, int] = {}
+    for (kname, pc, _n), bucket in stats.pc_buckets.items():
+        if kname != kernel_name:
+            continue
+        totals[pc] = totals.get(pc, 0) + bucket.count
+    ranked = sorted(totals.items(), key=lambda item: -item[1])
+    return [pc for pc, _count in ranked[:limit]]

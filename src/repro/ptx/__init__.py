@@ -1,0 +1,68 @@
+"""PTX-subset toolchain: ISA, parser, builder, kernels and CFGs.
+
+This package provides the virtual-ISA layer the rest of the reproduction is
+built on.  Workload kernels are written in PTX-subset text, parsed with
+:func:`parse_kernel`/:func:`parse_module`, and handed to the classifier
+(:mod:`repro.core`) and the emulator (:mod:`repro.emulator`).
+"""
+
+from .builder import KernelBuilder
+from .cfg import CFG, BasicBlock, EXIT_BLOCK
+from .errors import (
+    PTXError,
+    PTXSyntaxError,
+    PTXValidationError,
+    UnknownOpcodeError,
+)
+from .isa import (
+    PC_STRIDE,
+    SPECIAL_REGISTERS,
+    DType,
+    Imm,
+    Instruction,
+    MemRef,
+    Reg,
+    Space,
+    SReg,
+    Sym,
+    Unit,
+    dtype_from_name,
+    space_from_name,
+    unit_for,
+)
+from .module import Kernel, Module, Param
+from .parser import Parser, parse_kernel, parse_module
+from .printer import print_kernel, print_module
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "EXIT_BLOCK",
+    "KernelBuilder",
+    "PTXError",
+    "PTXSyntaxError",
+    "PTXValidationError",
+    "UnknownOpcodeError",
+    "PC_STRIDE",
+    "SPECIAL_REGISTERS",
+    "DType",
+    "Imm",
+    "Instruction",
+    "MemRef",
+    "Reg",
+    "Space",
+    "SReg",
+    "Sym",
+    "Unit",
+    "dtype_from_name",
+    "space_from_name",
+    "unit_for",
+    "Kernel",
+    "Module",
+    "Param",
+    "Parser",
+    "parse_kernel",
+    "parse_module",
+    "print_kernel",
+    "print_module",
+]

@@ -1,0 +1,160 @@
+"""Programmatic construction of PTX-subset kernels.
+
+Writing PTX text is the primary authoring path for workloads, but tests and
+generated kernels benefit from a small builder API::
+
+    b = KernelBuilder("saxpy")
+    x = b.param("x", "u64")
+    n = b.param("n", "u32")
+    tid = b.emit("mov.u32", b.reg("r", 1), b.sreg("%tid.x"))
+    ...
+    b.label("EXIT")
+    b.emit("exit")
+    kernel = b.build()
+
+The builder performs the same finalization (PC assignment, label resolution,
+validation) as the parser because both funnel into
+:class:`repro.ptx.module.Kernel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .errors import PTXValidationError
+from .isa import (
+    ATOM_OPS,
+    CMP_OPS,
+    MUL_MODES,
+    DType,
+    Imm,
+    Instruction,
+    MemRef,
+    Reg,
+    Space,
+    SReg,
+    Sym,
+    dtype_from_name,
+    space_from_name,
+)
+from .module import Kernel, Param
+
+
+class KernelBuilder:
+    """Incrementally assembles a :class:`Kernel`."""
+
+    def __init__(self, name):
+        self.name = name
+        self._params: List[Param] = []
+        self._param_offset = 0
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._shared_size = 0
+        self._reg_counters: Dict[str, int] = {}
+
+    # -- declarations ---------------------------------------------------------
+
+    def param(self, name, dtype):
+        """Declare a kernel parameter; returns its :class:`Sym`."""
+        if isinstance(dtype, str):
+            dtype = dtype_from_name(dtype)
+        align = dtype.nbytes
+        self._param_offset = (self._param_offset + align - 1) // align * align
+        self._params.append(Param(
+            name=name, dtype=dtype, offset=self._param_offset,
+            is_pointer=dtype in (DType.U64, DType.B64)))
+        self._param_offset += dtype.nbytes
+        return Sym(name)
+
+    def shared(self, nbytes):
+        """Reserve ``nbytes`` of shared memory; returns the byte offset
+        (as an :class:`Imm` usable as a shared-space base address)."""
+        offset = (self._shared_size + 15) // 16 * 16
+        self._shared_size = offset + nbytes
+        return Imm(offset)
+
+    # -- operand helpers --------------------------------------------------------
+
+    def reg(self, prefix="r", number=None):
+        """A register operand; auto-numbers per prefix when ``number`` is None."""
+        if number is None:
+            number = self._reg_counters.get(prefix, 0) + 1
+            self._reg_counters[prefix] = number
+        return Reg("%%%s%d" % (prefix, number))
+
+    @staticmethod
+    def sreg(name):
+        return SReg(name)
+
+    @staticmethod
+    def imm(value):
+        return Imm(value)
+
+    @staticmethod
+    def mem(base, offset=0):
+        return MemRef(base=base, offset=offset)
+
+    # -- emission ----------------------------------------------------------------
+
+    def label(self, name):
+        """Place a label before the next emitted instruction."""
+        if name in self._labels:
+            raise PTXValidationError("duplicate label %r" % name)
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def emit(self, mnemonic, *operands, pred=None, target=None):
+        """Emit one instruction.
+
+        ``mnemonic`` is the dotted opcode string (``"ld.global.u32"``).
+        ``operands`` follow the same layout as parsed PTX (dest first).
+        ``pred`` is ``(Reg, negated)`` or a :class:`Reg` (non-negated).
+        Returns the destination operand for chaining convenience (or None).
+        """
+        tokens = mnemonic.split(".")
+        inst = Instruction(opcode=tokens[0])
+        modifiers = []
+        for tok in tokens[1:]:
+            if tok in ("param", "global", "shared", "local", "const", "tex") \
+                    and inst.space is None and inst.is_memory:
+                inst.space = space_from_name(tok)
+            elif inst.opcode == "setp" and tok in CMP_OPS and inst.cmp_op is None:
+                inst.cmp_op = tok
+            elif inst.opcode == "atom" and tok in ATOM_OPS and inst.atom_op is None:
+                inst.atom_op = tok
+            elif inst.opcode in ("mul", "mad") and tok in MUL_MODES:
+                inst.mul_mode = tok
+            else:
+                try:
+                    dtype = dtype_from_name(tok)
+                except PTXValidationError:
+                    modifiers.append(tok)
+                    continue
+                if inst.dtype is None:
+                    inst.dtype = dtype
+                else:
+                    modifiers.append(tok)
+        inst.modifiers = tuple(modifiers)
+        if pred is not None:
+            inst.pred = pred if isinstance(pred, tuple) else (pred, False)
+        if inst.is_branch:
+            if target is None:
+                raise PTXValidationError("bra needs target=")
+            inst.target = target
+        elif inst.is_store:
+            inst.srcs = tuple(operands)
+        elif inst.is_load or inst.is_atomic:
+            inst.dests = (operands[0],)
+            inst.srcs = tuple(operands[1:])
+        elif operands:
+            inst.dests = (operands[0],)
+            inst.srcs = tuple(operands[1:])
+        self._instructions.append(inst)
+        return inst.dests[0] if inst.dests else None
+
+    # -- finalization ----------------------------------------------------------------
+
+    def build(self):
+        """Finalize into an immutable-ish :class:`Kernel` (validates)."""
+        return Kernel(self.name, self._params, self._instructions,
+                      self._labels, shared_size=self._shared_size)

@@ -1,0 +1,180 @@
+"""Control-flow graph over a finalized kernel.
+
+Two consumers need the CFG:
+
+* the functional emulator uses **immediate post-dominators** as SIMT
+  reconvergence points after divergent branches (the standard PDOM
+  reconvergence scheme GPGPU-Sim implements), and
+* the dataflow classifier iterates reaching definitions over blocks.
+
+Blocks are half-open instruction-index ranges ``[start, end)`` of the
+kernel's flat instruction list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+#: Virtual exit node id used in post-dominator computation.
+EXIT_BLOCK = -1
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction range."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def __contains__(self, inst_index):
+        return self.start <= inst_index < self.end
+
+    def __repr__(self):
+        return "BB%d[%d:%d]->%s" % (self.index, self.start, self.end,
+                                    self.successors)
+
+
+class CFG:
+    """Control-flow graph of a :class:`repro.ptx.module.Kernel`."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.blocks: List[BasicBlock] = []
+        self._block_of_inst: List[int] = []
+        self._build()
+        self._ipostdom: Optional[Dict[int, int]] = None
+
+    # -- construction --------------------------------------------------------
+
+    def _leaders(self):
+        insts = self.kernel.instructions
+        leaders = {0}
+        for i, inst in enumerate(insts):
+            if inst.is_branch:
+                leaders.add(self.kernel.target_index(inst))
+                if i + 1 < len(insts):
+                    leaders.add(i + 1)
+            elif inst.is_exit and i + 1 < len(insts):
+                leaders.add(i + 1)
+        # labels are also leaders: a label may be a join point reached only
+        # by fallthrough today but it keeps block boundaries stable
+        for idx in self.kernel.labels.values():
+            if idx < len(insts):
+                leaders.add(idx)
+        return sorted(leaders)
+
+    def _build(self):
+        insts = self.kernel.instructions
+        leaders = self._leaders()
+        bounds = leaders + [len(insts)]
+        start_to_block = {}
+        for bi in range(len(leaders)):
+            block = BasicBlock(index=bi, start=bounds[bi], end=bounds[bi + 1])
+            self.blocks.append(block)
+            start_to_block[block.start] = bi
+        self._block_of_inst = [0] * len(insts)
+        for block in self.blocks:
+            for i in range(block.start, block.end):
+                self._block_of_inst[i] = block.index
+
+        for block in self.blocks:
+            last = insts[block.end - 1]
+            succs = []
+            if last.is_branch:
+                succs.append(start_to_block[self.kernel.target_index(last)])
+                if last.pred is not None and block.end < len(insts):
+                    succs.append(start_to_block[block.end])
+            elif last.is_exit:
+                if last.pred is not None and block.end < len(insts):
+                    succs.append(start_to_block[block.end])
+                # unpredicated exit: no successors (flows to virtual exit)
+            elif block.end < len(insts):
+                succs.append(start_to_block[block.end])
+            block.successors = sorted(set(succs))
+        for block in self.blocks:
+            for s in block.successors:
+                self.blocks[s].predecessors.append(block.index)
+
+    # -- queries ---------------------------------------------------------------
+
+    def block_of(self, inst_index):
+        """The :class:`BasicBlock` containing instruction index ``inst_index``."""
+        return self.blocks[self._block_of_inst[inst_index]]
+
+    def exit_blocks(self):
+        """Blocks that can leave the kernel (end in an ``exit``/``ret``)."""
+        return [b for b in self.blocks
+                if self.kernel.instructions[b.end - 1].is_exit]
+
+    # -- post-dominators ---------------------------------------------------------
+
+    def immediate_post_dominators(self):
+        """``{block_index: ipdom_block_index}`` with :data:`EXIT_BLOCK` as the
+        virtual sink.  Computed with the classic iterative algorithm on the
+        reverse CFG (kernels are tiny, so O(n^2) iteration is fine)."""
+        if self._ipostdom is not None:
+            return self._ipostdom
+        nodes = [b.index for b in self.blocks] + [EXIT_BLOCK]
+        full = set(nodes)
+        # reverse-graph successors: for post-dominance we walk predecessors
+        rsucc = {b.index: list(b.successors) for b in self.blocks}
+        for b in self.exit_blocks():
+            rsucc[b.index] = rsucc[b.index] + [EXIT_BLOCK]
+        rsucc[EXIT_BLOCK] = []
+
+        pdom: Dict[int, Set[int]] = {n: set(full) for n in nodes}
+        pdom[EXIT_BLOCK] = {EXIT_BLOCK}
+        changed = True
+        while changed:
+            changed = False
+            for n in nodes:
+                if n == EXIT_BLOCK:
+                    continue
+                succs = rsucc[n]
+                if succs:
+                    new = set.intersection(*(pdom[s] for s in succs))
+                else:
+                    # unreachable-to-exit block (e.g. infinite loop): only
+                    # itself post-dominates it
+                    new = set()
+                new = new | {n}
+                if new != pdom[n]:
+                    pdom[n] = new
+                    changed = True
+
+        ipdom: Dict[int, int] = {}
+        for n in nodes:
+            if n == EXIT_BLOCK:
+                continue
+            candidates = pdom[n] - {n}
+            # the immediate post-dominator is the closest strict
+            # post-dominator: the candidate that every other candidate
+            # post-dominates
+            best = None
+            for c in candidates:
+                if all(o == c or o in pdom[c] for o in candidates):
+                    best = c
+                    break
+            ipdom[n] = best if best is not None else EXIT_BLOCK
+        self._ipostdom = ipdom
+        return ipdom
+
+    def reconvergence_index(self, branch_inst_index):
+        """Instruction index where threads diverged at ``branch_inst_index``
+        reconverge, or ``None`` if they only rejoin at kernel exit."""
+        block = self.block_of(branch_inst_index)
+        ipdom = self.immediate_post_dominators()[block.index]
+        if ipdom == EXIT_BLOCK:
+            return None
+        return self.blocks[ipdom].start
+
+    def __len__(self):
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)

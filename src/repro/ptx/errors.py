@@ -1,0 +1,35 @@
+"""Exception hierarchy for the PTX subset toolchain."""
+
+
+class PTXError(Exception):
+    """Base class for all errors raised by the :mod:`repro.ptx` package."""
+
+
+class PTXSyntaxError(PTXError):
+    """Raised when PTX text cannot be parsed.
+
+    Carries the offending line number and the raw line so callers can
+    produce a useful diagnostic.
+    """
+
+    def __init__(self, message, line_no=None, line=None):
+        self.line_no = line_no
+        self.line = line
+        if line_no is not None:
+            message = "line %d: %s" % (line_no, message)
+        if line is not None:
+            message = "%s\n    %s" % (message, line.strip())
+        super().__init__(message)
+
+
+class PTXValidationError(PTXError):
+    """Raised when a structurally valid kernel violates a semantic rule
+    (unknown label, duplicate label, ill-typed operand, ...)."""
+
+
+class UnknownOpcodeError(PTXValidationError):
+    """Raised when an instruction uses an opcode outside the supported subset."""
+
+    def __init__(self, opcode):
+        self.opcode = opcode
+        super().__init__("unsupported opcode: %r" % (opcode,))

@@ -1,0 +1,107 @@
+"""Emit PTX-subset text from a :class:`Kernel` — parseable back.
+
+The printer closes the loop ``text -> Kernel -> text``: the emitted
+source re-parses to an equivalent kernel (same instruction stream, same
+labels, same classification).  Shared-memory buffers lose their original
+names during parsing (symbols are resolved to byte offsets), so the
+printer declares one anonymous ``__smem`` buffer covering the kernel's
+shared size; offset-valued immediates address into it exactly as the
+resolved originals did.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .isa import DType, Imm, Instruction, MemRef, Reg, SReg, Sym
+from .module import Kernel, Module
+
+
+def _format_operand(op):
+    if isinstance(op, MemRef):
+        if op.offset:
+            return "[%s+%d]" % (_format_operand(op.base), op.offset)
+        return "[%s]" % _format_operand(op.base)
+    if isinstance(op, Imm):
+        if isinstance(op.value, float):
+            return repr(float(op.value))
+        return str(int(op.value))
+    return str(op)
+
+
+def _mnemonic(inst):
+    """Dotted opcode with suffixes in parser-canonical order: the
+    operating dtype must precede any secondary dtype modifiers so the
+    parser re-assigns them identically."""
+    parts = [inst.opcode]
+    if inst.cmp_op:
+        parts.append(inst.cmp_op)
+    if inst.atom_op:
+        parts.append(inst.atom_op)
+    if inst.space is not None:
+        parts.append(inst.space.value)
+    if inst.mul_mode:
+        parts.append(inst.mul_mode)
+    # non-dtype modifiers (e.g. "sync") go before the dtype; dtype-valued
+    # modifiers (cvt's source type) after it
+    if inst.vector > 1:
+        parts.append("v%d" % inst.vector)
+    dtype_mods = []
+    for mod in inst.modifiers:
+        try:
+            DType(mod)
+            dtype_mods.append(mod)
+        except ValueError:
+            parts.append(mod)
+    if inst.dtype is not None:
+        parts.append(inst.dtype.value)
+    parts.extend(dtype_mods)
+    return ".".join(parts)
+
+
+def _format_instruction(inst):
+    guard = ""
+    if inst.pred is not None:
+        reg, negated = inst.pred
+        guard = "@%s%s " % ("!" if negated else "", reg.name)
+    if inst.is_branch:
+        return "%s%s %s;" % (guard, _mnemonic(inst), inst.target)
+    if inst.vector > 1 and inst.is_load:
+        group = "{%s}" % ", ".join(_format_operand(d) for d in inst.dests)
+        return "%s%s %s, %s;" % (guard, _mnemonic(inst), group,
+                                 _format_operand(inst.srcs[0]))
+    if inst.vector > 1 and inst.is_store:
+        group = "{%s}" % ", ".join(_format_operand(s)
+                                   for s in inst.srcs[1:])
+        return "%s%s %s, %s;" % (guard, _mnemonic(inst),
+                                 _format_operand(inst.srcs[0]), group)
+    operands = [_format_operand(op)
+                for op in list(inst.dests) + list(inst.srcs)]
+    if operands:
+        return "%s%s %s;" % (guard, _mnemonic(inst), ", ".join(operands))
+    return "%s%s;" % (guard, _mnemonic(inst))
+
+
+def print_kernel(kernel):
+    """Render one kernel as parseable PTX-subset text."""
+    params = ", ".join(".param .%s %s" % (p.dtype.value, p.name)
+                       for p in kernel.params)
+    lines = [".entry %s ( %s )" % (kernel.name, params), "{"]
+    if kernel.shared_size > 0:
+        lines.append("    .shared .u8 __smem[%d];" % kernel.shared_size)
+    labels_at = {}
+    for label, index in kernel.labels.items():
+        labels_at.setdefault(index, []).append(label)
+    for index, inst in enumerate(kernel.instructions):
+        for label in sorted(labels_at.get(index, ())):
+            lines.append("%s:" % label)
+        lines.append("    %s" % _format_instruction(inst))
+    for label in sorted(labels_at.get(len(kernel.instructions), ())):
+        lines.append("%s:" % label)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module):
+    """Render every kernel of a module."""
+    return "\n\n".join(print_kernel(k) for k in module)

@@ -1,0 +1,60 @@
+"""The memory-access coalescer.
+
+"GPUs coalesce data accesses from multiple threads in a warp if they all
+access consecutive memory locations.  The coalescer sits before the L1
+cache and hence each coalesced request generates one memory access request
+to the L1 cache." (Section VI.)
+
+Following Fermi's global-memory transaction rules, lane addresses are
+reduced to the set of distinct 128 B-aligned blocks they touch; each block
+becomes one :class:`~repro.sim.request.MemRequest`.  A perfectly coalesced
+warp (32 consecutive 4 B words) yields a single request; a fully scattered
+warp yields up to 32.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+def coalesce_addresses(addresses, line_size=128, access_size=4):
+    """Reduce per-lane byte addresses to distinct block base addresses.
+
+    Parameters
+    ----------
+    addresses:
+        Iterable of ``(lane, byte_address)`` pairs (the trace format).
+    line_size:
+        Coalescing granularity; 128 B on Fermi and in the paper's analysis.
+    access_size:
+        Per-thread access width; accesses that straddle a block boundary
+        touch two blocks (rare for naturally aligned data).
+
+    Returns
+    -------
+    list of int
+        Sorted distinct block base addresses, one per memory request.
+    """
+    blocks = set()
+    for _lane, addr in addresses:
+        first = addr // line_size
+        last = (addr + access_size - 1) // line_size
+        blocks.add(first * line_size)
+        if last != first:
+            blocks.add(last * line_size)
+    return sorted(blocks)
+
+
+def coalescing_degree(addresses, line_size=128, access_size=4):
+    """(num_requests, num_active_lanes) for one warp access — the two
+    quantities Figure 2 reports per load class."""
+    lanes = 0
+    blocks = set()
+    for _lane, addr in addresses:
+        lanes += 1
+        first = addr // line_size
+        last = (addr + access_size - 1) // line_size
+        blocks.add(first)
+        if last != first:
+            blocks.add(last)
+    return len(blocks), lanes

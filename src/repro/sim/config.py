@@ -1,0 +1,164 @@
+"""Simulator configuration (the reproduction's Table II).
+
+The defaults mirror the paper's GPGPU-Sim v3.2.2 / Tesla C2050 setup where a
+parameter is reported (Table II): 14 SMs, 32-wide SIMT, 16 KB / 128 B-line /
+4-way L1D with 64 MSHR entries, a unified 768 KB / 128 B-line / 8-way L2,
+ROP latency 120 cycles, DRAM latency 100 cycles.  Parameters the paper does
+not report (queue depths, interconnect latency, unit latencies) use values
+taken from GPGPU-Sim's Fermi configuration files and are documented inline.
+
+All latencies are in SM core cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Every tunable of the timing model, with Tesla C2050-like defaults."""
+
+    # -- SM organization (Table II / Section III) ---------------------------
+    num_sms: int = 14
+    warp_size: int = 32
+    max_threads_per_sm: int = 1536
+    max_ctas_per_sm: int = 8
+    shared_mem_per_sm: int = 48 * 1024
+    #: instructions the SM may issue per cycle (Fermi dual-issue).
+    issue_width: int = 2
+    #: warp scheduling policy: "lrr" (loose round-robin, the paper's
+    #: baseline) or "gto" (greedy-then-oldest).
+    warp_scheduler: str = "lrr"
+
+    # -- functional-unit timing -----------------------------------------------
+    #: SP initiation interval / result latency (GPGPU-Sim int/fp default).
+    sp_initiation_interval: int = 1
+    sp_latency: int = 8
+    #: SFU executes transcendental ops at quarter throughput.
+    sfu_initiation_interval: int = 4
+    sfu_latency: int = 20
+    #: control instructions (bra/bar/exit) occupy only the issue stage.
+    ctrl_latency: int = 1
+
+    # -- L1 data cache (Table II: 16KB, 128B line, 4-way, 64 MSHR) ----------
+    l1_size: int = 16 * 1024
+    l1_line_size: int = 128
+    l1_assoc: int = 4
+    l1_mshr_entries: int = 64
+    #: max requests merged into one MSHR entry (GPGPU-Sim default 8).
+    l1_mshr_merge: int = 8
+    #: L1 hit latency (pipelined; GPGPU-Sim Fermi L1 ~ a few 10s of cycles).
+    l1_hit_latency: int = 28
+    #: shared-memory access latency (conflict-free).
+    shared_latency: int = 24
+    #: shared-memory banks (Fermi: 32 banks, 4-byte wide); an n-way bank
+    #: conflict serializes into n port cycles.
+    shared_banks: int = 32
+    shared_bank_width: int = 4
+    #: constant/parameter cache latency.
+    const_latency: int = 8
+    #: memory instructions the LD/ST unit can have queued.
+    ldst_queue_size: int = 8
+    #: L1 prefetcher: "none", "stride" (per-PC stride prediction, helps
+    #: deterministic loads) or "indirect_oracle" (Section X.A: prefetches
+    #: the upcoming non-deterministic load's blocks with a perfect
+    #: indirect-address predictor — an upper bound on schemes like
+    #: Lakshminarayana & Kim's spare-register-aware prefetching [16]).
+    prefetcher: str = "none"
+    #: trace ops to look ahead for the indirect-oracle prefetcher.
+    prefetch_lookahead: int = 8
+    #: pending-prefetch queue capacity per SM (oldest dropped).
+    prefetch_queue_size: int = 16
+
+    # -- interconnect -------------------------------------------------------------
+    #: one-way zero-load latency of the SM <-> partition crossbar.
+    icnt_latency: int = 12
+    #: per-SM in-flight request budget; exhaustion is the paper's
+    #: "reservation fail by interconnection".
+    icnt_credits_per_sm: int = 16
+    #: per-partition in-flight response budget.
+    icnt_credits_per_partition: int = 16
+
+    # -- L2 cache (Table II: unified 768KB, 128B line, 8-way, 32 MSHR) -------
+    num_partitions: int = 6
+    l2_size: int = 768 * 1024
+    l2_line_size: int = 128
+    l2_assoc: int = 8
+    l2_mshr_entries: int = 32
+    l2_mshr_merge: int = 8
+    l2_hit_latency: int = 20
+    #: raster-operations pipeline depth: minimum icnt->L2 latency (Table II).
+    rop_latency: int = 120
+
+    # -- DRAM (Table II: GDDR5, latency 100) -------------------------------------
+    dram_latency: int = 100
+    #: cycles of channel occupancy per 128 B burst (bandwidth model).
+    dram_burst_interval: int = 4
+
+    # ------------------------------------------------------------------ derived
+
+    @property
+    def l1_num_sets(self):
+        return self.l1_size // (self.l1_line_size * self.l1_assoc)
+
+    @property
+    def l2_slice_size(self):
+        return self.l2_size // self.num_partitions
+
+    @property
+    def l2_num_sets(self):
+        return self.l2_slice_size // (self.l2_line_size * self.l2_assoc)
+
+    @property
+    def unloaded_miss_latency(self):
+        """Zero-contention turnaround of an L1-missing load (one request).
+
+        This is the "un-loaded memory system latency" bar of Figure 5:
+        request crosses the interconnect, traverses the ROP pipe, misses in
+        L2, pays DRAM latency + one burst, and the data returns.
+        """
+        return (self.icnt_latency + self.rop_latency + self.l2_hit_latency
+                + self.dram_latency + self.dram_burst_interval
+                + self.icnt_latency)
+
+    @property
+    def unloaded_l2_hit_latency(self):
+        """Zero-contention turnaround of an L1 miss that hits in L2."""
+        return (self.icnt_latency + self.rop_latency + self.l2_hit_latency
+                + self.icnt_latency)
+
+    def scaled(self, **overrides):
+        """A copy with overrides — convenience for tests and ablations."""
+        return replace(self, **overrides)
+
+    def validate(self):
+        if self.l1_size % (self.l1_line_size * self.l1_assoc):
+            raise ValueError("L1 size must be a multiple of line*assoc")
+        if self.l2_slice_size % (self.l2_line_size * self.l2_assoc):
+            raise ValueError("L2 slice size must be a multiple of line*assoc")
+        if self.num_sms < 1 or self.num_partitions < 1:
+            raise ValueError("need at least one SM and one partition")
+        if self.warp_scheduler not in ("lrr", "gto"):
+            raise ValueError("warp_scheduler must be 'lrr' or 'gto'")
+        if self.prefetcher not in ("none", "stride", "indirect_oracle"):
+            raise ValueError(
+                "prefetcher must be 'none', 'stride' or 'indirect_oracle'")
+        return self
+
+
+#: The paper's simulated configuration (Tesla C2050).
+TESLA_C2050 = GPUConfig().validate()
+
+#: A small configuration for fast unit tests.
+TINY = GPUConfig(
+    num_sms=2,
+    max_threads_per_sm=512,
+    max_ctas_per_sm=4,
+    l1_size=2 * 1024,
+    l1_mshr_entries=8,
+    num_partitions=2,
+    l2_size=32 * 1024,
+    l2_mshr_entries=8,
+    icnt_credits_per_sm=8,
+).validate()

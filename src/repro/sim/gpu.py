@@ -1,0 +1,220 @@
+"""Top-level GPU timing simulator.
+
+Wires the SMs, the two interconnect directions and the memory partitions
+together, assigns CTAs via a scheduling policy, and replays the warp
+traces of one or more kernel launches cycle by cycle.
+
+The main loop includes an *idle jump*: when no component can make
+progress in the current cycle (every warp stalled on the scoreboard, all
+queues drained, everything waiting on in-flight memory), the clock jumps
+to the next scheduled event.  Jumped cycles still count toward total and
+SM-active cycle statistics, so idle-fraction metrics (Figure 4) are
+unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.classifier import ClassificationResult
+from .config import GPUConfig, TESLA_C2050
+from .core import SMCore
+from .cta_scheduler import make_scheduler
+from .icnt import Interconnect
+from .memory_partition import MemoryPartition
+from .stats import SimStats
+
+
+class SimulationError(Exception):
+    """Raised on deadlock or cycle-budget exhaustion."""
+
+
+class GPU:
+    """A simulated GPU that replays emulator traces."""
+
+    def __init__(self, config=TESLA_C2050, cta_policy="round_robin",
+                 max_cycles=500_000_000):
+        config.validate()
+        self.config = config
+        self.cta_policy = cta_policy
+        self.max_cycles = max_cycles
+        self.stats = SimStats()
+        self.now = 0
+        self.req_icnt = Interconnect(
+            num_sources=config.num_sms, num_dests=config.num_partitions,
+            latency=config.icnt_latency,
+            credits_per_source=config.icnt_credits_per_sm, name="req")
+        self.resp_icnt = Interconnect(
+            num_sources=config.num_partitions, num_dests=config.num_sms,
+            latency=config.icnt_latency,
+            credits_per_source=config.icnt_credits_per_partition, name="resp")
+        self.partitions = [MemoryPartition(p, config, self.stats)
+                           for p in range(config.num_partitions)]
+        self.sms = [SMCore(i, config, self.stats, self.req_icnt,
+                           self._cta_finished,
+                           partition_map=self.partition_of)
+                    for i in range(config.num_sms)]
+        self._scheduler = None
+        self._cta_traces: Dict[int, List] = {}
+
+    def partition_of(self, sm_id, block_addr):
+        """Which memory partition serves ``block_addr`` for ``sm_id``.
+
+        The baseline interleaves 128 B lines across all partitions,
+        SM-independent.  Subclasses (e.g. the Section X.C semi-global L2
+        ablation) override this to localize traffic.
+        """
+        return ((block_addr // self.config.l1_line_size)
+                % self.config.num_partitions)
+
+    # -- CTA flow ------------------------------------------------------------
+
+    def _max_ctas_per_sm(self, launch_trace):
+        threads = launch_trace.config.threads_per_cta
+        limit = min(self.config.max_ctas_per_sm,
+                    max(1, self.config.max_threads_per_sm // max(threads, 1)))
+        if launch_trace.shared_size > 0:
+            limit = min(limit, max(
+                1, self.config.shared_mem_per_sm // launch_trace.shared_size))
+        return max(1, limit)
+
+    def _cta_finished(self, sm_id, cta_id):
+        if self._scheduler is None:
+            return
+        nxt = self._scheduler.next_for(sm_id)
+        if nxt is not None:
+            self.sms[sm_id].assign_cta(nxt, self._cta_traces[nxt])
+
+    # -- launch replay ----------------------------------------------------------
+
+    def run_launch(self, launch_trace, classification=None):
+        """Replay one kernel launch to completion.
+
+        Parameters
+        ----------
+        launch_trace:
+            A :class:`repro.emulator.trace.KernelLaunchTrace`.
+        classification:
+            The kernel's :class:`ClassificationResult` (or a plain
+            ``{pc: "D"/"N"}`` mapping); loads without a classification are
+            tallied under the ``"other"`` class.
+        """
+        pc_classes = _pc_class_map(classification)
+        for sm in self.sms:
+            sm.kernel_name = launch_trace.kernel_name
+            sm.pc_classes = pc_classes
+
+        by_cta: Dict[int, List] = {}
+        for warp in launch_trace.warps:
+            by_cta.setdefault(warp.cta_id, []).append(warp)
+        cta_ids = sorted(by_cta)
+        self._cta_traces = by_cta
+        self._scheduler = make_scheduler(
+            self.cta_policy, cta_ids, self.config.num_sms)
+
+        # initial fill: deal CTAs round-robin across SMs until the per-SM
+        # slot limit is reached (matching hardware launch behaviour)
+        slots = self._max_ctas_per_sm(launch_trace)
+        for _round in range(slots):
+            for sm in self.sms:
+                if self._scheduler.remaining == 0:
+                    break
+                if sm.resident_ctas >= slots:
+                    continue
+                nxt = self._scheduler.next_for(sm.sm_id)
+                if nxt is None:
+                    break
+                sm.assign_cta(nxt, by_cta[nxt])
+
+        self._run_until_drained()
+        self._scheduler = None
+        self._cta_traces = {}
+        return self.stats
+
+    def run_application(self, app_trace, classifications):
+        """Replay every launch of an application, in order.
+
+        ``classifications`` maps kernel name to its
+        :class:`ClassificationResult`.
+        """
+        for launch in app_trace.launches:
+            self.run_launch(launch, classifications.get(launch.kernel_name))
+        return self.stats
+
+    # -- main loop ------------------------------------------------------------------
+
+    def _work_pending(self):
+        if self._scheduler is not None and self._scheduler.remaining:
+            return True
+        if any(sm.ctas for sm in self.sms):
+            return True
+        return False
+
+    def _run_until_drained(self):
+        start = self.now
+        while self._work_pending():
+            self.now += 1
+            if self.now - start > self.max_cycles:
+                raise SimulationError(
+                    "cycle budget exceeded (%d cycles)" % self.max_cycles)
+            worked = False
+            for req, dst in self.req_icnt.deliver_ready(self.now):
+                self.partitions[dst].receive(req, self.now)
+                worked = True
+            for req, dst in self.resp_icnt.deliver_ready(self.now):
+                self.sms[dst].receive_response(req, self.now)
+                worked = True
+            for partition in self.partitions:
+                worked |= partition.cycle(self.now, self.resp_icnt)
+            for sm in self.sms:
+                worked |= sm.cycle(self.now)
+            if not worked:
+                self._idle_jump()
+        self.stats.cycles = self.now
+        self.stats.icnt_injected = (self.req_icnt.total_injected
+                                    + self.resp_icnt.total_injected)
+        self.stats.icnt_queue_delay = (self.req_icnt.total_queue_delay
+                                       + self.resp_icnt.total_queue_delay)
+
+    def _idle_jump(self):
+        """Nothing happened this cycle: jump the clock to the next event."""
+        candidates = []
+        for icnt in (self.req_icnt, self.resp_icnt):
+            t = icnt.next_event_cycle()
+            if t is not None:
+                candidates.append(t)
+        for partition in self.partitions:
+            t = partition.next_event_cycle(self.now)
+            if t is not None:
+                candidates.append(t)
+        for sm in self.sms:
+            t = sm.next_event_cycle(self.now)
+            if t is not None:
+                candidates.append(t)
+        if not candidates:
+            raise SimulationError(
+                "deadlock at cycle %d: no component has pending events"
+                % self.now)
+        target = max(self.now + 1, min(candidates))
+        skipped = target - self.now - 1
+        if skipped > 0:
+            # account skipped time: total cycles advance, and SMs holding
+            # resident warps remain "active but stalled" (Figure 4 denominator
+            # and the issue-stall breakdown)
+            for sm in self.sms:
+                if sm.warps:
+                    self.stats.active_sm_cycles += skipped
+                    self.stats.issue_stall[sm.stall_reason()] += skipped
+            self.now += skipped
+
+
+def _pc_class_map(classification):
+    """Normalize a classification argument into ``{pc: "D"/"N"}``."""
+    if classification is None:
+        return {}
+    if isinstance(classification, dict):
+        return dict(classification)
+    if isinstance(classification, ClassificationResult):
+        return {load.pc: str(load.load_class) for load in classification}
+    raise TypeError("classification must be None, a dict or a "
+                    "ClassificationResult")

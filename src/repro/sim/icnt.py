@@ -1,0 +1,87 @@
+"""Interconnection network between SMs and memory partitions.
+
+A credit-based crossbar abstraction:
+
+* each source holds a fixed number of credits; injecting consumes one and
+  the credit returns when the payload is delivered.  A source with no
+  credits cannot inject — at the L1 this is the paper's *reservation fail
+  by interconnection*;
+* each destination port accepts one payload per cycle; payloads racing to
+  the same port serialize, which models the congestion and the
+  "imbalanced service time in memory partitions" of Figures 5-7.
+
+Deliveries are kept in a heap, so the network costs O(log n) per payload
+instead of per-cycle queue shuffling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import List, Tuple
+
+
+class Interconnect:
+    """One direction of the network (requests or responses)."""
+
+    def __init__(self, num_sources, num_dests, latency, credits_per_source,
+                 name="icnt"):
+        self.latency = latency
+        self.name = name
+        self.num_sources = num_sources
+        self.num_dests = num_dests
+        self._credits = [credits_per_source] * num_sources
+        self._next_free = [0] * num_dests
+        self._heap: List[Tuple[int, int, object, int, int]] = []
+        self._seq = count()
+        # statistics
+        self.total_injected = 0
+        self.total_queue_delay = 0
+
+    # -- injection ------------------------------------------------------------
+
+    def can_inject(self, src):
+        return self._credits[src] > 0
+
+    def inject(self, payload, src, dst, cycle):
+        """Send a payload; caller must have checked :meth:`can_inject`."""
+        if self._credits[src] <= 0:
+            raise RuntimeError("%s: source %d out of credits"
+                               % (self.name, src))
+        self._credits[src] -= 1
+        arrival = cycle + self.latency
+        deliver = max(arrival, self._next_free[dst] + 1)
+        self._next_free[dst] = deliver
+        self.total_injected += 1
+        self.total_queue_delay += deliver - arrival
+        heapq.heappush(self._heap, (deliver, next(self._seq), payload,
+                                    src, dst))
+
+    # -- delivery ---------------------------------------------------------------
+
+    def deliver_ready(self, cycle):
+        """Pop every payload whose delivery time has arrived.
+
+        Returns a list of ``(payload, dst)``; the source's credit is
+        returned as the payload leaves the network.
+        """
+        out = []
+        heap = self._heap
+        while heap and heap[0][0] <= cycle:
+            _t, _s, payload, src, dst = heapq.heappop(heap)
+            self._credits[src] += 1
+            out.append((payload, dst))
+        return out
+
+    def next_event_cycle(self):
+        """Cycle of the earliest pending delivery, or ``None`` when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    @property
+    def in_flight(self):
+        return len(self._heap)
+
+    def mean_queue_delay(self):
+        if not self.total_injected:
+            return 0.0
+        return self.total_queue_delay / self.total_injected

@@ -1,0 +1,190 @@
+"""A memory partition: ROP pipe, L2 cache slice, and its DRAM channel.
+
+"Apart from the per-SM private memory sub-system, SMs also share a large
+level-2 cache which is partitioned and accessed by SMs via an
+interconnection network.  ...  Each memory controller is associated with
+one or more level-2 cache partitions." (Section III.)
+
+The model per partition:
+
+* requests delivered by the interconnect enter a ROP pipeline
+  (``rop_latency`` cycles of fixed delay, Table II),
+* the L2 slice services one request per cycle: hits respond after
+  ``l2_hit_latency``; misses reserve a line + MSHR entry and queue on the
+  DRAM channel.  When the slice cannot reserve (all ways in the set
+  reserved, or MSHRs full) the head request retries next cycle —
+  head-of-line blocking that propagates congestion upstream,
+* the DRAM channel serves one 128 B burst every ``dram_burst_interval``
+  cycles (bandwidth) with ``dram_latency`` pipeline delay,
+* responses compete for the partition's response-network credits; without
+  a credit they wait, adding to the "wasted cycles in memory partitions"
+  the paper measures in Figures 5-7.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count
+from typing import List, Optional, Tuple
+
+from .cache import Cache, Outcome
+from .config import GPUConfig
+from .request import MemRequest
+from .stats import SimStats
+
+
+class MemoryPartition:
+    """One L2 slice plus its DRAM channel."""
+
+    def __init__(self, pid, config, stats):
+        self.pid = pid
+        self.config = config
+        self.stats = stats
+        self.l2 = Cache(
+            num_sets=config.l2_num_sets,
+            assoc=config.l2_assoc,
+            line_size=config.l2_line_size,
+            mshr_entries=config.l2_mshr_entries,
+            mshr_merge=config.l2_mshr_merge,
+            name="L2[%d]" % pid,
+        )
+        self._seq = count()
+        # requests in the ROP pipe, keyed by the cycle they reach the L2
+        self._input: List[Tuple[int, int, MemRequest]] = []
+        # L2 hits waiting out the L2 access latency
+        self._resp_heap: List[Tuple[int, int, MemRequest]] = []
+        # responses ready to inject into the response network
+        self._resp_ready: deque = deque()
+        # DRAM channel
+        self._dram_queue: deque = deque()
+        self._dram_busy_until = 0
+        self._dram_heap: List[Tuple[int, int, MemRequest]] = []
+
+    # -- ingress ---------------------------------------------------------------
+
+    def receive(self, request, now):
+        """A request was delivered by the request network."""
+        ready = now + self.config.rop_latency
+        heapq.heappush(self._input, (ready, next(self._seq), request))
+
+    # -- per-cycle work ----------------------------------------------------------
+
+    def cycle(self, now, resp_icnt):
+        """Advance the partition one cycle; returns True if it did work."""
+        worked = False
+        worked |= self._dram_complete(now)
+        worked |= self._dram_issue(now)
+        worked |= self._l2_service(now)
+        worked |= self._collect_responses(now)
+        worked |= self._inject_responses(now, resp_icnt)
+        return worked
+
+    def _l2_service(self, now):
+        if not self._input or self._input[0][0] > now:
+            return False
+        ready, seq, req = heapq.heappop(self._input)
+        if req.t_l2_in < 0:
+            req.t_l2_in = now
+
+        if req.is_write:
+            # write-through, no-allocate; keep the L2 coherent by evicting
+            self.l2.write_touch(req.block_addr)
+            self._dram_queue.append(req)
+            return True
+
+        outcome = self.l2.lookup(req.block_addr)
+        if outcome is Outcome.HIT:
+            self.l2.commit_hit(req.block_addr)
+            self.stats.record_l2_result(True, req.load_class)
+            req.t_l2_out = now + self.config.l2_hit_latency
+            heapq.heappush(self._resp_heap,
+                           (req.t_l2_out, next(self._seq), req))
+        elif outcome is Outcome.HIT_RESERVED:
+            self.l2.commit_hit_reserved(req.block_addr, req)
+            self.stats.record_l2_result(True, req.load_class)
+        elif outcome is Outcome.MISS:
+            self.l2.commit_miss(req.block_addr, req)
+            self.stats.record_l2_result(False, req.load_class)
+            self._dram_queue.append(req)
+        else:
+            # reservation failure at the slice: head-of-line retry
+            self.stats.l2_stall_cycles += 1
+            heapq.heappush(self._input, (now + 1, seq, req))
+        return True
+
+    def _dram_issue(self, now):
+        if not self._dram_queue:
+            return False
+        start = max(now, self._dram_busy_until)
+        if start > now:
+            return False
+        req = self._dram_queue.popleft()
+        self._dram_busy_until = start + self.config.dram_burst_interval
+        done = (start + self.config.dram_latency
+                + self.config.dram_burst_interval)
+        if req.is_write:
+            self.stats.dram_writes += 1
+        else:
+            self.stats.dram_reads += 1
+        heapq.heappush(self._dram_heap, (done, next(self._seq), req))
+        return True
+
+    def _dram_complete(self, now):
+        worked = False
+        while self._dram_heap and self._dram_heap[0][0] <= now:
+            _t, _s, req = heapq.heappop(self._dram_heap)
+            worked = True
+            if req.is_write:
+                continue
+            waiters = self.l2.fill(req.block_addr)
+            if req not in waiters:
+                waiters.append(req)
+            for waiter in waiters:
+                waiter.t_l2_out = now
+                self._resp_ready.append(waiter)
+        return worked
+
+    def _collect_responses(self, now):
+        worked = False
+        while self._resp_heap and self._resp_heap[0][0] <= now:
+            _t, _s, req = heapq.heappop(self._resp_heap)
+            self._resp_ready.append(req)
+            worked = True
+        return worked
+
+    def _inject_responses(self, now, resp_icnt):
+        worked = False
+        while self._resp_ready and resp_icnt.can_inject(self.pid):
+            req = self._resp_ready.popleft()
+            resp_icnt.inject(req, self.pid, req.sm_id, now)
+            worked = True
+        return worked
+
+    # -- idle-jump support -------------------------------------------------------
+
+    def next_event_cycle(self, now):
+        """Earliest future cycle at which this partition can make progress,
+        or ``None`` when it has no pending work at all."""
+        if self._resp_ready:
+            return now + 1  # retrying injection every cycle
+        times = []
+        if self._input:
+            times.append(self._input[0][0])
+        if self._resp_heap:
+            times.append(self._resp_heap[0][0])
+        if self._dram_heap:
+            times.append(self._dram_heap[0][0])
+        if self._dram_queue:
+            times.append(max(self._dram_busy_until, now + 1))
+        if not times:
+            return None
+        return max(now + 1, min(times))
+
+    @property
+    def busy(self):
+        return bool(self._input or self._resp_heap or self._resp_ready
+                    or self._dram_queue or self._dram_heap)
+
+    def reset_caches(self):
+        self.l2.reset()

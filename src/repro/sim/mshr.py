@@ -1,0 +1,63 @@
+"""Miss-status holding registers.
+
+An MSHR entry tracks one in-flight cache-line fill; requests to the same
+block while the fill is outstanding merge into the entry (the paper's
+*hit reserved* outcome).  Exhaustion of entries — or of merge slots —
+produces the paper's *reservation fail by MSHRs*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class MSHRTable:
+    """Fixed-capacity table of in-flight misses keyed by block address."""
+
+    def __init__(self, num_entries, max_merge):
+        self.num_entries = num_entries
+        self.max_merge = max_merge
+        self._entries: Dict[int, List[object]] = {}
+
+    # -- probes -----------------------------------------------------------
+
+    def has_entry(self, block_addr):
+        return block_addr in self._entries
+
+    def can_merge(self, block_addr):
+        """True when a request to an in-flight block can attach."""
+        entry = self._entries.get(block_addr)
+        return entry is not None and len(entry) < self.max_merge
+
+    def can_allocate(self):
+        return len(self._entries) < self.num_entries
+
+    @property
+    def occupancy(self):
+        return len(self._entries)
+
+    # -- updates ------------------------------------------------------------
+
+    def allocate(self, block_addr, request):
+        """Start tracking a new miss; the request becomes the entry's first
+        waiter."""
+        if block_addr in self._entries:
+            raise ValueError("MSHR entry for %#x already exists" % block_addr)
+        if not self.can_allocate():
+            raise ValueError("MSHR table full")
+        self._entries[block_addr] = [request]
+
+    def merge(self, block_addr, request):
+        """Attach a request to an existing in-flight miss."""
+        entry = self._entries[block_addr]
+        if len(entry) >= self.max_merge:
+            raise ValueError("MSHR merge capacity exceeded for %#x"
+                             % block_addr)
+        entry.append(request)
+
+    def fill(self, block_addr):
+        """The fill returned: pop and return every waiting request."""
+        return self._entries.pop(block_addr, [])
+
+    def waiting(self, block_addr):
+        return list(self._entries.get(block_addr, ()))

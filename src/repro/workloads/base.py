@@ -1,0 +1,145 @@
+"""Workload framework: how an application is defined, run and verified.
+
+A workload is the reproduction's equivalent of one paper benchmark.  It
+bundles:
+
+* PTX-subset source for its kernels,
+* host-side orchestration (input generation, launches, readback — the
+  part a CUDA application runs on the CPU),
+* a functional verifier against a numpy/networkx reference, and
+* Table I metadata (category, data-set description).
+
+``Workload.run()`` produces a :class:`WorkloadRun`: the parsed module,
+per-kernel load classifications, the application trace and the final
+memory image — everything the profiling and simulation layers consume.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..core import ClassificationResult, classify_kernel
+from ..emulator import ApplicationTrace, Emulator, MemoryImage
+from ..ptx import Kernel, Module, parse_module
+
+
+@dataclass
+class WorkloadRun:
+    """Everything produced by one complete application run."""
+
+    workload: "Workload"
+    module: Module
+    memory: MemoryImage
+    trace: ApplicationTrace
+    classifications: Dict[str, ClassificationResult]
+
+    # -- aggregate views --------------------------------------------------
+
+    def dynamic_class_split(self):
+        """Dynamic (execution-weighted) ``(deterministic, nondet)`` global
+        load counts across all kernels — the per-app bar of Figure 1."""
+        det = 0
+        nondet = 0
+        for name, result in self.classifications.items():
+            counts = self.trace.dynamic_counts_by_pc(name)
+            for load in result:
+                n = counts.get(load.pc, 0)
+                if load.is_deterministic:
+                    det += n
+                else:
+                    nondet += n
+        return det, nondet
+
+    def pc_class_map(self, kernel_name):
+        result = self.classifications.get(kernel_name)
+        if result is None:
+            return {}
+        return {load.pc: str(load.load_class) for load in result}
+
+
+class Workload(abc.ABC):
+    """Base class for the 15 benchmark applications.
+
+    Subclasses set the class attributes and implement the four hooks:
+    :meth:`ptx` (kernel source), :meth:`setup` (input generation +
+    device allocation), :meth:`host` (the launch sequence) and
+    :meth:`verify` (functional check against a reference).
+    """
+
+    #: short name, matching the paper's Table I (e.g. ``"bfs"``).
+    name: str = ""
+    #: ``"linear"``, ``"image"`` or ``"graph"``.
+    category: str = ""
+    #: one-line description (Table I's Description column).
+    description: str = ""
+    #: description of the generated input (Table I's Data set column).
+    data_set: str = ""
+    #: True for extended-suite applications beyond the paper's Table I.
+    extended: bool = False
+
+    def __init__(self, scale=1.0, seed=7):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+
+    # -- hooks ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def ptx(self):
+        """PTX-subset source text for every kernel of the app."""
+
+    @abc.abstractmethod
+    def setup(self, mem):
+        """Generate inputs and allocate device buffers.
+
+        Implementations stash whatever handles :meth:`host` and
+        :meth:`verify` need on ``self``.
+        """
+
+    @abc.abstractmethod
+    def host(self, emu, module):
+        """The host program: performs kernel launches via ``emu.launch``
+        and yields each :class:`KernelLaunchTrace` in order."""
+
+    @abc.abstractmethod
+    def verify(self, mem):
+        """Assert functional correctness of the final memory state
+        against a numpy / networkx reference implementation."""
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self, verify=True, max_warp_insts=20_000_000):
+        """Execute the full application; returns a :class:`WorkloadRun`."""
+        module = parse_module(self.ptx())
+        classifications = {k.name: classify_kernel(k) for k in module}
+        mem = MemoryImage()
+        self.setup(mem)
+        emu = Emulator(mem, max_warp_insts=max_warp_insts)
+        app = ApplicationTrace(name=self.name)
+        for launch_trace in self.host(emu, module):
+            app.add(launch_trace)
+        if verify:
+            self.verify(mem)
+        return WorkloadRun(
+            workload=self,
+            module=module,
+            memory=mem,
+            trace=app,
+            classifications=classifications,
+        )
+
+    # -- helpers for subclasses ------------------------------------------------
+
+    def dim(self, base, minimum=1, multiple=1):
+        """Scale a base size by ``self.scale``, clamped and rounded to a
+        multiple (keeps matrix tiles and CTA shapes aligned)."""
+        value = max(minimum, int(round(base * self.scale)))
+        if multiple > 1:
+            value = max(multiple, (value // multiple) * multiple)
+        return value
+
+    def __repr__(self):
+        return "%s(scale=%s)" % (type(self).__name__, self.scale)

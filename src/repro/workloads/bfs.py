@@ -1,0 +1,187 @@
+"""bfs — breadth-first search (Rodinia ``bfs``, the paper's Code 1).
+
+The classic two-kernel level-synchronous formulation: Kernel 1 expands
+the current frontier (mask) — its edge-array and visited-array loads are
+the paper's canonical *non-deterministic* loads, with addresses derived
+from the loaded node structure; Kernel 2 folds the updating mask into the
+frontier and raises the host's stop flag.  The host relaunches until the
+frontier is empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ptx.isa import DType
+from .base import Workload
+from .graph_common import alloc_graph, default_graph, reference_hop_distance
+
+_U32 = DType.U32
+
+_PTX = """
+.entry bfs_kernel1 (
+    .param .u64 row_ptr,
+    .param .u64 col_idx,
+    .param .u64 mask,
+    .param .u64 updating,
+    .param .u64 visited,
+    .param .u64 cost,
+    .param .u32 num_nodes
+)
+{
+    .reg .u32 %r<16>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // tid
+    ld.param.u32   %r5, [num_nodes];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u64   %rd1, [mask];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.u32  %r6, [%rd4];            // mask[tid]       (deterministic)
+    setp.eq.u32    %p2, %r6, 0;
+    @%p2 bra       EXIT;
+    st.global.u32  [%rd4], 0;              // mask[tid] = false
+    ld.param.u64   %rd5, [cost];
+    add.u64        %rd6, %rd5, %rd3;
+    ld.global.u32  %r7, [%rd6];            // cost[tid]       (deterministic)
+    add.u32        %r8, %r7, 1;            // neighbour cost
+    ld.param.u64   %rd7, [row_ptr];
+    add.u64        %rd8, %rd7, %rd3;
+    ld.global.u32  %r9, [%rd8];            // start           (deterministic)
+    ld.global.u32  %r10, [%rd8+4];         // end             (deterministic)
+    ld.param.u64   %rd9, [col_idx];
+    ld.param.u64   %rd10, [visited];
+    ld.param.u64   %rd11, [updating];
+    mov.u32        %r11, %r9;              // i = start (loaded!)
+LOOP:
+    setp.ge.u32    %p3, %r11, %r10;
+    @%p3 bra       EXIT;
+    cvt.u64.u32    %rd12, %r11;
+    shl.b64        %rd13, %rd12, 2;
+    add.u64        %rd14, %rd9, %rd13;
+    ld.global.u32  %r12, [%rd14];          // id = edges[i] (NON-deterministic)
+    cvt.u64.u32    %rd15, %r12;
+    shl.b64        %rd16, %rd15, 2;
+    add.u64        %rd17, %rd10, %rd16;
+    ld.global.u32  %r13, [%rd17];          // visited[id]   (NON-deterministic)
+    setp.ne.u32    %p4, %r13, 0;
+    @%p4 bra       NEXT;
+    add.u64        %rd18, %rd5, %rd16;
+    st.global.u32  [%rd18], %r8;           // cost[id] = cost[tid] + 1
+    add.u64        %rd19, %rd11, %rd16;
+    st.global.u32  [%rd19], 1;             // updating[id] = true
+NEXT:
+    add.u32        %r11, %r11, 1;
+    bra            LOOP;
+EXIT:
+    exit;
+}
+
+.entry bfs_kernel2 (
+    .param .u64 mask,
+    .param .u64 updating,
+    .param .u64 visited,
+    .param .u64 stop,
+    .param .u32 num_nodes
+)
+{
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;
+    ld.param.u32   %r5, [num_nodes];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u64   %rd1, [updating];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.u32  %r6, [%rd4];            // updating[tid]  (deterministic)
+    setp.eq.u32    %p2, %r6, 0;
+    @%p2 bra       EXIT;
+    ld.param.u64   %rd5, [mask];
+    add.u64        %rd6, %rd5, %rd3;
+    st.global.u32  [%rd6], 1;              // mask[tid] = true
+    ld.param.u64   %rd7, [visited];
+    add.u64        %rd8, %rd7, %rd3;
+    st.global.u32  [%rd8], 1;              // visited[tid] = true
+    st.global.u32  [%rd4], 0;              // updating[tid] = false
+    ld.param.u64   %rd9, [stop];
+    st.global.u32  [%rd9], 1;              // keep iterating
+EXIT:
+    exit;
+}
+"""
+
+
+class BFS(Workload):
+    """Level-synchronous breadth-first search."""
+
+    name = "bfs"
+    category = "graph"
+    description = "breadth first search"
+
+    BLOCK = 128
+    SOURCE = 0
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.graph = None
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        self.graph = default_graph(self)
+        n = self.graph.num_nodes
+        self.data_set = "R-MAT graph, %d nodes / %d edges" % (
+            n, self.graph.num_edges)
+        self.ptrs = alloc_graph(mem, self.graph)
+        mask = np.zeros(n, dtype=np.uint32)
+        visited = np.zeros(n, dtype=np.uint32)
+        cost = np.full(n, np.uint32(0xFFFFFFFF), dtype=np.uint32)
+        mask[self.SOURCE] = 1
+        visited[self.SOURCE] = 1
+        cost[self.SOURCE] = 0
+        self.ptrs["mask"] = mem.alloc_array("mask", mask)
+        self.ptrs["updating"] = mem.alloc_array("updating",
+                                                np.zeros(n, dtype=np.uint32))
+        self.ptrs["visited"] = mem.alloc_array("visited", visited)
+        self.ptrs["cost"] = mem.alloc_array("cost", cost)
+        self.ptrs["stop"] = mem.alloc("stop", 4)
+
+    def host(self, emu, module):
+        k1, k2 = module["bfs_kernel1"], module["bfs_kernel2"]
+        n = self.graph.num_nodes
+        grid = (max(1, -(-n // self.BLOCK)),)
+        while True:
+            emu.memory.store(self.ptrs["stop"], _U32, 0)
+            yield emu.launch(k1, grid, (self.BLOCK,), params={
+                "row_ptr": self.ptrs["row_ptr"],
+                "col_idx": self.ptrs["col_idx"],
+                "mask": self.ptrs["mask"],
+                "updating": self.ptrs["updating"],
+                "visited": self.ptrs["visited"],
+                "cost": self.ptrs["cost"],
+                "num_nodes": n})
+            yield emu.launch(k2, grid, (self.BLOCK,), params={
+                "mask": self.ptrs["mask"],
+                "updating": self.ptrs["updating"],
+                "visited": self.ptrs["visited"],
+                "stop": self.ptrs["stop"],
+                "num_nodes": n})
+            if emu.memory.load(self.ptrs["stop"], _U32) == 0:
+                break
+
+    def verify(self, mem):
+        n = self.graph.num_nodes
+        cost = mem.read_array("cost", np.uint32, n).astype(np.int64)
+        cost[cost == 0xFFFFFFFF] = -1
+        expected = reference_hop_distance(self.graph, self.SOURCE)
+        if not np.array_equal(cost, expected):
+            bad = int(np.sum(cost != expected))
+            raise AssertionError("bfs: %d/%d hop counts wrong" % (bad, n))

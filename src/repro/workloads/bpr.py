@@ -1,0 +1,258 @@
+"""bpr — back-propagation layer training (Rodinia ``backprop``).
+
+The input-to-hidden forward pass: each 16x16 CTA stages 16 input
+activations into shared memory, multiplies them against a 16x16 weight
+tile, and tree-reduces partial sums in shared memory (barriers between
+phases) — the heavy shared-memory traffic behind Figure 9's image-app
+bars.  A second kernel folds the per-block partials and applies the
+sigmoid (SFU), and a third adjusts the weights.  All global loads are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+_PTX = """
+.entry layerforward (
+    .param .u64 input,
+    .param .u64 weights,
+    .param .u64 partial,
+    .param .u32 in_n,
+    .param .u32 hid_n
+)
+{
+    // block (16, 16): ty indexes the input within the block's 16-row
+    // stripe, tx the hidden unit.  grid (1, in_n/16).
+    .reg .u32 %r<20>;
+    .shared .f32 s_input[16];
+    .shared .f32 s_prod[256];
+    mov.u32        %r1, %tid.x;            // hidden unit
+    mov.u32        %r2, %tid.y;            // input row within stripe
+    mov.u32        %r3, %ctaid.y;          // stripe index
+    ld.param.u32   %r4, [in_n];
+    ld.param.u32   %r5, [hid_n];
+    mad.lo.u32     %r6, %r3, 16, %r2;      // global input index
+    // one column of threads stages the inputs into shared memory
+    setp.ne.u32    %p1, %r1, 0;
+    @%p1 bra       STAGED;
+    ld.param.u64   %rd1, [input];
+    cvt.u64.u32    %rd2, %r6;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // input[i]  (deterministic)
+    mov.u32        %r7, s_input;
+    shl.b32        %r8, %r2, 2;
+    add.u32        %r9, %r7, %r8;
+    st.shared.f32  [%r9], %f1;
+STAGED:
+    bar.sync       0;
+    // product: s_prod[ty][tx] = s_input[ty] * w[i][tx]
+    ld.param.u64   %rd5, [weights];
+    mad.lo.u32     %r10, %r6, %r5, %r1;    // i*hid_n + tx
+    cvt.u64.u32    %rd6, %r10;
+    shl.b64        %rd7, %rd6, 2;
+    add.u64        %rd8, %rd5, %rd7;
+    ld.global.f32  %f2, [%rd8];            // weight   (deterministic)
+    mov.u32        %r7, s_input;
+    shl.b32        %r8, %r2, 2;
+    add.u32        %r9, %r7, %r8;
+    ld.shared.f32  %f3, [%r9];
+    mul.f32        %f4, %f2, %f3;
+    mov.u32        %r11, s_prod;
+    mad.lo.u32     %r12, %r2, 16, %r1;     // ty*16 + tx
+    shl.b32        %r13, %r12, 2;
+    add.u32        %r14, %r11, %r13;
+    st.shared.f32  [%r14], %f4;
+    bar.sync       0;
+    // tree-reduce over ty for each tx
+    mov.u32        %r15, 8;
+RLOOP:
+    setp.eq.u32    %p2, %r15, 0;
+    @%p2 bra       WRITE;
+    setp.ge.u32    %p3, %r2, %r15;
+    @%p3 bra       RSKIP;
+    add.u32        %r16, %r2, %r15;
+    mad.lo.u32     %r17, %r16, 16, %r1;
+    shl.b32        %r18, %r17, 2;
+    add.u32        %r19, %r11, %r18;
+    ld.shared.f32  %f5, [%r19];
+    ld.shared.f32  %f6, [%r14];
+    add.f32        %f7, %f5, %f6;
+    st.shared.f32  [%r14], %f7;
+RSKIP:
+    bar.sync       0;
+    shr.u32        %r15, %r15, 1;
+    bra            RLOOP;
+WRITE:
+    setp.ne.u32    %p4, %r2, 0;
+    @%p4 bra       EXIT;
+    // partial[stripe][tx] = reduced sum for this stripe
+    ld.shared.f32  %f8, [%r14];            // s_prod[0][tx]
+    ld.param.u64   %rd9, [partial];
+    mad.lo.u32     %r16, %r3, %r5, %r1;    // stripe*hid_n + tx
+    cvt.u64.u32    %rd10, %r16;
+    shl.b64        %rd11, %rd10, 2;
+    add.u64        %rd12, %rd9, %rd11;
+    st.global.f32  [%rd12], %f8;
+EXIT:
+    exit;
+}
+
+.entry fold_sigmoid (
+    .param .u64 partial,
+    .param .u64 hidden,
+    .param .u32 num_stripes,
+    .param .u32 hid_n
+)
+{
+    // hidden[j] = sigmoid( sum_s partial[s][j] )
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // hidden unit j
+    ld.param.u32   %r5, [hid_n];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u32   %r6, [num_stripes];
+    ld.param.u64   %rd1, [partial];
+    mov.f32        %f1, 0.0;
+    mov.u32        %r7, 0;
+LOOP:
+    setp.ge.u32    %p2, %r7, %r6;
+    @%p2 bra       DONE;
+    mad.lo.u32     %r8, %r7, %r5, %r4;
+    cvt.u64.u32    %rd2, %r8;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f2, [%rd4];            // partial[s][j]  (deterministic)
+    add.f32        %f1, %f1, %f2;
+    add.u32        %r7, %r7, 1;
+    bra            LOOP;
+DONE:
+    // sigmoid(x) = 1 / (1 + 2^(-x * log2(e)))
+    mul.f32        %f3, %f1, 1.4426950;
+    neg.f32        %f4, %f3;
+    ex2.f32        %f5, %f4;               // SFU
+    add.f32        %f6, %f5, 1.0;
+    rcp.f32        %f7, %f6;               // SFU
+    ld.param.u64   %rd5, [hidden];
+    cvt.u64.u32    %rd6, %r4;
+    shl.b64        %rd7, %rd6, 2;
+    add.u64        %rd8, %rd5, %rd7;
+    st.global.f32  [%rd8], %f7;
+EXIT:
+    exit;
+}
+
+.entry adjust_weights (
+    .param .u64 weights,
+    .param .u64 input,
+    .param .u64 delta,
+    .param .u32 in_n,
+    .param .u32 hid_n
+)
+{
+    // w[i][j] += eta * delta[j] * input[i]
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // j
+    mov.u32        %r5, %ctaid.y;
+    mov.u32        %r6, %ntid.y;
+    mov.u32        %r7, %tid.y;
+    mad.lo.u32     %r8, %r5, %r6, %r7;     // i
+    ld.param.u32   %r9, [hid_n];
+    setp.ge.u32    %p1, %r4, %r9;
+    @%p1 bra       EXIT;
+    ld.param.u32   %r10, [in_n];
+    setp.ge.u32    %p2, %r8, %r10;
+    @%p2 bra       EXIT;
+    ld.param.u64   %rd1, [delta];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // delta[j]  (deterministic)
+    ld.param.u64   %rd5, [input];
+    cvt.u64.u32    %rd6, %r8;
+    shl.b64        %rd7, %rd6, 2;
+    add.u64        %rd8, %rd5, %rd7;
+    ld.global.f32  %f2, [%rd8];            // input[i]  (deterministic)
+    ld.param.u64   %rd9, [weights];
+    mad.lo.u32     %r11, %r8, %r9, %r4;
+    cvt.u64.u32    %rd10, %r11;
+    shl.b64        %rd11, %rd10, 2;
+    add.u64        %rd12, %rd9, %rd11;
+    ld.global.f32  %f3, [%rd12];           // w[i][j]   (deterministic)
+    mul.f32        %f4, %f1, %f2;
+    mad.f32        %f5, %f4, 0.3, %f3;     // eta = 0.3
+    st.global.f32  [%rd12], %f5;
+EXIT:
+    exit;
+}
+"""
+
+
+class BackProp(Workload):
+    """Neural-network layer forward pass + weight adjustment."""
+
+    name = "bpr"
+    category = "image"
+    description = "back propagation (pattern recognition layer)"
+
+    HID = 16
+    ETA = 0.3
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.in_n = self.dim(512, minimum=16, multiple=16)
+        self.data_set = "%d-input, %d-hidden layer" % (self.in_n, self.HID)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        r = np.random.default_rng(self.seed)
+        self.input_host = r.random(self.in_n, dtype=np.float32)
+        self.weights_host = (r.random((self.in_n, self.HID),
+                                      dtype=np.float32) - 0.5)
+        self.delta_host = (r.random(self.HID, dtype=np.float32) - 0.5)
+        self.num_stripes = self.in_n // 16
+        self.ptr_input = mem.alloc_array("input", self.input_host)
+        self.ptr_weights = mem.alloc_array("weights", self.weights_host)
+        self.ptr_partial = mem.alloc(
+            "partial", self.num_stripes * self.HID * 4)
+        self.ptr_hidden = mem.alloc("hidden", self.HID * 4)
+        self.ptr_delta = mem.alloc_array("delta", self.delta_host)
+
+    def host(self, emu, module):
+        yield emu.launch(module["layerforward"], (1, self.num_stripes),
+                         (16, 16), params={
+            "input": self.ptr_input, "weights": self.ptr_weights,
+            "partial": self.ptr_partial, "in_n": self.in_n,
+            "hid_n": self.HID})
+        yield emu.launch(module["fold_sigmoid"], (1,), (self.HID,), params={
+            "partial": self.ptr_partial, "hidden": self.ptr_hidden,
+            "num_stripes": self.num_stripes, "hid_n": self.HID})
+        yield emu.launch(module["adjust_weights"],
+                         (1, self.in_n // 16), (16, 16), params={
+            "weights": self.ptr_weights, "input": self.ptr_input,
+            "delta": self.ptr_delta, "in_n": self.in_n, "hid_n": self.HID})
+
+    def verify(self, mem):
+        hidden = mem.read_array("hidden", np.float32, self.HID)
+        pre = self.weights_host.astype(np.float64).T @ \
+            self.input_host.astype(np.float64)
+        expected = 1.0 / (1.0 + np.exp(-pre))
+        if not np.allclose(hidden, expected, rtol=1e-3, atol=1e-4):
+            raise AssertionError("bpr: hidden activations mismatch")
+        weights = mem.read_array(
+            "weights", np.float32, self.in_n * self.HID).reshape(
+                self.in_n, self.HID)
+        expected_w = (self.weights_host.astype(np.float64)
+                      + self.ETA * np.outer(self.input_host,
+                                            self.delta_host))
+        if not np.allclose(weights, expected_w, rtol=1e-3, atol=1e-4):
+            raise AssertionError("bpr: adjusted weights mismatch")

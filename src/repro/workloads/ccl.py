@@ -1,0 +1,133 @@
+"""ccl — connected-component labelling via label propagation.
+
+Every node starts with its own id as label; each iteration a node takes
+the minimum label among itself and its neighbours (double-buffered), and
+the host iterates until no label changed.  Neighbour-label loads are
+indexed through the edge array — non-deterministic — while each node's
+own label load is deterministic.  At convergence each node's label is the
+smallest node id in its component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ptx.isa import DType
+from .base import Workload
+from .graph_common import alloc_graph, default_graph, reference_components
+
+_U32 = DType.U32
+
+_PTX = """
+.entry ccl_propagate (
+    .param .u64 row_ptr,
+    .param .u64 col_idx,
+    .param .u64 labels_in,
+    .param .u64 labels_out,
+    .param .u64 changed,
+    .param .u32 num_nodes
+)
+{
+    .reg .u32 %r<16>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // v
+    ld.param.u32   %r5, [num_nodes];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u64   %rd1, [labels_in];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.u32  %r6, [%rd4];            // own label     (deterministic)
+    ld.param.u64   %rd5, [row_ptr];
+    add.u64        %rd6, %rd5, %rd3;
+    ld.global.u32  %r7, [%rd6];            // start         (deterministic)
+    ld.global.u32  %r8, [%rd6+4];          // end           (deterministic)
+    ld.param.u64   %rd7, [col_idx];
+    mov.u32        %r9, %r7;               // i = start (loaded!)
+    mov.u32        %r10, %r6;              // best = own label
+LOOP:
+    setp.ge.u32    %p2, %r9, %r8;
+    @%p2 bra       DONE;
+    cvt.u64.u32    %rd8, %r9;
+    shl.b64        %rd9, %rd8, 2;
+    add.u64        %rd10, %rd7, %rd9;
+    ld.global.u32  %r11, [%rd10];          // u = edges[i] (NON-deterministic)
+    cvt.u64.u32    %rd11, %r11;
+    shl.b64        %rd12, %rd11, 2;
+    add.u64        %rd13, %rd1, %rd12;
+    ld.global.u32  %r12, [%rd13];          // labels[u]    (NON-deterministic)
+    min.u32        %r10, %r10, %r12;
+    add.u32        %r9, %r9, 1;
+    bra            LOOP;
+DONE:
+    ld.param.u64   %rd14, [labels_out];
+    add.u64        %rd15, %rd14, %rd3;
+    st.global.u32  [%rd15], %r10;
+    setp.ge.u32    %p3, %r10, %r6;
+    @%p3 bra       EXIT;
+    ld.param.u64   %rd16, [changed];
+    st.global.u32  [%rd16], 1;
+EXIT:
+    exit;
+}
+"""
+
+
+class CCL(Workload):
+    """Iterative min-label propagation for connected components."""
+
+    name = "ccl"
+    category = "graph"
+    description = "connected component labeling"
+
+    BLOCK = 128
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.graph = None
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        self.graph = default_graph(self)
+        n = self.graph.num_nodes
+        self.data_set = "R-MAT graph, %d nodes / %d edges" % (
+            n, self.graph.num_edges)
+        self.ptrs = alloc_graph(mem, self.graph)
+        labels = np.arange(n, dtype=np.uint32)
+        self.ptrs["labels_a"] = mem.alloc_array("labels_a", labels)
+        self.ptrs["labels_b"] = mem.alloc_array("labels_b", labels)
+        self.ptrs["changed"] = mem.alloc("changed", 4)
+        self.final_buffer = "labels_a"
+
+    def host(self, emu, module):
+        kernel = module["ccl_propagate"]
+        n = self.graph.num_nodes
+        grid = (max(1, -(-n // self.BLOCK)),)
+        src, dst = "labels_a", "labels_b"
+        while True:
+            emu.memory.store(self.ptrs["changed"], _U32, 0)
+            yield emu.launch(kernel, grid, (self.BLOCK,), params={
+                "row_ptr": self.ptrs["row_ptr"],
+                "col_idx": self.ptrs["col_idx"],
+                "labels_in": self.ptrs[src],
+                "labels_out": self.ptrs[dst],
+                "changed": self.ptrs["changed"],
+                "num_nodes": n})
+            src, dst = dst, src
+            if emu.memory.load(self.ptrs["changed"], _U32) == 0:
+                break
+        self.final_buffer = src
+
+    def verify(self, mem):
+        n = self.graph.num_nodes
+        labels = mem.read_array(self.final_buffer, np.uint32, n).astype(
+            np.int64)
+        expected = reference_components(self.graph)
+        if not np.array_equal(labels, expected):
+            bad = int(np.sum(labels != expected))
+            raise AssertionError("ccl: %d/%d labels wrong" % (bad, n))

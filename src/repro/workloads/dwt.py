@@ -1,0 +1,252 @@
+"""dwt — 2-D discrete wavelet transform (Rodinia ``dwt2d``).
+
+A two-level Haar decomposition: each thread computes the four subband
+coefficients (LL/LH/HL/HH) of one 2x2 pixel block; the host launches the
+kernel once per level, feeding the previous level's LL quadrant back in
+(the pipelined sub-task structure Section IV describes for image
+applications).  Blocks on the image boundary take a separate replicated-
+padding code path, producing the control-flow divergence the paper notes
+for wavelet kernels near frame boundaries.  All loads are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+from .data import synthetic_image
+
+_PTX = """
+.entry haar2d (
+    .param .u64 src,
+    .param .u64 dst,
+    .param .u32 rows,
+    .param .u32 cols
+)
+{
+    .reg .u32 %r<24>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // out col
+    mov.u32        %r5, %ctaid.y;
+    mov.u32        %r6, %ntid.y;
+    mov.u32        %r7, %tid.y;
+    mad.lo.u32     %r8, %r5, %r6, %r7;     // out row
+    ld.param.u32   %r9, [rows];
+    ld.param.u32   %r10, [cols];
+    shr.u32        %r11, %r9, 1;           // half rows
+    shr.u32        %r12, %r10, 1;          // half cols
+    setp.ge.u32    %p1, %r4, %r12;
+    @%p1 bra       EXIT;
+    setp.ge.u32    %p2, %r8, %r11;
+    @%p2 bra       EXIT;
+    shl.b32        %r13, %r8, 1;           // 2*row
+    shl.b32        %r14, %r4, 1;           // 2*col
+    ld.param.u64   %rd1, [src];
+    // boundary blocks take the replicated-padding path (divergent)
+    sub.u32        %r15, %r11, 1;
+    setp.eq.u32    %p3, %r8, %r15;
+    @%p3 bra       BORDER;
+    sub.u32        %r16, %r12, 1;
+    setp.eq.u32    %p4, %r4, %r16;
+    @%p4 bra       BORDER;
+    // interior: load the 2x2 block directly
+    mad.lo.u32     %r17, %r13, %r10, %r14;
+    cvt.u64.u32    %rd2, %r17;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // a = src[2r][2c]
+    ld.global.f32  %f2, [%rd4+4];          // b = src[2r][2c+1]
+    add.u32        %r18, %r17, %r10;
+    cvt.u64.u32    %rd5, %r18;
+    shl.b64        %rd6, %rd5, 2;
+    add.u64        %rd7, %rd1, %rd6;
+    ld.global.f32  %f3, [%rd7];            // c = src[2r+1][2c]
+    ld.global.f32  %f4, [%rd7+4];          // d = src[2r+1][2c+1]
+    bra            COMPUTE;
+BORDER:
+    // replicate-clamp each of the four taps individually
+    add.u32        %r19, %r13, 1;
+    min.u32        %r20, %r19, %r9;
+    sub.u32        %r21, %r9, 1;
+    min.u32        %r20, %r19, %r21;       // rlo = min(2r+1, rows-1)
+    add.u32        %r22, %r14, 1;
+    sub.u32        %r23, %r10, 1;
+    min.u32        %r15, %r22, %r23;       // clo = min(2c+1, cols-1)
+    mad.lo.u32     %r16, %r13, %r10, %r14;
+    cvt.u64.u32    %rd8, %r16;
+    shl.b64        %rd9, %rd8, 2;
+    add.u64        %rd10, %rd1, %rd9;
+    ld.global.f32  %f1, [%rd10];           // a
+    mad.lo.u32     %r16, %r13, %r10, %r15;
+    cvt.u64.u32    %rd11, %r16;
+    shl.b64        %rd12, %rd11, 2;
+    add.u64        %rd13, %rd1, %rd12;
+    ld.global.f32  %f2, [%rd13];           // b (clamped col)
+    mad.lo.u32     %r16, %r20, %r10, %r14;
+    cvt.u64.u32    %rd14, %r16;
+    shl.b64        %rd15, %rd14, 2;
+    add.u64        %rd16, %rd1, %rd15;
+    ld.global.f32  %f3, [%rd16];           // c (clamped row)
+    mad.lo.u32     %r16, %r20, %r10, %r15;
+    cvt.u64.u32    %rd17, %r16;
+    shl.b64        %rd18, %rd17, 2;
+    add.u64        %rd19, %rd1, %rd18;
+    ld.global.f32  %f4, [%rd19];           // d (clamped both)
+COMPUTE:
+    add.f32        %f5, %f1, %f2;
+    add.f32        %f6, %f3, %f4;
+    add.f32        %f7, %f5, %f6;          // a+b+c+d
+    mul.f32        %f8, %f7, 0.25;         // LL
+    sub.f32        %f9, %f1, %f2;
+    sub.f32        %f10, %f3, %f4;
+    add.f32        %f11, %f9, %f10;        // a-b+c-d
+    mul.f32        %f12, %f11, 0.25;       // LH
+    sub.f32        %f13, %f5, %f6;         // a+b-c-d
+    mul.f32        %f14, %f13, 0.25;       // HL
+    sub.f32        %f15, %f9, %f10;        // a-b-c+d
+    mul.f32        %f16, %f15, 0.25;       // HH
+    ld.param.u64   %rd20, [dst];
+    mad.lo.u32     %r17, %r8, %r10, %r4;   // row*cols + col  (LL)
+    cvt.u64.u32    %rd21, %r17;
+    shl.b64        %rd22, %rd21, 2;
+    add.u64        %rd23, %rd20, %rd22;
+    st.global.f32  [%rd23], %f8;
+    add.u32        %r18, %r17, %r12;       // LH: col + cols/2
+    cvt.u64.u32    %rd24, %r18;
+    shl.b64        %rd25, %rd24, 2;
+    add.u64        %rd26, %rd20, %rd25;
+    st.global.f32  [%rd26], %f12;
+    mad.lo.u32     %r19, %r11, %r10, %r17; // HL: row + rows/2
+    cvt.u64.u32    %rd27, %r19;
+    shl.b64        %rd28, %rd27, 2;
+    add.u64        %rd29, %rd20, %rd28;
+    st.global.f32  [%rd29], %f14;
+    add.u32        %r20, %r19, %r12;       // HH
+    cvt.u64.u32    %rd30, %r20;
+    shl.b64        %rd31, %rd30, 2;
+    add.u64        %rd32, %rd20, %rd31;
+    st.global.f32  [%rd32], %f16;
+EXIT:
+    exit;
+}
+
+.entry copy_ll (
+    .param .u64 src,
+    .param .u64 dst,
+    .param .u32 half_rows,
+    .param .u32 half_cols,
+    .param .u32 src_cols
+)
+{
+    // gather the LL quadrant into a dense (half x half) buffer
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // col
+    mov.u32        %r5, %ctaid.y;
+    mov.u32        %r6, %ntid.y;
+    mov.u32        %r7, %tid.y;
+    mad.lo.u32     %r8, %r5, %r6, %r7;     // row
+    ld.param.u32   %r9, [half_rows];
+    ld.param.u32   %r10, [half_cols];
+    setp.ge.u32    %p1, %r4, %r10;
+    @%p1 bra       EXIT;
+    setp.ge.u32    %p2, %r8, %r9;
+    @%p2 bra       EXIT;
+    ld.param.u32   %r11, [src_cols];
+    ld.param.u64   %rd1, [src];
+    mad.lo.u32     %r12, %r8, %r11, %r4;
+    cvt.u64.u32    %rd2, %r12;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // deterministic
+    ld.param.u64   %rd5, [dst];
+    mad.lo.u32     %r13, %r8, %r10, %r4;
+    cvt.u64.u32    %rd6, %r13;
+    shl.b64        %rd7, %rd6, 2;
+    add.u64        %rd8, %rd5, %rd7;
+    st.global.f32  [%rd8], %f1;
+EXIT:
+    exit;
+}
+"""
+
+
+def haar_level(img):
+    """Reference single-level Haar decomposition (numpy)."""
+    rows, cols = img.shape
+    a = img[0::2, 0::2].astype(np.float64)
+    b = img[0::2, 1::2].astype(np.float64)
+    c = img[1::2, 0::2].astype(np.float64)
+    d = img[1::2, 1::2].astype(np.float64)
+    out = np.zeros_like(img, dtype=np.float64)
+    h, w = rows // 2, cols // 2
+    out[:h, :w] = (a + b + c + d) / 4
+    out[:h, w:] = (a - b + c - d) / 4
+    out[h:, :w] = (a + b - c - d) / 4
+    out[h:, w:] = (a - b - c + d) / 4
+    return out
+
+
+class DWT2D(Workload):
+    """Two-level 2-D Haar wavelet transform."""
+
+    name = "dwt"
+    category = "image"
+    description = "2D discrete wavelet transform"
+
+    BLOCK = 16
+    LEVELS = 2
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.rows = self.dim(96, minimum=16, multiple=16)
+        self.cols = self.dim(96, minimum=16, multiple=16)
+        self.data_set = "%dx%d image" % (self.rows, self.cols)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        self.img_host = synthetic_image(self.rows, self.cols, seed=self.seed)
+        self.ptr_src = mem.alloc_array("src", self.img_host)
+        self.ptr_dst = mem.alloc("dst", self.rows * self.cols * 4)
+        self.ptr_ll = mem.alloc("ll", (self.rows // 2) * (self.cols // 2) * 4)
+        self.ptr_ll2 = mem.alloc("ll2",
+                                 (self.rows // 2) * (self.cols // 2) * 4)
+
+    def host(self, emu, module):
+        haar, gather = module["haar2d"], module["copy_ll"]
+        rows, cols = self.rows, self.cols
+        src, dst = self.ptr_src, self.ptr_dst
+        for level in range(self.LEVELS):
+            gx = max(1, -(-(cols // 2) // self.BLOCK))
+            gy = max(1, -(-(rows // 2) // self.BLOCK))
+            yield emu.launch(haar, (gx, gy), (self.BLOCK, self.BLOCK),
+                             params={"src": src, "dst": dst,
+                                     "rows": rows, "cols": cols})
+            if level + 1 < self.LEVELS:
+                # extract LL into a dense buffer for the next level
+                yield emu.launch(gather, (gx, gy), (self.BLOCK, self.BLOCK),
+                                 params={"src": dst, "dst": self.ptr_ll,
+                                         "half_rows": rows // 2,
+                                         "half_cols": cols // 2,
+                                         "src_cols": cols})
+                src, dst = self.ptr_ll, self.ptr_ll2
+                rows, cols = rows // 2, cols // 2
+        self.final_rows, self.final_cols = rows, cols
+
+    def verify(self, mem):
+        level1 = haar_level(self.img_host)
+        result1 = mem.read_array("dst", np.float32,
+                                 self.rows * self.cols).reshape(
+                                     self.rows, self.cols)
+        if not np.allclose(result1, level1, rtol=1e-4, atol=1e-5):
+            raise AssertionError("dwt: level-1 subbands mismatch")
+        h, w = self.rows // 2, self.cols // 2
+        level2 = haar_level(level1[:h, :w].astype(np.float32))
+        result2 = mem.read_array("ll2", np.float32, h * w).reshape(h, w)
+        if not np.allclose(result2, level2, rtol=1e-4, atol=1e-5):
+            raise AssertionError("dwt: level-2 subbands mismatch")

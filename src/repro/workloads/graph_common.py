@@ -1,0 +1,68 @@
+"""Shared host-side helpers for the graph workloads.
+
+All five graph applications (bfs, sssp, ccl, mst, mis) consume the same
+CSR adjacency layout produced by :func:`repro.workloads.data.rmat_graph`;
+this module centralizes device allocation and common verification
+utilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .data import CSRGraph, rmat_graph
+
+#: "infinite" distance marker for sssp (fits comfortably in i32).
+INF = 1 << 30
+
+
+def alloc_graph(mem, graph, with_weights=False):
+    """Allocate the CSR arrays on the device; returns a pointer dict."""
+    ptrs = {
+        "row_ptr": mem.alloc_array("row_ptr", graph.row_ptr),
+        "col_idx": mem.alloc_array("col_idx", graph.col_idx),
+    }
+    if with_weights:
+        ptrs["weights"] = mem.alloc_array("weights", graph.weights)
+    return ptrs
+
+
+def default_graph(workload, base_nodes=2048, avg_degree=8):
+    """Build the workload's input graph at its configured scale."""
+    num_nodes = workload.dim(base_nodes, minimum=128, multiple=128)
+    return rmat_graph(num_nodes, avg_degree=avg_degree,
+                      seed=workload.seed, symmetric=True)
+
+
+def reference_components(graph):
+    """Per-node component label = smallest node id in the component."""
+    import networkx as nx
+    g = graph.to_networkx().to_undirected()
+    labels = np.arange(graph.num_nodes, dtype=np.int64)
+    for comp in nx.connected_components(g):
+        rep = min(comp)
+        for v in comp:
+            labels[v] = rep
+    return labels
+
+
+def reference_hop_distance(graph, source):
+    """BFS hop counts from ``source``; unreachable nodes get -1."""
+    import networkx as nx
+    g = graph.to_networkx()
+    dist = nx.single_source_shortest_path_length(g, source)
+    out = np.full(graph.num_nodes, -1, dtype=np.int64)
+    for v, d in dist.items():
+        out[v] = d
+    return out
+
+
+def reference_shortest_paths(graph, source):
+    """Weighted shortest-path distances; unreachable nodes get INF."""
+    import networkx as nx
+    g = graph.to_networkx()
+    dist = nx.single_source_dijkstra_path_length(g, source)
+    out = np.full(graph.num_nodes, INF, dtype=np.int64)
+    for v, d in dist.items():
+        out[v] = d
+    return out

@@ -1,0 +1,226 @@
+"""grm — Gram-Schmidt orthogonalization (PolyBench ``gramschmidt``).
+
+Modified Gram-Schmidt QR in the PolyBench-GPU kernel structure: per
+column ``k`` the host launches three kernels — (1) a single thread
+serially accumulates the column norm, (2) the column is normalized in
+parallel over rows, (3) one thread per trailing column serially computes
+the projection and updates its column.  The serial per-thread loops make
+grm extremely load-dense (the paper's Table I reports 24.75% global
+loads, the highest of the suite); every load indexes through thread ids
+and parameters, hence deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+from .data import random_matrix
+
+_PTX = """
+.entry grm_norm (
+    .param .u64 A,
+    .param .u64 R,
+    .param .u32 n,
+    .param .u32 k
+)
+{
+    // PolyBench gramschmidt_kernel1: a single thread reduces the column
+    .reg .u32 %r<12>;
+    mov.u32        %r1, %tid.x;
+    setp.ne.u32    %p1, %r1, 0;
+    @%p1 bra       EXIT;
+    ld.param.u32   %r2, [n];
+    ld.param.u32   %r3, [k];
+    ld.param.u64   %rd1, [A];
+    mov.f32        %f1, 0.0;
+    mov.u32        %r4, 0;                 // i
+LOOP:
+    setp.ge.u32    %p2, %r4, %r2;
+    @%p2 bra       WRITE;
+    mad.lo.u32     %r5, %r4, %r2, %r3;     // i*n + k
+    cvt.u64.u32    %rd2, %r5;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f2, [%rd4];            // A[i][k]  (deterministic)
+    mad.f32        %f1, %f2, %f2, %f1;
+    add.u32        %r4, %r4, 1;
+    bra            LOOP;
+WRITE:
+    sqrt.f32       %f3, %f1;
+    ld.param.u64   %rd5, [R];
+    mad.lo.u32     %r6, %r3, %r2, %r3;     // k*n + k
+    cvt.u64.u32    %rd6, %r6;
+    shl.b64        %rd7, %rd6, 2;
+    add.u64        %rd8, %rd5, %rd7;
+    st.global.f32  [%rd8], %f3;
+EXIT:
+    exit;
+}
+
+.entry grm_normalize (
+    .param .u64 A,
+    .param .u64 Q,
+    .param .u64 R,
+    .param .u32 n,
+    .param .u32 k
+)
+{
+    // PolyBench gramschmidt_kernel2: Q[i][k] = A[i][k] / R[k][k]
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // i
+    ld.param.u32   %r5, [n];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u32   %r6, [k];
+    ld.param.u64   %rd1, [R];
+    mad.lo.u32     %r7, %r6, %r5, %r6;
+    cvt.u64.u32    %rd2, %r7;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // R[k][k]  (deterministic)
+    ld.param.u64   %rd5, [A];
+    mad.lo.u32     %r8, %r4, %r5, %r6;     // i*n + k
+    cvt.u64.u32    %rd6, %r8;
+    shl.b64        %rd7, %rd6, 2;
+    add.u64        %rd8, %rd5, %rd7;
+    ld.global.f32  %f2, [%rd8];            // A[i][k]  (deterministic)
+    div.f32        %f3, %f2, %f1;
+    ld.param.u64   %rd9, [Q];
+    add.u64        %rd10, %rd9, %rd7;
+    st.global.f32  [%rd10], %f3;
+EXIT:
+    exit;
+}
+
+.entry grm_update (
+    .param .u64 A,
+    .param .u64 Q,
+    .param .u64 R,
+    .param .u32 n,
+    .param .u32 k
+)
+{
+    // PolyBench gramschmidt_kernel3: one thread per trailing column j;
+    // serial dot product followed by a serial column update
+    .reg .u32 %r<16>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // column offset
+    ld.param.u32   %r5, [n];
+    ld.param.u32   %r6, [k];
+    sub.u32        %r7, %r5, %r6;
+    sub.u32        %r8, %r7, 1;            // trailing columns
+    setp.ge.u32    %p1, %r4, %r8;
+    @%p1 bra       EXIT;
+    add.u32        %r9, %r6, %r4;
+    add.u32        %r10, %r9, 1;           // j = k + 1 + offset
+    ld.param.u64   %rd1, [Q];
+    ld.param.u64   %rd2, [A];
+    mov.f32        %f1, 0.0;               // dot accumulator
+    mov.u32        %r11, 0;                // i
+DOT:
+    setp.ge.u32    %p2, %r11, %r5;
+    @%p2 bra       STORE_R;
+    mad.lo.u32     %r12, %r11, %r5, %r6;   // i*n + k
+    cvt.u64.u32    %rd3, %r12;
+    shl.b64        %rd4, %rd3, 2;
+    add.u64        %rd5, %rd1, %rd4;
+    ld.global.f32  %f2, [%rd5];            // Q[i][k]  (deterministic)
+    mad.lo.u32     %r13, %r11, %r5, %r10;  // i*n + j
+    cvt.u64.u32    %rd6, %r13;
+    shl.b64        %rd7, %rd6, 2;
+    add.u64        %rd8, %rd2, %rd7;
+    ld.global.f32  %f3, [%rd8];            // A[i][j]  (deterministic)
+    mad.f32        %f1, %f2, %f3, %f1;
+    add.u32        %r11, %r11, 1;
+    bra            DOT;
+STORE_R:
+    ld.param.u64   %rd9, [R];
+    mad.lo.u32     %r14, %r6, %r5, %r10;   // k*n + j
+    cvt.u64.u32    %rd10, %r14;
+    shl.b64        %rd11, %rd10, 2;
+    add.u64        %rd12, %rd9, %rd11;
+    st.global.f32  [%rd12], %f1;
+    mov.u32        %r11, 0;                // i
+UPDATE:
+    setp.ge.u32    %p3, %r11, %r5;
+    @%p3 bra       EXIT;
+    mad.lo.u32     %r12, %r11, %r5, %r6;   // i*n + k
+    cvt.u64.u32    %rd13, %r12;
+    shl.b64        %rd14, %rd13, 2;
+    add.u64        %rd15, %rd1, %rd14;
+    ld.global.f32  %f4, [%rd15];           // Q[i][k]  (deterministic)
+    mad.lo.u32     %r13, %r11, %r5, %r10;  // i*n + j
+    cvt.u64.u32    %rd16, %r13;
+    shl.b64        %rd17, %rd16, 2;
+    add.u64        %rd18, %rd2, %rd17;
+    ld.global.f32  %f5, [%rd18];           // A[i][j]  (deterministic)
+    mul.f32        %f6, %f4, %f1;
+    sub.f32        %f7, %f5, %f6;
+    st.global.f32  [%rd18], %f7;
+    add.u32        %r11, %r11, 1;
+    bra            UPDATE;
+EXIT:
+    exit;
+}
+"""
+
+
+class GramSchmidt(Workload):
+    """Classical Gram-Schmidt QR factorization (PolyBench kernels)."""
+
+    name = "grm"
+    category = "linear"
+    description = "Gram-Schmidt decomposition"
+
+    BLOCK = 64
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.n = self.dim(48, minimum=8, multiple=8)
+        self.data_set = "%dx%d matrix" % (self.n, self.n)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        n = self.n
+        self.a_host = random_matrix(n, seed=self.seed)
+        self.ptr_a = mem.alloc_array("A", self.a_host)
+        self.ptr_q = mem.alloc("Q", n * n * 4)
+        self.ptr_r = mem.alloc("R", n * n * 4)
+
+    def host(self, emu, module):
+        norm_k = module["grm_norm"]
+        normalize_k = module["grm_normalize"]
+        update_k = module["grm_update"]
+        n = self.n
+        params = {"A": self.ptr_a, "Q": self.ptr_q, "R": self.ptr_r, "n": n}
+        for k in range(n):
+            yield emu.launch(norm_k, (1,), (self.BLOCK,),
+                             params=dict(params, k=k))
+            grid = (max(1, -(-n // self.BLOCK)),)
+            yield emu.launch(normalize_k, grid, (self.BLOCK,),
+                             params=dict(params, k=k))
+            if k + 1 < n:
+                cols = n - k - 1
+                grid_u = (max(1, -(-cols // self.BLOCK)),)
+                yield emu.launch(update_k, grid_u, (self.BLOCK,),
+                                 params=dict(params, k=k))
+
+    def verify(self, mem):
+        n = self.n
+        q = mem.read_array("Q", np.float32, n * n).reshape(n, n)
+        r = mem.read_array("R", np.float32, n * n).reshape(n, n)
+        qtq = q.T.astype(np.float64) @ q.astype(np.float64)
+        if not np.allclose(qtq, np.eye(n), atol=1e-2):
+            raise AssertionError("grm: Q columns are not orthonormal")
+        upper = np.triu(r).astype(np.float64)
+        if not np.allclose(q.astype(np.float64) @ upper,
+                           self.a_host.astype(np.float64),
+                           rtol=1e-2, atol=1e-2):
+            raise AssertionError("grm: Q*R does not reconstruct A")

@@ -1,0 +1,132 @@
+"""histo — histogramming with data-dependent atomics (Parboil ``histo``).
+
+Part of the *extended* suite: each thread walks a strided slice of the
+input and increments ``bins[input[i]]`` with ``atom.add``.  The input
+loads are deterministic, but the atomic's *target address* is data-
+dependent — the store-side analogue of a non-deterministic load — making
+histo the suite's stress test for data-dependent read-modify-write
+traffic at the L2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+_PTX = """
+.entry histo_kernel (
+    .param .u64 input,
+    .param .u64 bins,
+    .param .u32 n,
+    .param .u32 total_threads
+)
+{
+    .reg .u32 %r<12>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // tid
+    ld.param.u32   %r5, [n];
+    ld.param.u32   %r6, [total_threads];
+    ld.param.u64   %rd1, [input];
+    ld.param.u64   %rd2, [bins];
+    mov.u32        %r7, %r4;               // i = tid
+LOOP:
+    setp.ge.u32    %p1, %r7, %r5;
+    @%p1 bra       EXIT;
+    cvt.u64.u32    %rd3, %r7;
+    shl.b64        %rd4, %rd3, 2;
+    add.u64        %rd5, %rd1, %rd4;
+    ld.global.u32  %r8, [%rd5];            // value = input[i]  (deterministic)
+    cvt.u64.u32    %rd6, %r8;
+    shl.b64        %rd7, %rd6, 2;
+    add.u64        %rd8, %rd2, %rd7;
+    atom.add.global.u32 %r9, [%rd8], 1;    // bins[value]++ (data-dependent)
+    add.u32        %r7, %r7, %r6;          // grid-stride loop
+    bra            LOOP;
+EXIT:
+    exit;
+}
+
+.entry histo_saturate (
+    .param .u64 bins,
+    .param .u32 num_bins,
+    .param .u32 limit
+)
+{
+    // clamp every bin to `limit` (Parboil saturates at 255)
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;
+    ld.param.u32   %r5, [num_bins];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u64   %rd1, [bins];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.u32  %r6, [%rd4];            // bins[tid]  (deterministic)
+    ld.param.u32   %r7, [limit];
+    min.u32        %r8, %r6, %r7;
+    st.global.u32  [%rd4], %r8;
+EXIT:
+    exit;
+}
+"""
+
+
+class Histogram(Workload):
+    """Data-dependent atomic histogram with saturation."""
+
+    name = "histo"
+    category = "image"
+    extended = True
+
+    description = "saturating histogram via atomics (extended suite)"
+
+    BLOCK = 128
+    LIMIT = 255
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.n = self.dim(8192, minimum=1024, multiple=256)
+        self.num_bins = self.dim(256, minimum=64, multiple=64)
+        self.data_set = "%d samples into %d bins" % (self.n, self.num_bins)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        rng = np.random.default_rng(self.seed)
+        # skewed values: a few hot bins, like Parboil's silicon-wafer input
+        raw = rng.normal(loc=self.num_bins / 2, scale=self.num_bins / 8,
+                         size=self.n)
+        self.input_host = np.clip(raw, 0, self.num_bins - 1).astype(
+            np.uint32)
+        self.ptr_input = mem.alloc_array("input", self.input_host)
+        self.ptr_bins = mem.alloc_array(
+            "bins", np.zeros(self.num_bins, dtype=np.uint32))
+
+    def host(self, emu, module):
+        grid = 4
+        total_threads = grid * self.BLOCK
+        yield emu.launch(module["histo_kernel"], (grid,), (self.BLOCK,),
+                         params={"input": self.ptr_input,
+                                 "bins": self.ptr_bins,
+                                 "n": self.n,
+                                 "total_threads": total_threads})
+        bins_grid = max(1, -(-self.num_bins // self.BLOCK))
+        yield emu.launch(module["histo_saturate"], (bins_grid,),
+                         (self.BLOCK,),
+                         params={"bins": self.ptr_bins,
+                                 "num_bins": self.num_bins,
+                                 "limit": self.LIMIT})
+
+    def verify(self, mem):
+        bins = mem.read_array("bins", np.uint32, self.num_bins)
+        expected = np.bincount(self.input_host, minlength=self.num_bins)
+        expected = np.minimum(expected, self.LIMIT)
+        if not np.array_equal(bins, expected):
+            raise AssertionError("histo: bin counts mismatch")

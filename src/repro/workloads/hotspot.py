@@ -1,0 +1,175 @@
+"""hotspot — thermal simulation stencil (Rodinia ``hotspot``).
+
+Part of the *extended* suite (not in the paper's Table I): an iterative
+5-point stencil with ping-pong temperature buffers, the canonical
+regular-memory GPU kernel.  Every load indexes by thread/CTA ids with
+clamped neighbours — fully deterministic, fully coalesced rows — making
+hotspot a useful regular baseline against the graph applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+from .data import synthetic_image
+
+_PTX = """
+.entry hotspot_step (
+    .param .u64 temp_in,
+    .param .u64 temp_out,
+    .param .u64 power,
+    .param .u32 rows,
+    .param .u32 cols,
+    .param .f32 cap,
+    .param .f32 cond
+)
+{
+    .reg .u32 %r<20>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // col
+    mov.u32        %r5, %ctaid.y;
+    mov.u32        %r6, %ntid.y;
+    mov.u32        %r7, %tid.y;
+    mad.lo.u32     %r8, %r5, %r6, %r7;     // row
+    ld.param.u32   %r9, [rows];
+    ld.param.u32   %r10, [cols];
+    setp.ge.u32    %p1, %r4, %r10;
+    @%p1 bra       EXIT;
+    setp.ge.u32    %p2, %r8, %r9;
+    @%p2 bra       EXIT;
+    // clamped neighbour indices (deterministic arithmetic)
+    sub.u32        %r11, %r9, 1;
+    sub.u32        %r12, %r10, 1;
+    setp.eq.u32    %p3, %r8, 0;
+    selp.u32       %r13, 0, %r8, %p3;
+    @!%p3 sub.u32  %r13, %r8, 1;           // north row
+    add.u32        %r14, %r8, 1;
+    min.u32        %r14, %r14, %r11;       // south row
+    setp.eq.u32    %p4, %r4, 0;
+    selp.u32       %r15, 0, %r4, %p4;
+    @!%p4 sub.u32  %r15, %r4, 1;           // west col
+    add.u32        %r16, %r4, 1;
+    min.u32        %r16, %r16, %r12;       // east col
+    ld.param.u64   %rd1, [temp_in];
+    mad.lo.u32     %r17, %r8, %r10, %r4;   // center index
+    cvt.u64.u32    %rd2, %r17;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // T center  (deterministic)
+    mad.lo.u32     %r18, %r13, %r10, %r4;
+    cvt.u64.u32    %rd5, %r18;
+    shl.b64        %rd6, %rd5, 2;
+    add.u64        %rd7, %rd1, %rd6;
+    ld.global.f32  %f2, [%rd7];            // T north   (deterministic)
+    mad.lo.u32     %r18, %r14, %r10, %r4;
+    cvt.u64.u32    %rd8, %r18;
+    shl.b64        %rd9, %rd8, 2;
+    add.u64        %rd10, %rd1, %rd9;
+    ld.global.f32  %f3, [%rd10];           // T south   (deterministic)
+    mad.lo.u32     %r18, %r8, %r10, %r15;
+    cvt.u64.u32    %rd11, %r18;
+    shl.b64        %rd12, %rd11, 2;
+    add.u64        %rd13, %rd1, %rd12;
+    ld.global.f32  %f4, [%rd13];           // T west    (deterministic)
+    mad.lo.u32     %r18, %r8, %r10, %r16;
+    cvt.u64.u32    %rd14, %r18;
+    shl.b64        %rd15, %rd14, 2;
+    add.u64        %rd16, %rd1, %rd15;
+    ld.global.f32  %f5, [%rd16];           // T east    (deterministic)
+    ld.param.u64   %rd17, [power];
+    add.u64        %rd18, %rd17, %rd3;
+    ld.global.f32  %f6, [%rd18];           // power     (deterministic)
+    // T' = T + cap * (power + cond*(N + S + E + W - 4*T))
+    add.f32        %f7, %f2, %f3;
+    add.f32        %f8, %f4, %f5;
+    add.f32        %f9, %f7, %f8;
+    mul.f32        %f10, %f1, 4.0;
+    sub.f32        %f11, %f9, %f10;
+    ld.param.f32   %f12, [cond];
+    mul.f32        %f13, %f11, %f12;
+    add.f32        %f14, %f13, %f6;
+    ld.param.f32   %f15, [cap];
+    mad.f32        %f16, %f14, %f15, %f1;
+    ld.param.u64   %rd19, [temp_out];
+    add.u64        %rd20, %rd19, %rd3;
+    st.global.f32  [%rd20], %f16;
+EXIT:
+    exit;
+}
+"""
+
+
+def hotspot_reference(temp, power, iterations, cap, cond):
+    t = temp.astype(np.float64).copy()
+    rows, cols = t.shape
+    rn = np.maximum(np.arange(rows) - 1, 0)
+    rs = np.minimum(np.arange(rows) + 1, rows - 1)
+    cw = np.maximum(np.arange(cols) - 1, 0)
+    ce = np.minimum(np.arange(cols) + 1, cols - 1)
+    for _ in range(iterations):
+        lap = (t[rn, :] + t[rs, :] + t[:, cw] + t[:, ce] - 4.0 * t)
+        t = t + cap * (power + cond * lap)
+    return t
+
+
+class HotSpot(Workload):
+    """Iterative thermal stencil with ping-pong buffers."""
+
+    name = "hotspot"
+    category = "image"
+    extended = True
+
+    description = "thermal simulation stencil (extended suite)"
+
+    BLOCK = 16
+    ITERS = 4
+    CAP = 0.05
+    COND = 0.2
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.rows = self.dim(64, minimum=16, multiple=16)
+        self.cols = self.dim(64, minimum=16, multiple=16)
+        self.data_set = "%dx%d grid, %d steps" % (self.rows, self.cols,
+                                                  self.ITERS)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        self.temp_host = synthetic_image(self.rows, self.cols,
+                                         seed=self.seed) + np.float32(0.5)
+        self.power_host = synthetic_image(self.rows, self.cols,
+                                          seed=self.seed + 1) * \
+            np.float32(0.1)
+        self.ptr_a = mem.alloc_array("temp_a", self.temp_host)
+        self.ptr_b = mem.alloc("temp_b", self.rows * self.cols * 4)
+        self.ptr_power = mem.alloc_array("power", self.power_host)
+        self.final_buffer = "temp_a"
+
+    def host(self, emu, module):
+        kernel = module["hotspot_step"]
+        gx = self.cols // self.BLOCK
+        gy = self.rows // self.BLOCK
+        src, dst = self.ptr_a, self.ptr_b
+        names = {self.ptr_a: "temp_a", self.ptr_b: "temp_b"}
+        for _ in range(self.ITERS):
+            yield emu.launch(kernel, (gx, gy), (self.BLOCK, self.BLOCK),
+                             params={"temp_in": src, "temp_out": dst,
+                                     "power": self.ptr_power,
+                                     "rows": self.rows, "cols": self.cols,
+                                     "cap": self.CAP, "cond": self.COND})
+            src, dst = dst, src
+        self.final_buffer = names[src]
+
+    def verify(self, mem):
+        result = mem.read_array(self.final_buffer, np.float32,
+                                self.rows * self.cols).reshape(
+                                    self.rows, self.cols)
+        expected = hotspot_reference(self.temp_host, self.power_host,
+                                     self.ITERS, self.CAP, self.COND)
+        if not np.allclose(result, expected, rtol=1e-4, atol=1e-5):
+            raise AssertionError("hotspot: temperature grid mismatch")

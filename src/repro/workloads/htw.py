@@ -1,0 +1,200 @@
+"""htw — heart-wall motion tracking (Rodinia ``heartwall``, simplified).
+
+Keeps the benchmark's memory idiom: per video frame, one CTA per
+tracking point stages that point's template tile into shared memory
+(cooperatively, with a barrier), then every thread computes the sum of
+absolute differences between the staged template and an image window at
+its own candidate displacement, writing a score matrix.  The host then
+moves each tracking point to its best displacement and processes the
+next frame (one launch per frame, like heartwall's frame loop).
+
+All global loads index by thread/CTA ids and parameters — deterministic —
+and shared memory carries most of the traffic (Figure 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+from .data import synthetic_image
+
+#: template edge (TPL x TPL pixels); also the shared staging tile.
+TPL = 8
+#: search window edge: displacements in [-3, +4) per axis => 64 candidates.
+SEARCH = 8
+
+_PTX = """
+.entry track_point (
+    .param .u64 frame,
+    .param .u64 templates,
+    .param .u64 points,
+    .param .u64 scores,
+    .param .u32 frame_cols
+)
+{
+    // CTA = one tracking point, 64 threads = 8x8 candidate displacements
+    .reg .u32 %r<24>;
+    .shared .f32 s_tpl[64];
+    mov.u32        %r1, %tid.x;            // candidate index (0..63)
+    mov.u32        %r2, %ctaid.x;          // point index
+    ld.param.u32   %r3, [frame_cols];
+    // stage this point's 8x8 template into shared memory (one element
+    // per thread)
+    ld.param.u64   %rd1, [templates];
+    mad.lo.u32     %r4, %r2, 64, %r1;      // point*64 + tid
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // template px  (deterministic)
+    mov.u32        %r5, s_tpl;
+    shl.b32        %r6, %r1, 2;
+    add.u32        %r7, %r5, %r6;
+    st.shared.f32  [%r7], %f1;
+    bar.sync       0;
+    // the point's current (row, col): two u32s in *constant* memory —
+    // heartwall keeps its point lists in __constant__ structures, and
+    // constant data is parameterized for the classifier (Section V)
+    ld.param.u64   %rd5, [points];
+    shl.b32        %r8, %r2, 3;            // point*8 bytes
+    cvt.u64.u32    %rd6, %r8;
+    add.u64        %rd7, %rd5, %rd6;
+    ld.const.u32   %r9, [%rd7];            // row    (constant cache)
+    ld.const.u32   %r10, [%rd7+4];         // col    (constant cache)
+    // candidate displacement (dr, dc) in [-3, 4): tid = dr8*8 + dc8
+    shr.u32        %r11, %r1, 3;
+    and.b32        %r12, %r1, 7;
+    add.u32        %r13, %r9, %r11;
+    sub.u32        %r13, %r13, 3;          // win_row = row + dr
+    add.u32        %r14, %r10, %r12;
+    sub.u32        %r14, %r14, 3;          // win_col = col + dc
+    // SAD between the staged template and the frame window
+    ld.param.u64   %rd8, [frame];
+    mov.f32        %f2, 0.0;               // SAD accumulator
+    mov.u32        %r15, 0;                // ty
+ROWLOOP:
+    setp.ge.u32    %p1, %r15, 8;
+    @%p1 bra       DONE;
+    add.u32        %r16, %r13, %r15;       // frame row
+    mov.u32        %r17, 0;                // tx
+COLLOOP:
+    setp.ge.u32    %p2, %r17, 8;
+    @%p2 bra       ROWNEXT;
+    add.u32        %r18, %r14, %r17;       // frame col
+    mad.lo.u32     %r19, %r16, %r3, %r18;
+    cvt.u64.u32    %rd9, %r19;
+    shl.b64        %rd10, %rd9, 2;
+    add.u64        %rd11, %rd8, %rd10;
+    ld.global.f32  %f3, [%rd11];           // frame px  (deterministic)
+    mad.lo.u32     %r20, %r15, 8, %r17;
+    shl.b32        %r21, %r20, 2;
+    add.u32        %r22, %r5, %r21;
+    ld.shared.f32  %f4, [%r22];            // template px (shared)
+    sub.f32        %f5, %f3, %f4;
+    abs.f32        %f6, %f5;
+    add.f32        %f2, %f2, %f6;
+    add.u32        %r17, %r17, 1;
+    bra            COLLOOP;
+ROWNEXT:
+    add.u32        %r15, %r15, 1;
+    bra            ROWLOOP;
+DONE:
+    ld.param.u64   %rd12, [scores];
+    mad.lo.u32     %r23, %r2, 64, %r1;     // point*64 + candidate
+    cvt.u64.u32    %rd13, %r23;
+    shl.b64        %rd14, %rd13, 2;
+    add.u64        %rd15, %rd12, %rd14;
+    st.global.f32  [%rd15], %f2;
+    exit;
+}
+"""
+
+
+class HeartWall(Workload):
+    """Template tracking of points across synthetic frames."""
+
+    name = "htw"
+    category = "image"
+    description = "heart wall motion tracking"
+
+    FRAMES = 2
+    POINTS = 12
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.rows = self.dim(64, minimum=32, multiple=16)
+        self.cols = self.dim(64, minimum=32, multiple=16)
+        self.frames = max(1, int(round(self.FRAMES * min(self.scale, 2.0))))
+        self.data_set = "%d %dx%d frames, %d points" % (
+            self.frames, self.rows, self.cols, self.POINTS)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        r = np.random.default_rng(self.seed)
+        self.frames_host = [
+            synthetic_image(self.rows, self.cols, seed=self.seed + f)
+            for f in range(self.frames)]
+        margin = TPL + 4
+        self.points_host = np.stack([
+            r.integers(margin, self.rows - margin, size=self.POINTS),
+            r.integers(margin, self.cols - margin, size=self.POINTS),
+        ], axis=1).astype(np.uint32)
+        # each point's template: the 8x8 patch around it in frame 0
+        self.templates_host = np.zeros((self.POINTS, TPL * TPL),
+                                       dtype=np.float32)
+        for p, (row, col) in enumerate(self.points_host):
+            patch = self.frames_host[0][row:row + TPL, col:col + TPL]
+            self.templates_host[p] = patch.reshape(-1)
+        self.ptr_frame = mem.alloc_array("frame", self.frames_host[0])
+        self.ptr_templates = mem.alloc_array("templates",
+                                             self.templates_host)
+        self.ptr_points = mem.alloc_array("points", self.points_host)
+        self.ptr_scores = mem.alloc("scores", self.POINTS * 64 * 4)
+        self.trajectory = [self.points_host.copy()]
+
+    def host(self, emu, module):
+        kernel = module["track_point"]
+        for f in range(self.frames):
+            emu.memory.write_array("frame", self.frames_host[f])
+            yield emu.launch(kernel, (self.POINTS,), (64,), params={
+                "frame": self.ptr_frame, "templates": self.ptr_templates,
+                "points": self.ptr_points, "scores": self.ptr_scores,
+                "frame_cols": self.cols})
+            # host step: move every point to its best-scoring displacement
+            scores = emu.memory.read_array(
+                "scores", np.float32, self.POINTS * 64).reshape(
+                    self.POINTS, 64)
+            points = emu.memory.read_array(
+                "points", np.uint32, self.POINTS * 2).reshape(
+                    self.POINTS, 2).astype(np.int64)
+            best = scores.argmin(axis=1)
+            points[:, 0] += best // 8 - 3
+            points[:, 1] += best % 8 - 3
+            margin = TPL + 4
+            points[:, 0] = np.clip(points[:, 0], margin,
+                                   self.rows - margin)
+            points[:, 1] = np.clip(points[:, 1], margin,
+                                   self.cols - margin)
+            emu.memory.write_array("points", points.astype(np.uint32))
+            self.trajectory.append(points.astype(np.uint32))
+
+    def verify(self, mem):
+        # replay the final frame's SAD scores on the host
+        frame = self.frames_host[-1].astype(np.float64)
+        points = self.trajectory[-2].astype(np.int64)
+        scores = mem.read_array("scores", np.float32,
+                                self.POINTS * 64).reshape(self.POINTS, 64)
+        for p in range(self.POINTS):
+            row, col = points[p]
+            tpl = self.templates_host[p].reshape(TPL, TPL).astype(np.float64)
+            for cand in range(64):
+                wr = row + cand // 8 - 3
+                wc = col + cand % 8 - 3
+                window = frame[wr:wr + TPL, wc:wc + TPL]
+                expected = np.abs(window - tpl).sum()
+                if not np.isclose(scores[p, cand], expected,
+                                  rtol=1e-3, atol=1e-3):
+                    raise AssertionError(
+                        "htw: SAD mismatch point %d cand %d" % (p, cand))

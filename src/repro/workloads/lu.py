@@ -1,0 +1,148 @@
+"""lu — LU decomposition (PolyBench ``lu``).
+
+In-place Doolittle factorization without pivoting (the input is
+diagonally dominant, so pivoting is unnecessary).  Per pivot ``k`` the
+host launches a column-scaling kernel and a rank-1 submatrix update —
+all loads are linear in thread/CTA ids, hence deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+from .data import diagonally_dominant_matrix
+
+_PTX = """
+.entry lu_scale (
+    .param .u64 a,
+    .param .u32 n,
+    .param .u32 k
+)
+{
+    // a[i][k] /= a[k][k]  for i > k
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;
+    ld.param.u32   %r5, [n];
+    ld.param.u32   %r6, [k];
+    sub.u32        %r7, %r5, %r6;
+    sub.u32        %r8, %r7, 1;
+    setp.ge.u32    %p1, %r4, %r8;
+    @%p1 bra       EXIT;
+    add.u32        %r9, %r4, %r6;
+    add.u32        %r10, %r9, 1;           // i = k + 1 + tid
+    ld.param.u64   %rd1, [a];
+    mad.lo.u32     %r11, %r10, %r5, %r6;   // i*n + k
+    cvt.u64.u32    %rd2, %r11;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // a[i][k]  (deterministic)
+    mad.lo.u32     %r12, %r6, %r5, %r6;    // k*n + k
+    cvt.u64.u32    %rd5, %r12;
+    shl.b64        %rd6, %rd5, 2;
+    add.u64        %rd7, %rd1, %rd6;
+    ld.global.f32  %f2, [%rd7];            // a[k][k]  (deterministic)
+    div.f32        %f3, %f1, %f2;
+    st.global.f32  [%rd4], %f3;
+EXIT:
+    exit;
+}
+
+.entry lu_update (
+    .param .u64 a,
+    .param .u32 n,
+    .param .u32 k
+)
+{
+    // a[i][j] -= a[i][k] * a[k][j]  for i, j > k
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // j offset
+    mov.u32        %r5, %ctaid.y;
+    mov.u32        %r6, %ntid.y;
+    mov.u32        %r7, %tid.y;
+    mad.lo.u32     %r8, %r5, %r6, %r7;     // i offset
+    ld.param.u32   %r9, [n];
+    ld.param.u32   %r10, [k];
+    sub.u32        %r11, %r9, %r10;
+    sub.u32        %r12, %r11, 1;
+    setp.ge.u32    %p1, %r4, %r12;
+    @%p1 bra       EXIT;
+    setp.ge.u32    %p2, %r8, %r12;
+    @%p2 bra       EXIT;
+    add.u32        %r13, %r4, %r10;
+    add.u32        %r14, %r13, 1;          // j = k + 1 + joff
+    add.u32        %r15, %r8, %r10;
+    add.u32        %r16, %r15, 1;          // i = k + 1 + ioff
+    ld.param.u64   %rd1, [a];
+    mad.lo.u32     %r17, %r16, %r9, %r10;  // i*n + k
+    cvt.u64.u32    %rd2, %r17;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // a[i][k]  (deterministic)
+    mad.lo.u32     %r18, %r10, %r9, %r14;  // k*n + j
+    cvt.u64.u32    %rd5, %r18;
+    shl.b64        %rd6, %rd5, 2;
+    add.u64        %rd7, %rd1, %rd6;
+    ld.global.f32  %f2, [%rd7];            // a[k][j]  (deterministic)
+    mad.lo.u32     %r19, %r16, %r9, %r14;  // i*n + j
+    cvt.u64.u32    %rd8, %r19;
+    shl.b64        %rd9, %rd8, 2;
+    add.u64        %rd10, %rd1, %rd9;
+    ld.global.f32  %f3, [%rd10];           // a[i][j]  (deterministic)
+    mul.f32        %f4, %f1, %f2;
+    sub.f32        %f5, %f3, %f4;
+    st.global.f32  [%rd10], %f5;
+EXIT:
+    exit;
+}
+"""
+
+
+class LUDecomposition(Workload):
+    """In-place LU factorization, one kernel pair per pivot."""
+
+    name = "lu"
+    category = "linear"
+    description = "LU decomposition"
+
+    BLOCK_1D = 64
+    BLOCK_2D = 16
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.n = self.dim(48, minimum=8, multiple=8)
+        self.data_set = "%dx%d matrix" % (self.n, self.n)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        self.a_host = diagonally_dominant_matrix(self.n, seed=self.seed)
+        self.ptr_a = mem.alloc_array("a", self.a_host)
+
+    def host(self, emu, module):
+        scale_k, update_k = module["lu_scale"], module["lu_update"]
+        n = self.n
+        for k in range(n - 1):
+            rows = n - k - 1
+            grid1 = (max(1, -(-rows // self.BLOCK_1D)),)
+            yield emu.launch(scale_k, grid1, (self.BLOCK_1D,), params={
+                "a": self.ptr_a, "n": n, "k": k})
+            g2 = max(1, -(-rows // self.BLOCK_2D))
+            yield emu.launch(update_k, (g2, g2),
+                             (self.BLOCK_2D, self.BLOCK_2D),
+                             params={"a": self.ptr_a, "n": n, "k": k})
+
+    def verify(self, mem):
+        n = self.n
+        lu = mem.read_array("a", np.float32, n * n).reshape(n, n)
+        lower = np.tril(lu, -1).astype(np.float64) + np.eye(n)
+        upper = np.triu(lu).astype(np.float64)
+        reconstructed = lower @ upper
+        if not np.allclose(reconstructed, self.a_host.astype(np.float64),
+                           rtol=1e-3, atol=1e-2):
+            raise AssertionError("lu: L*U does not reconstruct A")

@@ -1,0 +1,207 @@
+"""mis — maximal independent set (Luby's algorithm).
+
+Each vertex carries a fixed random priority.  Per round, kernel 1 adds
+every undecided vertex whose priority beats all undecided neighbours to
+the set (neighbour state/priority loads are non-deterministic); kernel 2
+excludes vertices adjacent to a new member and raises the continue flag.
+The host iterates until every vertex is decided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ptx.isa import DType
+from .base import Workload
+from .graph_common import alloc_graph, default_graph
+
+_U32 = DType.U32
+
+#: vertex states
+UNDECIDED, IN_SET, EXCLUDED = 0, 1, 2
+
+_PTX = """
+.entry mis_select (
+    .param .u64 row_ptr,
+    .param .u64 col_idx,
+    .param .u64 prio,
+    .param .u64 state,
+    .param .u32 num_nodes
+)
+{
+    .reg .u32 %r<16>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // v
+    ld.param.u32   %r5, [num_nodes];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u64   %rd1, [state];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.u32  %r6, [%rd4];            // state[v]      (deterministic)
+    setp.ne.u32    %p2, %r6, 0;
+    @%p2 bra       EXIT;                   // already decided
+    ld.param.u64   %rd5, [prio];
+    add.u64        %rd6, %rd5, %rd3;
+    ld.global.u32  %r7, [%rd6];            // p[v]          (deterministic)
+    ld.param.u64   %rd7, [row_ptr];
+    add.u64        %rd8, %rd7, %rd3;
+    ld.global.u32  %r8, [%rd8];            // start         (deterministic)
+    ld.global.u32  %r9, [%rd8+4];          // end           (deterministic)
+    ld.param.u64   %rd9, [col_idx];
+    mov.u32        %r10, %r8;              // i
+LOOP:
+    setp.ge.u32    %p3, %r10, %r9;
+    @%p3 bra       WIN;
+    cvt.u64.u32    %rd10, %r10;
+    shl.b64        %rd11, %rd10, 2;
+    add.u64        %rd12, %rd9, %rd11;
+    ld.global.u32  %r11, [%rd12];          // u = edges[i] (NON-deterministic)
+    cvt.u64.u32    %rd13, %r11;
+    shl.b64        %rd14, %rd13, 2;
+    add.u64        %rd15, %rd1, %rd14;
+    ld.global.u32  %r12, [%rd15];          // state[u]     (NON-deterministic)
+    setp.eq.u32    %p4, %r12, 2;
+    @%p4 bra       NEXT;                   // excluded: ignore
+    add.u64        %rd16, %rd5, %rd14;
+    ld.global.u32  %r13, [%rd16];          // p[u]         (NON-deterministic)
+    // lose to any undecided/in-set neighbour with (p, id) >= ours
+    setp.gt.u32    %p5, %r13, %r7;
+    @%p5 bra       EXIT;
+    setp.ne.u32    %p6, %r13, %r7;
+    @%p6 bra       NEXT;
+    setp.gt.u32    %p7, %r11, %r4;
+    @%p7 bra       EXIT;                   // tie broken by larger id
+NEXT:
+    add.u32        %r10, %r10, 1;
+    bra            LOOP;
+WIN:
+    st.global.u32  [%rd4], 1;              // state[v] = IN_SET
+EXIT:
+    exit;
+}
+
+.entry mis_exclude (
+    .param .u64 row_ptr,
+    .param .u64 col_idx,
+    .param .u64 state,
+    .param .u64 cont,
+    .param .u32 num_nodes
+)
+{
+    .reg .u32 %r<16>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // v
+    ld.param.u32   %r5, [num_nodes];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u64   %rd1, [state];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.u32  %r6, [%rd4];            // state[v]      (deterministic)
+    setp.ne.u32    %p2, %r6, 0;
+    @%p2 bra       EXIT;                   // only undecided vertices
+    ld.param.u64   %rd5, [row_ptr];
+    add.u64        %rd6, %rd5, %rd3;
+    ld.global.u32  %r7, [%rd6];            // start         (deterministic)
+    ld.global.u32  %r8, [%rd6+4];          // end           (deterministic)
+    ld.param.u64   %rd7, [col_idx];
+    mov.u32        %r9, %r7;
+LOOP:
+    setp.ge.u32    %p3, %r9, %r8;
+    @%p3 bra       STILL;
+    cvt.u64.u32    %rd8, %r9;
+    shl.b64        %rd9, %rd8, 2;
+    add.u64        %rd10, %rd7, %rd9;
+    ld.global.u32  %r10, [%rd10];          // u = edges[i] (NON-deterministic)
+    cvt.u64.u32    %rd11, %r10;
+    shl.b64        %rd12, %rd11, 2;
+    add.u64        %rd13, %rd1, %rd12;
+    ld.global.u32  %r11, [%rd13];          // state[u]     (NON-deterministic)
+    setp.ne.u32    %p4, %r11, 1;
+    @%p4 bra       NEXT;
+    st.global.u32  [%rd4], 2;              // neighbour won: EXCLUDED
+    bra            EXIT;
+NEXT:
+    add.u32        %r9, %r9, 1;
+    bra            LOOP;
+STILL:
+    // still undecided: another round is needed
+    ld.param.u64   %rd14, [cont];
+    st.global.u32  [%rd14], 1;
+EXIT:
+    exit;
+}
+"""
+
+
+class MIS(Workload):
+    """Luby's randomized maximal independent set."""
+
+    name = "mis"
+    category = "graph"
+    description = "maximal independent set"
+
+    BLOCK = 128
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.graph = None
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        self.graph = default_graph(self, base_nodes=1024)
+        n = self.graph.num_nodes
+        self.data_set = "R-MAT graph, %d nodes / %d edges" % (
+            n, self.graph.num_edges)
+        self.ptrs = alloc_graph(mem, self.graph)
+        r = np.random.default_rng(self.seed + 3)
+        self.prio_host = r.integers(0, 1 << 30, size=n).astype(np.uint32)
+        self.ptrs["prio"] = mem.alloc_array("prio", self.prio_host)
+        self.ptrs["state"] = mem.alloc_array(
+            "state", np.zeros(n, dtype=np.uint32))
+        self.ptrs["cont"] = mem.alloc("cont", 4)
+
+    def host(self, emu, module):
+        select, exclude = module["mis_select"], module["mis_exclude"]
+        n = self.graph.num_nodes
+        grid = (max(1, -(-n // self.BLOCK)),)
+        while True:
+            emu.memory.store(self.ptrs["cont"], _U32, 0)
+            yield emu.launch(select, grid, (self.BLOCK,), params={
+                "row_ptr": self.ptrs["row_ptr"],
+                "col_idx": self.ptrs["col_idx"],
+                "prio": self.ptrs["prio"],
+                "state": self.ptrs["state"],
+                "num_nodes": n})
+            yield emu.launch(exclude, grid, (self.BLOCK,), params={
+                "row_ptr": self.ptrs["row_ptr"],
+                "col_idx": self.ptrs["col_idx"],
+                "state": self.ptrs["state"],
+                "cont": self.ptrs["cont"],
+                "num_nodes": n})
+            if emu.memory.load(self.ptrs["cont"], _U32) == 0:
+                break
+
+    def verify(self, mem):
+        n = self.graph.num_nodes
+        state = mem.read_array("state", np.uint32, n)
+        if np.any(state == UNDECIDED):
+            raise AssertionError("mis: undecided vertices remain")
+        in_set = state == IN_SET
+        for v in range(n):
+            nbrs = self.graph.neighbors(v)
+            if in_set[v] and np.any(in_set[nbrs]):
+                raise AssertionError("mis: set is not independent at %d" % v)
+            if not in_set[v] and len(nbrs) and not np.any(in_set[nbrs]):
+                raise AssertionError("mis: not maximal at %d" % v)
+            if not in_set[v] and not len(nbrs):
+                raise AssertionError("mis: isolated %d should be in set" % v)

@@ -1,0 +1,66 @@
+"""Workload registry: name-based lookup for the benchmark applications.
+
+The paper's Table I suite (15 apps) is the default; the *extended*
+suite adds applications beyond the paper (hotspot, histo, pagerank)
+that broaden the characterization — they are excluded from the
+table/figure reproduction benches but share the full pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import Workload
+from .bfs import BFS
+from .bpr import BackProp
+from .ccl import CCL
+from .dwt import DWT2D
+from .gaus import Gaussian
+from .grm import GramSchmidt
+from .histo import Histogram
+from .hotspot import HotSpot
+from .htw import HeartWall
+from .lu import LUDecomposition
+from .mis import MIS
+from .mriq import MRIQ
+from .mst import MST
+from .pagerank import PageRank
+from .spmv import SpMV
+from .srad import SRAD
+from .sssp import SSSP
+from .twomm import TwoMM
+
+#: Table I order: linear algebra, image processing, graph.
+WORKLOAD_CLASSES: List[Type[Workload]] = [
+    TwoMM, Gaussian, GramSchmidt, LUDecomposition, SpMV,
+    HeartWall, MRIQ, DWT2D, BackProp, SRAD,
+    BFS, SSSP, CCL, MST, MIS,
+]
+
+#: Applications beyond the paper's Table I.
+EXTENDED_CLASSES: List[Type[Workload]] = [HotSpot, Histogram, PageRank]
+
+WORKLOADS: Dict[str, Type[Workload]] = {
+    cls.name: cls for cls in WORKLOAD_CLASSES + EXTENDED_CLASSES}
+
+CATEGORIES = ("linear", "image", "graph")
+
+
+def get_workload(name, **kwargs):
+    """Instantiate a workload by name (Table I or extended suite)."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise ValueError("unknown workload %r (choices: %s)"
+                         % (name, ", ".join(sorted(WORKLOADS)))) from None
+    return cls(**kwargs)
+
+
+def workload_names(category=None, include_extended=False):
+    """Workload names in Table I order (optionally one category and/or
+    including the extended suite)."""
+    classes = list(WORKLOAD_CLASSES)
+    if include_extended:
+        classes += EXTENDED_CLASSES
+    return [cls.name for cls in classes
+            if category is None or cls.category == category]

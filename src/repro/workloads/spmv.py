@@ -1,0 +1,116 @@
+"""spmv — sparse matrix-vector multiplication, CSR scalar kernel (Parboil).
+
+``y[row] = sum_j val[j] * x[col[j]]`` with ``j`` ranging over the row's
+CSR segment.  The row-pointer loads index by thread id (deterministic),
+but ``val[j]``/``col[j]`` use a loop bound *loaded* from the row-pointer
+array, and ``x[col[j]]`` is doubly indirect — the classifier must mark
+all three non-deterministic.  This is the paper's example of a linear
+algebra application with a significant non-deterministic load fraction
+(Figures 1 and 2: ~6 requests/warp for spmv's N loads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+from .data import random_csr
+
+_PTX = """
+.entry spmv_csr (
+    .param .u64 row_ptr,
+    .param .u64 col_idx,
+    .param .u64 values,
+    .param .u64 x,
+    .param .u64 y,
+    .param .u32 num_rows
+)
+{
+    .reg .u32 %r<16>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // row
+    ld.param.u32   %r5, [num_rows];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u64   %rd1, [row_ptr];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.u32  %r6, [%rd4];            // row_ptr[row]    (deterministic)
+    ld.global.u32  %r7, [%rd4+4];          // row_ptr[row+1]  (deterministic)
+    ld.param.u64   %rd5, [values];
+    ld.param.u64   %rd6, [col_idx];
+    ld.param.u64   %rd7, [x];
+    mov.f32        %f1, 0.0;
+    mov.u32        %r8, %r6;               // j = row start (loaded!)
+LOOP:
+    setp.ge.u32    %p2, %r8, %r7;
+    @%p2 bra       DONE;
+    cvt.u64.u32    %rd8, %r8;
+    shl.b64        %rd9, %rd8, 2;
+    add.u64        %rd10, %rd5, %rd9;
+    ld.global.f32  %f2, [%rd10];           // values[j]   (NON-deterministic)
+    add.u64        %rd11, %rd6, %rd9;
+    ld.global.u32  %r9, [%rd11];           // col_idx[j]  (NON-deterministic)
+    cvt.u64.u32    %rd12, %r9;
+    shl.b64        %rd13, %rd12, 2;
+    add.u64        %rd14, %rd7, %rd13;
+    ld.global.f32  %f3, [%rd14];           // x[col[j]]   (NON-deterministic)
+    mad.f32        %f1, %f2, %f3, %f1;
+    add.u32        %r8, %r8, 1;
+    bra            LOOP;
+DONE:
+    ld.param.u64   %rd15, [y];
+    add.u64        %rd16, %rd15, %rd3;
+    st.global.f32  [%rd16], %f1;
+EXIT:
+    exit;
+}
+"""
+
+
+class SpMV(Workload):
+    """CSR sparse matrix - dense vector multiplication."""
+
+    name = "spmv"
+    category = "linear"
+    description = "sparse matrix dense vector multiplication"
+
+    BLOCK = 192  # the paper's spmv runs 192-thread CTAs (Table I)
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.num_rows = self.dim(1152, minimum=self.BLOCK,
+                                 multiple=self.BLOCK)
+        self.data_set = "random CSR %dx%d, ~8 nnz/row" % (
+            self.num_rows, self.num_rows)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        self.csr = random_csr(self.num_rows, avg_nnz_per_row=8,
+                              seed=self.seed)
+        self.x_host = np.random.default_rng(self.seed + 5).random(
+            self.num_rows).astype(np.float32)
+        self.ptr_row = mem.alloc_array("row_ptr", self.csr.row_ptr)
+        self.ptr_col = mem.alloc_array("col_idx", self.csr.col_idx)
+        self.ptr_val = mem.alloc_array("values", self.csr.values)
+        self.ptr_x = mem.alloc_array("x", self.x_host)
+        self.ptr_y = mem.alloc("y", self.num_rows * 4)
+
+    def host(self, emu, module):
+        kernel = module["spmv_csr"]
+        grid = (self.num_rows // self.BLOCK,)
+        yield emu.launch(kernel, grid, (self.BLOCK,), params={
+            "row_ptr": self.ptr_row, "col_idx": self.ptr_col,
+            "values": self.ptr_val, "x": self.ptr_x, "y": self.ptr_y,
+            "num_rows": self.num_rows})
+
+    def verify(self, mem):
+        y = mem.read_array("y", np.float32, self.num_rows)
+        expected = self.csr.multiply(self.x_host.astype(np.float64))
+        if not np.allclose(y, expected, rtol=1e-3, atol=1e-4):
+            raise AssertionError("spmv: y does not match the CSR reference")

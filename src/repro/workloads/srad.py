@@ -1,0 +1,303 @@
+"""srad — speckle-reducing anisotropic diffusion (Rodinia ``srad_v2``).
+
+Two kernels per iteration: ``srad1`` computes the per-pixel diffusion
+coefficient from the four clamped-neighbour derivatives; ``srad2``
+applies the divergence update.  The host computes ``q0sqr`` (the speckle
+statistic) from a readback each iteration, exactly like Rodinia's host
+loop.  Neighbour indices are clamped arithmetically (min/max of
+thread-id expressions), so every load is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+from .data import synthetic_image
+
+_PTX = """
+.entry srad1 (
+    .param .u64 J,
+    .param .u64 C,
+    .param .u64 DN,
+    .param .u64 DS,
+    .param .u64 DW,
+    .param .u64 DE,
+    .param .u32 rows,
+    .param .u32 cols,
+    .param .f32 q0sqr
+)
+{
+    .reg .u32 %r<24>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // col
+    mov.u32        %r5, %ctaid.y;
+    mov.u32        %r6, %ntid.y;
+    mov.u32        %r7, %tid.y;
+    mad.lo.u32     %r8, %r5, %r6, %r7;     // row
+    ld.param.u32   %r9, [rows];
+    ld.param.u32   %r10, [cols];
+    setp.ge.u32    %p1, %r4, %r10;
+    @%p1 bra       EXIT;
+    setp.ge.u32    %p2, %r8, %r9;
+    @%p2 bra       EXIT;
+    // clamped neighbour rows/cols (deterministic arithmetic)
+    sub.u32        %r11, %r9, 1;
+    sub.u32        %r12, %r10, 1;
+    mov.u32        %r13, 0;
+    setp.eq.u32    %p3, %r8, 0;
+    selp.u32       %r14, 0, %r8, %p3;
+    @!%p3 sub.u32  %r14, %r8, 1;           // rN = max(row-1, 0)
+    add.u32        %r15, %r8, 1;
+    min.u32        %r15, %r15, %r11;       // rS = min(row+1, rows-1)
+    setp.eq.u32    %p4, %r4, 0;
+    selp.u32       %r16, 0, %r4, %p4;
+    @!%p4 sub.u32  %r16, %r4, 1;           // cW = max(col-1, 0)
+    add.u32        %r17, %r4, 1;
+    min.u32        %r17, %r17, %r12;       // cE = min(col+1, cols-1)
+    ld.param.u64   %rd1, [J];
+    mad.lo.u32     %r18, %r8, %r10, %r4;   // row*cols + col
+    cvt.u64.u32    %rd2, %r18;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.f32  %f1, [%rd4];            // Jc          (deterministic)
+    mad.lo.u32     %r19, %r14, %r10, %r4;
+    cvt.u64.u32    %rd5, %r19;
+    shl.b64        %rd6, %rd5, 2;
+    add.u64        %rd7, %rd1, %rd6;
+    ld.global.f32  %f2, [%rd7];            // J north     (deterministic)
+    mad.lo.u32     %r20, %r15, %r10, %r4;
+    cvt.u64.u32    %rd8, %r20;
+    shl.b64        %rd9, %rd8, 2;
+    add.u64        %rd10, %rd1, %rd9;
+    ld.global.f32  %f3, [%rd10];           // J south     (deterministic)
+    mad.lo.u32     %r21, %r8, %r10, %r16;
+    cvt.u64.u32    %rd11, %r21;
+    shl.b64        %rd12, %rd11, 2;
+    add.u64        %rd13, %rd1, %rd12;
+    ld.global.f32  %f4, [%rd13];           // J west      (deterministic)
+    mad.lo.u32     %r22, %r8, %r10, %r17;
+    cvt.u64.u32    %rd14, %r22;
+    shl.b64        %rd15, %rd14, 2;
+    add.u64        %rd16, %rd1, %rd15;
+    ld.global.f32  %f5, [%rd16];           // J east      (deterministic)
+    sub.f32        %f6, %f2, %f1;          // dN
+    sub.f32        %f7, %f3, %f1;          // dS
+    sub.f32        %f8, %f4, %f1;          // dW
+    sub.f32        %f9, %f5, %f1;          // dE
+    // G2 = (dN^2 + dS^2 + dW^2 + dE^2) / Jc^2
+    mul.f32        %f10, %f6, %f6;
+    mad.f32        %f10, %f7, %f7, %f10;
+    mad.f32        %f10, %f8, %f8, %f10;
+    mad.f32        %f10, %f9, %f9, %f10;
+    mul.f32        %f11, %f1, %f1;
+    div.f32        %f12, %f10, %f11;
+    // L = (dN + dS + dW + dE) / Jc
+    add.f32        %f13, %f6, %f7;
+    add.f32        %f14, %f8, %f9;
+    add.f32        %f15, %f13, %f14;
+    div.f32        %f16, %f15, %f1;
+    // num = 0.5*G2 - (1/16)*L^2 ; den = (1 + 0.25*L)^2
+    mul.f32        %f17, %f12, 0.5;
+    mul.f32        %f18, %f16, %f16;
+    mad.f32        %f17, %f18, -0.0625, %f17;
+    mad.f32        %f19, %f16, 0.25, 1.0;
+    mul.f32        %f20, %f19, %f19;
+    div.f32        %f21, %f17, %f20;       // qsqr
+    // c = 1 / (1 + (qsqr - q0sqr) / (q0sqr * (1 + q0sqr)))
+    ld.param.f32   %f22, [q0sqr];
+    sub.f32        %f23, %f21, %f22;
+    add.f32        %f24, %f22, 1.0;
+    mul.f32        %f25, %f22, %f24;
+    div.f32        %f26, %f23, %f25;
+    add.f32        %f27, %f26, 1.0;
+    rcp.f32        %f28, %f27;
+    // clamp c to [0, 1]
+    max.f32        %f28, %f28, 0.0;
+    min.f32        %f28, %f28, 1.0;
+    ld.param.u64   %rd17, [C];
+    add.u64        %rd18, %rd17, %rd3;
+    st.global.f32  [%rd18], %f28;
+    ld.param.u64   %rd19, [DN];
+    add.u64        %rd20, %rd19, %rd3;
+    st.global.f32  [%rd20], %f6;
+    ld.param.u64   %rd21, [DS];
+    add.u64        %rd22, %rd21, %rd3;
+    st.global.f32  [%rd22], %f7;
+    ld.param.u64   %rd23, [DW];
+    add.u64        %rd24, %rd23, %rd3;
+    st.global.f32  [%rd24], %f8;
+    ld.param.u64   %rd25, [DE];
+    add.u64        %rd26, %rd25, %rd3;
+    st.global.f32  [%rd26], %f9;
+EXIT:
+    exit;
+}
+
+.entry srad2 (
+    .param .u64 J,
+    .param .u64 C,
+    .param .u64 DN,
+    .param .u64 DS,
+    .param .u64 DW,
+    .param .u64 DE,
+    .param .u32 rows,
+    .param .u32 cols,
+    .param .f32 lambda
+)
+{
+    .reg .u32 %r<20>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // col
+    mov.u32        %r5, %ctaid.y;
+    mov.u32        %r6, %ntid.y;
+    mov.u32        %r7, %tid.y;
+    mad.lo.u32     %r8, %r5, %r6, %r7;     // row
+    ld.param.u32   %r9, [rows];
+    ld.param.u32   %r10, [cols];
+    setp.ge.u32    %p1, %r4, %r10;
+    @%p1 bra       EXIT;
+    setp.ge.u32    %p2, %r8, %r9;
+    @%p2 bra       EXIT;
+    sub.u32        %r11, %r9, 1;
+    sub.u32        %r12, %r10, 1;
+    add.u32        %r13, %r8, 1;
+    min.u32        %r13, %r13, %r11;       // rS
+    add.u32        %r14, %r4, 1;
+    min.u32        %r14, %r14, %r12;       // cE
+    mad.lo.u32     %r15, %r8, %r10, %r4;   // center
+    cvt.u64.u32    %rd1, %r15;
+    shl.b64        %rd2, %rd1, 2;
+    ld.param.u64   %rd3, [C];
+    add.u64        %rd4, %rd3, %rd2;
+    ld.global.f32  %f1, [%rd4];            // cN = cW = c[center]
+    mad.lo.u32     %r16, %r13, %r10, %r4;  // south neighbour
+    cvt.u64.u32    %rd5, %r16;
+    shl.b64        %rd6, %rd5, 2;
+    add.u64        %rd7, %rd3, %rd6;
+    ld.global.f32  %f2, [%rd7];            // cS  (deterministic)
+    mad.lo.u32     %r17, %r8, %r10, %r14;  // east neighbour
+    cvt.u64.u32    %rd8, %r17;
+    shl.b64        %rd9, %rd8, 2;
+    add.u64        %rd10, %rd3, %rd9;
+    ld.global.f32  %f3, [%rd10];           // cE  (deterministic)
+    ld.param.u64   %rd11, [DN];
+    add.u64        %rd12, %rd11, %rd2;
+    ld.global.f32  %f4, [%rd12];           // dN
+    ld.param.u64   %rd13, [DS];
+    add.u64        %rd14, %rd13, %rd2;
+    ld.global.f32  %f5, [%rd14];           // dS
+    ld.param.u64   %rd15, [DW];
+    add.u64        %rd16, %rd15, %rd2;
+    ld.global.f32  %f6, [%rd16];           // dW
+    ld.param.u64   %rd17, [DE];
+    add.u64        %rd18, %rd17, %rd2;
+    ld.global.f32  %f7, [%rd18];           // dE
+    // div = cN*dN + cS*dS + cW*dW + cE*dE  (Rodinia's c-offset scheme)
+    mul.f32        %f8, %f1, %f4;
+    mad.f32        %f8, %f2, %f5, %f8;
+    mad.f32        %f8, %f1, %f6, %f8;
+    mad.f32        %f8, %f3, %f7, %f8;
+    ld.param.u64   %rd19, [J];
+    add.u64        %rd20, %rd19, %rd2;
+    ld.global.f32  %f9, [%rd20];           // J[center]  (deterministic)
+    ld.param.f32   %f10, [lambda];
+    mul.f32        %f11, %f10, 0.25;
+    mad.f32        %f12, %f11, %f8, %f9;
+    st.global.f32  [%rd20], %f12;
+EXIT:
+    exit;
+}
+"""
+
+
+def srad_reference(img, num_iters, lam):
+    """Host reference of the same SRAD discretization (float64)."""
+    j = img.astype(np.float64).copy()
+    rows, cols = j.shape
+    for _ in range(num_iters):
+        sample = j
+        q0sqr = sample.var() / (sample.mean() ** 2)
+        rn = np.maximum(np.arange(rows) - 1, 0)
+        rs = np.minimum(np.arange(rows) + 1, rows - 1)
+        cw = np.maximum(np.arange(cols) - 1, 0)
+        ce = np.minimum(np.arange(cols) + 1, cols - 1)
+        dn = j[rn, :] - j
+        ds = j[rs, :] - j
+        dw = j[:, cw] - j
+        de = j[:, ce] - j
+        g2 = (dn**2 + ds**2 + dw**2 + de**2) / (j * j)
+        l = (dn + ds + dw + de) / j
+        num = 0.5 * g2 - 0.0625 * (l * l)
+        den = (1 + 0.25 * l) ** 2
+        qsqr = num / den
+        c = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1 + q0sqr)))
+        c = np.clip(c, 0.0, 1.0)
+        c_s = c[rs, :]
+        c_e = c[:, ce]
+        div = c * dn + c_s * ds + c * dw + c_e * de
+        j = j + 0.25 * lam * div
+    return j
+
+
+class SRAD(Workload):
+    """Speckle-reducing anisotropic diffusion."""
+
+    name = "srad"
+    category = "image"
+    description = "speckle reducing anisotropic diffusion"
+
+    BLOCK = 16
+    LAMBDA = 0.5
+    ITERS = 2
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.rows = self.dim(64, minimum=16, multiple=16)
+        self.cols = self.dim(64, minimum=16, multiple=16)
+        self.data_set = "%dx%d image" % (self.rows, self.cols)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        # SRAD operates on the exponentiated image in Rodinia; a strictly
+        # positive synthetic image (+0.1) avoids division by zero directly
+        self.img_host = synthetic_image(self.rows, self.cols,
+                                        seed=self.seed) + np.float32(0.1)
+        npix = self.rows * self.cols
+        self.ptr_j = mem.alloc_array("J", self.img_host)
+        self.ptr_c = mem.alloc("C", npix * 4)
+        self.ptr_dn = mem.alloc("DN", npix * 4)
+        self.ptr_ds = mem.alloc("DS", npix * 4)
+        self.ptr_dw = mem.alloc("DW", npix * 4)
+        self.ptr_de = mem.alloc("DE", npix * 4)
+
+    def host(self, emu, module):
+        srad1, srad2 = module["srad1"], module["srad2"]
+        gx = self.cols // self.BLOCK
+        gy = self.rows // self.BLOCK
+        npix = self.rows * self.cols
+        common = {"J": self.ptr_j, "C": self.ptr_c, "DN": self.ptr_dn,
+                  "DS": self.ptr_ds, "DW": self.ptr_dw, "DE": self.ptr_de,
+                  "rows": self.rows, "cols": self.cols}
+        for _ in range(self.ITERS):
+            # host-side speckle statistic from a readback (as Rodinia does)
+            j = emu.memory.read_array("J", np.float32, npix).astype(np.float64)
+            q0sqr = float(j.var() / (j.mean() ** 2))
+            yield emu.launch(srad1, (gx, gy), (self.BLOCK, self.BLOCK),
+                             params=dict(common, q0sqr=q0sqr))
+            yield emu.launch(srad2, (gx, gy), (self.BLOCK, self.BLOCK),
+                             params=dict(common, **{"lambda": self.LAMBDA}))
+
+    def verify(self, mem):
+        npix = self.rows * self.cols
+        result = mem.read_array("J", np.float32, npix).reshape(
+            self.rows, self.cols)
+        expected = srad_reference(self.img_host, self.ITERS, self.LAMBDA)
+        if not np.allclose(result, expected, rtol=1e-3, atol=1e-4):
+            raise AssertionError("srad: diffused image mismatch")

@@ -1,0 +1,182 @@
+"""sssp — single-source shortest paths (LonestarGPU ``sssp``).
+
+Frontier-based Bellman-Ford: each frontier node relaxes its outgoing
+edges with ``atom.min`` on the neighbour's distance; a second kernel
+folds the updating mask and raises the stop flag.  Edge, weight and
+distance loads are all indexed through loaded values — the dominant
+non-deterministic traffic the paper attributes to graph applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ptx.isa import DType
+from .base import Workload
+from .graph_common import (
+    INF,
+    alloc_graph,
+    default_graph,
+    reference_shortest_paths,
+)
+
+_U32 = DType.U32
+
+_PTX = """
+.entry sssp_relax (
+    .param .u64 row_ptr,
+    .param .u64 col_idx,
+    .param .u64 weights,
+    .param .u64 dist,
+    .param .u64 mask,
+    .param .u64 updating,
+    .param .u32 num_nodes
+)
+{
+    .reg .u32 %r<20>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;     // v
+    ld.param.u32   %r5, [num_nodes];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u64   %rd1, [mask];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.u32  %r6, [%rd4];            // mask[v]        (deterministic)
+    setp.eq.u32    %p2, %r6, 0;
+    @%p2 bra       EXIT;
+    st.global.u32  [%rd4], 0;
+    ld.param.u64   %rd5, [dist];
+    add.u64        %rd6, %rd5, %rd3;
+    ld.global.s32  %r7, [%rd6];            // dist[v]        (deterministic)
+    ld.param.u64   %rd7, [row_ptr];
+    add.u64        %rd8, %rd7, %rd3;
+    ld.global.u32  %r8, [%rd8];            // start          (deterministic)
+    ld.global.u32  %r9, [%rd8+4];          // end            (deterministic)
+    ld.param.u64   %rd9, [col_idx];
+    ld.param.u64   %rd10, [weights];
+    ld.param.u64   %rd11, [updating];
+    mov.u32        %r10, %r8;              // i = start (loaded!)
+LOOP:
+    setp.ge.u32    %p3, %r10, %r9;
+    @%p3 bra       EXIT;
+    cvt.u64.u32    %rd12, %r10;
+    shl.b64        %rd13, %rd12, 2;
+    add.u64        %rd14, %rd9, %rd13;
+    ld.global.u32  %r11, [%rd14];          // u = edges[i]  (NON-deterministic)
+    add.u64        %rd15, %rd10, %rd13;
+    ld.global.s32  %r12, [%rd15];          // w[i]          (NON-deterministic)
+    add.s32        %r13, %r7, %r12;        // alt = dist[v] + w
+    cvt.u64.u32    %rd16, %r11;
+    shl.b64        %rd17, %rd16, 2;
+    add.u64        %rd18, %rd5, %rd17;
+    atom.min.global.s32 %r14, [%rd18], %r13;   // old = atomicMin(dist[u])
+    setp.le.s32    %p4, %r14, %r13;
+    @%p4 bra       NEXT;
+    add.u64        %rd19, %rd11, %rd17;
+    st.global.u32  [%rd19], 1;             // updating[u] = true
+NEXT:
+    add.u32        %r10, %r10, 1;
+    bra            LOOP;
+EXIT:
+    exit;
+}
+
+.entry sssp_update (
+    .param .u64 mask,
+    .param .u64 updating,
+    .param .u64 stop,
+    .param .u32 num_nodes
+)
+{
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %ntid.x;
+    mov.u32        %r3, %tid.x;
+    mad.lo.u32     %r4, %r1, %r2, %r3;
+    ld.param.u32   %r5, [num_nodes];
+    setp.ge.u32    %p1, %r4, %r5;
+    @%p1 bra       EXIT;
+    ld.param.u64   %rd1, [updating];
+    cvt.u64.u32    %rd2, %r4;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    ld.global.u32  %r6, [%rd4];            // updating[v]  (deterministic)
+    setp.eq.u32    %p2, %r6, 0;
+    @%p2 bra       EXIT;
+    st.global.u32  [%rd4], 0;
+    ld.param.u64   %rd5, [mask];
+    add.u64        %rd6, %rd5, %rd3;
+    st.global.u32  [%rd6], 1;              // back on the frontier
+    ld.param.u64   %rd7, [stop];
+    st.global.u32  [%rd7], 1;
+EXIT:
+    exit;
+}
+"""
+
+
+class SSSP(Workload):
+    """Frontier Bellman-Ford single-source shortest paths."""
+
+    name = "sssp"
+    category = "graph"
+    description = "single source shortest path"
+
+    BLOCK = 128
+    SOURCE = 0
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.graph = None
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        self.graph = default_graph(self)
+        n = self.graph.num_nodes
+        self.data_set = "R-MAT graph, %d nodes / %d edges, int weights" % (
+            n, self.graph.num_edges)
+        self.ptrs = alloc_graph(mem, self.graph, with_weights=True)
+        dist = np.full(n, INF, dtype=np.int32)
+        mask = np.zeros(n, dtype=np.uint32)
+        dist[self.SOURCE] = 0
+        mask[self.SOURCE] = 1
+        self.ptrs["dist"] = mem.alloc_array("dist", dist)
+        self.ptrs["mask"] = mem.alloc_array("mask", mask)
+        self.ptrs["updating"] = mem.alloc_array(
+            "updating", np.zeros(n, dtype=np.uint32))
+        self.ptrs["stop"] = mem.alloc("stop", 4)
+
+    def host(self, emu, module):
+        relax, update = module["sssp_relax"], module["sssp_update"]
+        n = self.graph.num_nodes
+        grid = (max(1, -(-n // self.BLOCK)),)
+        while True:
+            emu.memory.store(self.ptrs["stop"], _U32, 0)
+            yield emu.launch(relax, grid, (self.BLOCK,), params={
+                "row_ptr": self.ptrs["row_ptr"],
+                "col_idx": self.ptrs["col_idx"],
+                "weights": self.ptrs["weights"],
+                "dist": self.ptrs["dist"],
+                "mask": self.ptrs["mask"],
+                "updating": self.ptrs["updating"],
+                "num_nodes": n})
+            yield emu.launch(update, grid, (self.BLOCK,), params={
+                "mask": self.ptrs["mask"],
+                "updating": self.ptrs["updating"],
+                "stop": self.ptrs["stop"],
+                "num_nodes": n})
+            if emu.memory.load(self.ptrs["stop"], _U32) == 0:
+                break
+
+    def verify(self, mem):
+        n = self.graph.num_nodes
+        dist = mem.read_array("dist", np.int32, n).astype(np.int64)
+        expected = reference_shortest_paths(self.graph, self.SOURCE)
+        if not np.array_equal(dist, expected):
+            bad = int(np.sum(dist != expected))
+            raise AssertionError("sssp: %d/%d distances wrong" % (bad, n))

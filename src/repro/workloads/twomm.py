@@ -1,0 +1,115 @@
+"""2mm — two consecutive dense matrix multiplications (PolyBench).
+
+``tmp = A x B`` then ``D = tmp x C``: the same tiled matmul kernel is
+launched twice with different operands.  Every global load indexes the
+matrices with linear functions of thread/CTA ids, so the classifier must
+find 100% deterministic loads (Figure 1's leftmost bar).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+from .data import random_matrix
+
+_PTX = """
+.entry mm_kernel (
+    .param .u64 A,
+    .param .u64 B,
+    .param .u64 C,
+    .param .u32 n
+)
+{
+    .reg .u32 %r<16>;
+    mov.u32        %r1, %ctaid.x;
+    mov.u32        %r2, %tid.x;
+    mad.lo.u32     %r3, %r1, 16, %r2;      // col
+    mov.u32        %r4, %ctaid.y;
+    mov.u32        %r5, %tid.y;
+    mad.lo.u32     %r6, %r4, 16, %r5;      // row
+    ld.param.u32   %r7, [n];
+    setp.ge.u32    %p1, %r3, %r7;
+    @%p1 bra       EXIT;
+    setp.ge.u32    %p2, %r6, %r7;
+    @%p2 bra       EXIT;
+    ld.param.u64   %rd1, [A];
+    ld.param.u64   %rd2, [B];
+    mov.f32        %f1, 0.0;
+    mov.u32        %r8, 0;                 // k
+    mul.lo.u32     %r9, %r6, %r7;          // row * n
+LOOP:
+    setp.ge.u32    %p3, %r8, %r7;
+    @%p3 bra       DONE;
+    add.u32        %r10, %r9, %r8;         // row*n + k
+    cvt.u64.u32    %rd3, %r10;
+    shl.b64        %rd4, %rd3, 2;
+    add.u64        %rd5, %rd1, %rd4;
+    ld.global.f32  %f2, [%rd5];            // A[row][k]   (deterministic)
+    mad.lo.u32     %r11, %r8, %r7, %r3;    // k*n + col
+    cvt.u64.u32    %rd6, %r11;
+    shl.b64        %rd7, %rd6, 2;
+    add.u64        %rd8, %rd2, %rd7;
+    ld.global.f32  %f3, [%rd8];            // B[k][col]   (deterministic)
+    mad.f32        %f1, %f2, %f3, %f1;
+    add.u32        %r8, %r8, 1;
+    bra            LOOP;
+DONE:
+    ld.param.u64   %rd9, [C];
+    mad.lo.u32     %r12, %r9, 1, %r3;      // row*n + col
+    cvt.u64.u32    %rd10, %r12;
+    shl.b64        %rd11, %rd10, 2;
+    add.u64        %rd12, %rd9, %rd11;
+    st.global.f32  [%rd12], %f1;
+EXIT:
+    exit;
+}
+"""
+
+
+class TwoMM(Workload):
+    """Two chained matrix multiplications."""
+
+    name = "2mm"
+    category = "linear"
+    description = "matrix multiplication (D = (A x B) x C)"
+
+    def __init__(self, scale=1.0, seed=7):
+        super().__init__(scale=scale, seed=seed)
+        self.n = self.dim(64, minimum=16, multiple=16)
+        self.data_set = "%dx%d matrices" % (self.n, self.n)
+
+    def ptx(self):
+        return _PTX
+
+    def setup(self, mem):
+        n = self.n
+        self.a_host = random_matrix(n, seed=self.seed)
+        self.b_host = random_matrix(n, seed=self.seed + 1)
+        self.c_host = random_matrix(n, seed=self.seed + 2)
+        self.ptr_a = mem.alloc_array("A", self.a_host)
+        self.ptr_b = mem.alloc_array("B", self.b_host)
+        self.ptr_c = mem.alloc_array("C", self.c_host)
+        self.ptr_tmp = mem.alloc("tmp", n * n * 4)
+        self.ptr_d = mem.alloc("D", n * n * 4)
+
+    def host(self, emu, module):
+        kernel = module["mm_kernel"]
+        n = self.n
+        grid = (n // 16, n // 16)
+        block = (16, 16)
+        # tmp = A x B
+        yield emu.launch(kernel, grid, block, params={
+            "A": self.ptr_a, "B": self.ptr_b, "C": self.ptr_tmp, "n": n})
+        # D = tmp x C
+        yield emu.launch(kernel, grid, block, params={
+            "A": self.ptr_tmp, "B": self.ptr_c, "C": self.ptr_d, "n": n})
+
+    def verify(self, mem):
+        n = self.n
+        result = mem.read_array("D", np.float32, n * n).reshape(n, n)
+        expected = (self.a_host.astype(np.float64)
+                    @ self.b_host.astype(np.float64)
+                    @ self.c_host.astype(np.float64))
+        if not np.allclose(result, expected, rtol=1e-3, atol=1e-3):
+            raise AssertionError("2mm: result does not match A x B x C")

@@ -1,0 +1,44 @@
+"""Shared fixtures: small cached workload runs and simulator configs.
+
+Workload runs are session-scoped because emulation is the expensive part
+of the suite; tests must treat them as read-only.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.config import TESLA_C2050, TINY
+from repro.workloads import get_workload
+
+#: a small but non-degenerate scale used across the suite.
+TEST_SCALE = 0.25
+
+#: timing config for tests: tiny caches, 2 SMs — fast and stressful.
+TEST_CONFIG = TINY
+
+
+@pytest.fixture(scope="session")
+def twomm_run():
+    return get_workload("2mm", scale=TEST_SCALE).run()
+
+
+@pytest.fixture(scope="session")
+def bfs_run():
+    return get_workload("bfs", scale=TEST_SCALE).run()
+
+
+@pytest.fixture(scope="session")
+def spmv_run():
+    return get_workload("spmv", scale=TEST_SCALE).run()
+
+
+@pytest.fixture(scope="session")
+def bpr_run():
+    return get_workload("bpr", scale=TEST_SCALE).run()
+
+
+@pytest.fixture(scope="session")
+def test_runner():
+    """An ExperimentRunner over the tiny config, shared by the harness
+    tests (results are cached inside)."""
+    return ExperimentRunner(scale=TEST_SCALE, config=TINY.scaled(num_sms=2))

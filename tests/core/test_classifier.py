@@ -1,0 +1,282 @@
+"""Unit tests for the load classifier — the paper's core contribution."""
+
+import pytest
+
+from repro.core.classifier import classify_kernel, classify_module
+from repro.core.provenance import LoadClass, Provenance
+from repro.ptx.parser import parse_kernel, parse_module
+
+
+def classify(ptx):
+    return classify_kernel(parse_kernel(ptx))
+
+
+def single_class(ptx):
+    result = classify(ptx)
+    assert len(result) == 1
+    return result.loads[0]
+
+
+HEADER = ".entry k ( .param .u64 a, .param .u64 b, .param .u32 n )\n{\n"
+FOOTER = "\nexit;\n}"
+
+
+class TestDeterministicRoots:
+    def test_tid_indexed_load(self):
+        load = single_class(HEADER + """
+            mov.u32 %r1, %tid.x;
+            ld.param.u64 %rd1, [a];
+            cvt.u64.u32 %rd2, %r1;
+            shl.b64 %rd3, %rd2, 2;
+            add.u64 %rd4, %rd1, %rd3;
+            ld.global.f32 %f1, [%rd4];
+        """ + FOOTER)
+        assert load.is_deterministic
+        assert load.tainting_pcs == ()
+
+    def test_ctaid_and_param_arithmetic(self):
+        load = single_class(HEADER + """
+            mov.u32 %r1, %ctaid.x;
+            mov.u32 %r2, %ntid.x;
+            mov.u32 %r3, %tid.x;
+            mad.lo.u32 %r4, %r1, %r2, %r3;
+            ld.param.u32 %r5, [n];
+            add.u32 %r6, %r4, %r5;
+            ld.param.u64 %rd1, [a];
+            cvt.u64.u32 %rd2, %r6;
+            add.u64 %rd3, %rd1, %rd2;
+            ld.global.u32 %r7, [%rd3];
+        """ + FOOTER)
+        assert load.is_deterministic
+
+    def test_immediate_base(self):
+        load = single_class(HEADER + """
+            mov.u64 %rd1, 0x10000000;
+            ld.global.u32 %r1, [%rd1];
+        """ + FOOTER)
+        assert load.is_deterministic
+
+    def test_const_load_is_parameterized_root(self):
+        result = classify(HEADER + """
+            ld.param.u64 %rd1, [a];
+            ld.const.u32 %r1, [%rd1];
+            cvt.u64.u32 %rd2, %r1;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r2, [%rd4];
+        """ + FOOTER)
+        # address derived from a *constant-memory* value stays deterministic
+        assert result.loads[0].is_deterministic
+
+
+class TestNonDeterministicRoots:
+    def test_address_from_global_load(self):
+        result = classify(HEADER + """
+            ld.param.u64 %rd1, [a];
+            ld.global.u32 %r1, [%rd1];
+            cvt.u64.u32 %rd2, %r1;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r2, [%rd4];
+        """ + FOOTER)
+        first, second = result.loads
+        assert first.is_deterministic
+        assert not second.is_deterministic
+        assert first.pc in second.tainting_pcs
+
+    def test_address_from_shared_load(self):
+        load = single_class(HEADER + """
+            .shared .u32 sdata[32];
+            mov.u32 %r9, sdata;
+            ld.shared.u32 %r1, [%r9];
+            cvt.u64.u32 %rd2, %r1;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r2, [%rd4];
+        """ + FOOTER)
+        assert not load.is_deterministic
+
+    def test_address_from_atomic(self):
+        load = single_class(HEADER + """
+            ld.param.u64 %rd1, [a];
+            atom.add.global.u32 %r1, [%rd1], 1;
+            cvt.u64.u32 %rd2, %r1;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r2, [%rd4];
+        """ + FOOTER)
+        assert not load.is_deterministic
+
+    def test_taint_propagates_through_arithmetic_chain(self):
+        result = classify(HEADER + """
+            ld.param.u64 %rd1, [a];
+            ld.global.u32 %r1, [%rd1];
+            add.u32 %r2, %r1, 4;
+            mul.lo.u32 %r3, %r2, 8;
+            and.b32 %r4, %r3, 0xFF;
+            cvt.u64.u32 %rd2, %r4;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r5, [%rd4];
+        """ + FOOTER)
+        assert not result.loads[1].is_deterministic
+
+    def test_taint_through_selp(self):
+        result = classify(HEADER + """
+            ld.param.u64 %rd1, [a];
+            ld.global.u32 %r1, [%rd1];
+            mov.u32 %r2, 0;
+            setp.eq.u32 %p1, %r2, 0;
+            selp.u32 %r3, %r1, %r2, %p1;
+            cvt.u64.u32 %rd2, %r3;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r4, [%rd4];
+        """ + FOOTER)
+        assert not result.loads[1].is_deterministic
+
+    def test_loop_carried_taint(self):
+        # i starts from a loaded value: every address using i is tainted
+        result = classify(HEADER + """
+            ld.param.u64 %rd1, [a];
+            ld.global.u32 %r1, [%rd1];
+            mov.u32 %r2, %r1;
+        LOOP:
+            setp.ge.u32 %p1, %r2, 10;
+            @%p1 bra DONE;
+            cvt.u64.u32 %rd2, %r2;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r3, [%rd4];
+            add.u32 %r2, %r2, 1;
+            bra LOOP;
+        DONE:
+            exit;
+        }
+        """)
+        assert not result.loads[1].is_deterministic
+
+    def test_loop_counter_from_params_stays_deterministic(self):
+        result = classify(HEADER + """
+            ld.param.u32 %r9, [n];
+            mov.u32 %r2, 0;
+        LOOP:
+            setp.ge.u32 %p1, %r2, %r9;
+            @%p1 bra DONE;
+            cvt.u64.u32 %rd2, %r2;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r3, [%rd4];
+            add.u32 %r2, %r2, 1;
+            bra LOOP;
+        DONE:
+            exit;
+        }
+        """)
+        assert result.loads[0].is_deterministic
+
+    def test_undefined_register_not_deterministic(self):
+        # an address through a never-written register cannot be proven
+        # parameterized
+        load = single_class(HEADER + """
+            cvt.u64.u32 %rd2, %r77;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r2, [%rd4];
+        """ + FOOTER)
+        assert not load.is_deterministic
+        assert load.provenance & Provenance.ENTRY
+
+
+class TestPaperExample:
+    """The bfs fragment of the paper's Code 1 / Section V discussion."""
+
+    PTX = """
+    .entry bfs ( .param .u64 g_mask, .param .u64 g_nodes,
+                 .param .u64 g_edges, .param .u64 g_visited,
+                 .param .u32 n )
+    {
+        mov.u32 %r1, %ctaid.x;
+        mov.u32 %r2, %tid.x;
+        mad.lo.u32 %r3, %r1, 512, %r2;
+        ld.param.u32 %r4, [n];
+        setp.ge.u32 %p1, %r3, %r4;
+        @%p1 bra EXIT;
+        ld.param.u64 %rd1, [g_mask];
+        cvt.u64.u32 %rd2, %r3;
+        shl.b64 %rd3, %rd2, 2;
+        add.u64 %rd4, %rd1, %rd3;
+        ld.global.u32 %r5, [%rd4];
+        ld.param.u64 %rd5, [g_nodes];
+        shl.b64 %rd6, %rd2, 3;
+        add.u64 %rd7, %rd5, %rd6;
+        ld.global.u32 %r6, [%rd7];
+        ld.global.u32 %r7, [%rd7+4];
+        add.u32 %r8, %r6, %r7;
+        mov.u32 %r9, %r6;
+    LOOP:
+        setp.ge.u32 %p2, %r9, %r8;
+        @%p2 bra EXIT;
+        ld.param.u64 %rd8, [g_edges];
+        cvt.u64.u32 %rd9, %r9;
+        shl.b64 %rd10, %rd9, 2;
+        add.u64 %rd11, %rd8, %rd10;
+        ld.global.u32 %r10, [%rd11];
+        ld.param.u64 %rd12, [g_visited];
+        cvt.u64.u32 %rd13, %r10;
+        shl.b64 %rd14, %rd13, 2;
+        add.u64 %rd15, %rd12, %rd14;
+        ld.global.u32 %r11, [%rd15];
+        add.u32 %r9, %r9, 1;
+        bra LOOP;
+    EXIT:
+        exit;
+    }
+    """
+
+    def test_matches_paper_classification(self):
+        result = classify(self.PTX)
+        classes = [str(l.load_class) for l in result]
+        # mask[tid], nodes[tid].starting, nodes[tid].no_of_edges -> D
+        # edges[i], visited[id] -> N
+        assert classes == ["D", "D", "D", "N", "N"]
+
+    def test_taint_chain(self):
+        result = classify(self.PTX)
+        edges_load = result.loads[3]
+        visited_load = result.loads[4]
+        # edges[i] is tainted by the node-structure loads
+        assert set(edges_load.tainting_pcs) <= {
+            result.loads[1].pc, result.loads[2].pc}
+        # visited[id] is tainted (at least) by edges[i]
+        assert edges_load.pc in visited_load.tainting_pcs
+
+    def test_static_fraction(self):
+        result = classify(self.PTX)
+        assert result.static_fraction_deterministic() == pytest.approx(0.6)
+
+
+class TestResultAPI:
+    def test_class_of_lookup(self):
+        result = classify(TestPaperExample.PTX)
+        for load in result:
+            assert result.class_of(load.pc) is load.load_class
+            assert result.get(load.pc) is load
+        assert result.get(0xDEAD) is None
+
+    def test_partition(self):
+        result = classify(TestPaperExample.PTX)
+        assert len(result.deterministic) == 3
+        assert len(result.nondeterministic) == 2
+        assert len(result) == 5
+
+    def test_classify_module(self):
+        module = parse_module(TestPaperExample.PTX)
+        results = classify_module(module)
+        assert set(results) == {"bfs"}
+
+    def test_str_includes_class_and_taint(self):
+        result = classify(TestPaperExample.PTX)
+        text = str(result.loads[4])
+        assert text.startswith("[N]")
+        assert "data loads at" in text

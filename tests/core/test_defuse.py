@@ -1,0 +1,105 @@
+"""Unit tests for reaching-definitions analysis."""
+
+import pytest
+
+from repro.core.defuse import ENTRY, ReachingDefs
+from repro.ptx.parser import parse_kernel
+
+
+def reaching(ptx, inst_index, reg):
+    kernel = parse_kernel(ptx)
+    return ReachingDefs(kernel).reaching(inst_index, reg)
+
+
+class TestStraightLine:
+    PTX = """
+    .entry k ( .param .u32 n )
+    {
+        mov.u32 %r1, 0;        // 0
+        add.u32 %r2, %r1, 1;   // 1
+        mov.u32 %r1, 5;        // 2
+        add.u32 %r3, %r1, 2;   // 3
+        exit;
+    }
+    """
+
+    def test_single_def_reaches(self):
+        assert reaching(self.PTX, 1, "%r1") == frozenset({0})
+
+    def test_redefinition_kills(self):
+        assert reaching(self.PTX, 3, "%r1") == frozenset({2})
+
+    def test_undefined_register_is_entry(self):
+        assert reaching(self.PTX, 0, "%r9") == frozenset({ENTRY})
+
+
+class TestBranches:
+    PTX = """
+    .entry k ( .param .u32 n )
+    {
+        setp.eq.u32 %p1, %r9, 0;  // 0
+        @%p1 bra ELSE;             // 1
+        mov.u32 %r1, 1;            // 2
+        bra JOIN;                  // 3
+    ELSE:
+        mov.u32 %r1, 2;            // 4
+    JOIN:
+        add.u32 %r2, %r1, 0;       // 5
+        exit;
+    }
+    """
+
+    def test_both_arms_reach_join(self):
+        assert reaching(self.PTX, 5, "%r1") == frozenset({2, 4})
+
+    def test_no_entry_when_all_paths_define(self):
+        assert ENTRY not in reaching(self.PTX, 5, "%r1")
+
+
+class TestLoop:
+    PTX = """
+    .entry k ( .param .u32 n )
+    {
+        mov.u32 %r1, 0;            // 0
+    LOOP:
+        setp.ge.u32 %p1, %r1, 8;   // 1
+        @%p1 bra DONE;             // 2
+        add.u32 %r1, %r1, 1;       // 3
+        bra LOOP;                  // 4
+    DONE:
+        exit;                      // 5
+    }
+    """
+
+    def test_loop_carried_defs(self):
+        # the loop header sees both the initial mov and the loop add
+        assert reaching(self.PTX, 1, "%r1") == frozenset({0, 3})
+
+    def test_no_spurious_entry_in_loop(self):
+        # regression: an earlier implementation leaked ENTRY into loop
+        # headers through not-yet-computed back edges
+        assert ENTRY not in reaching(self.PTX, 1, "%r1")
+
+
+class TestPredicatedWrites:
+    PTX = """
+    .entry k ( .param .u32 n )
+    {
+        mov.u32 %r1, 0;            // 0
+        setp.eq.u32 %p1, %r9, 0;   // 1
+        @%p1 mov.u32 %r1, 7;       // 2 (may not execute)
+        add.u32 %r2, %r1, 1;       // 3
+        exit;
+    }
+    """
+
+    def test_predicated_write_keeps_old_definition(self):
+        assert reaching(self.PTX, 3, "%r1") == frozenset({0, 2})
+
+
+class TestHelpers:
+    def test_definitions_of(self):
+        kernel = parse_kernel(TestStraightLine.PTX)
+        rd = ReachingDefs(kernel)
+        assert rd.definitions_of("%r1") == [0, 2]
+        assert rd.definitions_of("%zz") == []

@@ -1,0 +1,62 @@
+"""Unit tests for classification reports and dynamic splits."""
+
+from repro.core.classifier import classify_kernel
+from repro.core.report import (
+    dynamic_split,
+    format_kernel_report,
+    merge_dynamic_split,
+)
+from repro.ptx.parser import parse_kernel
+
+PTX = """
+.entry k ( .param .u64 a, .param .u64 b )
+{
+    ld.param.u64 %rd1, [a];
+    ld.global.u32 %r1, [%rd1];
+    cvt.u64.u32 %rd2, %r1;
+    ld.param.u64 %rd3, [b];
+    add.u64 %rd4, %rd3, %rd2;
+    ld.global.u32 %r2, [%rd4];
+    exit;
+}
+"""
+
+
+def _result():
+    return classify_kernel(parse_kernel(PTX))
+
+
+class TestDynamicSplit:
+    def test_split_weights_by_execution_count(self):
+        result = _result()
+        det_pc = result.deterministic[0].pc
+        nondet_pc = result.nondeterministic[0].pc
+        det, nondet = dynamic_split(result, {det_pc: 10, nondet_pc: 30})
+        assert (det, nondet) == (10, 30)
+
+    def test_missing_counts_are_zero(self):
+        result = _result()
+        assert dynamic_split(result, {}) == (0, 0)
+
+    def test_merge(self):
+        result = _result()
+        det_pc = result.deterministic[0].pc
+        pairs = [(result, {det_pc: 5}), (result, {det_pc: 7})]
+        assert merge_dynamic_split(pairs) == (12, 0)
+
+
+class TestFormatting:
+    def test_report_lists_all_loads(self):
+        result = _result()
+        text = format_kernel_report(result)
+        assert "kernel k" in text
+        assert "1 deterministic, 1 non-deterministic" in text
+        for load in result:
+            assert ("%#06x" % load.pc) in text
+
+    def test_report_with_dynamic_counts(self):
+        result = _result()
+        counts = {load.pc: 4 for load in result}
+        text = format_kernel_report(result, counts)
+        assert "dynamic split" in text
+        assert "50.0%" in text

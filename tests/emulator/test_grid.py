@@ -1,0 +1,65 @@
+"""Unit and property tests for launch geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.emulator.grid import (
+    FULL_MASK,
+    WARP_SIZE,
+    Dim3,
+    LaunchConfig,
+    as_dim3,
+    make_launch,
+)
+
+
+class TestDim3:
+    def test_count(self):
+        assert Dim3(4, 2, 3).count == 24
+
+    def test_flatten_matches_paper_formula(self):
+        dim = Dim3(8, 4, 2)
+        # linearized id = x + y*Dim.x + z*Dim.x*Dim.y (Section IX)
+        assert dim.flatten(3, 2, 1) == 3 + 2 * 8 + 1 * 8 * 4
+
+    def test_unflatten_inverse(self):
+        dim = Dim3(5, 3, 2)
+        for linear in range(dim.count):
+            assert dim.flatten(*dim.unflatten(linear)) == linear
+
+    @given(st.integers(1, 16), st.integers(1, 16), st.integers(1, 4),
+           st.data())
+    def test_flatten_roundtrip_property(self, x, y, z, data):
+        dim = Dim3(x, y, z)
+        linear = data.draw(st.integers(0, dim.count - 1))
+        assert dim.flatten(*dim.unflatten(linear)) == linear
+
+    def test_as_dim3_coercions(self):
+        assert as_dim3(7) == Dim3(7)
+        assert as_dim3((2, 3)) == Dim3(2, 3)
+        assert as_dim3(Dim3(1, 1, 1)) == Dim3(1, 1, 1)
+
+
+class TestLaunchConfig:
+    def test_warp_count_rounds_up(self):
+        config = make_launch(4, 100)
+        assert config.warps_per_cta == 4  # ceil(100/32)
+
+    def test_total_threads(self):
+        config = make_launch((2, 2), (16, 16))
+        assert config.total_threads == 4 * 256
+
+    def test_thread_coords(self):
+        config = make_launch(1, (16, 16))
+        assert config.thread_coords(0) == (0, 0, 0)
+        assert config.thread_coords(16) == (0, 1, 0)
+        assert config.thread_coords(17) == (1, 1, 0)
+
+    def test_iter_ctas(self):
+        config = make_launch((2, 2), 32)
+        ctas = list(config.iter_ctas())
+        assert len(ctas) == 4
+        assert ctas[3] == (3, (1, 1, 0))
+
+    def test_full_mask(self):
+        assert FULL_MASK == (1 << WARP_SIZE) - 1

@@ -1,0 +1,126 @@
+"""Unit tests for the device-memory model."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.memory import (
+    ALLOC_ALIGN,
+    GLOBAL_BASE,
+    MemoryImage,
+    MemoryError_,
+    SharedMemory,
+)
+from repro.ptx.isa import DType
+
+
+class TestAllocation:
+    def test_bases_are_aligned(self):
+        mem = MemoryImage()
+        a = mem.alloc("a", 10)
+        b = mem.alloc("b", 10)
+        assert a % ALLOC_ALIGN == 0
+        assert b % ALLOC_ALIGN == 0
+        assert b >= a + 10
+
+    def test_base_starts_at_heap(self):
+        mem = MemoryImage()
+        assert mem.alloc("a", 4) >= GLOBAL_BASE
+
+    def test_duplicate_name_rejected(self):
+        mem = MemoryImage()
+        mem.alloc("a", 4)
+        with pytest.raises(ValueError):
+            mem.alloc("a", 4)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryImage().alloc("a", 0)
+
+    def test_base_of(self):
+        mem = MemoryImage()
+        base = mem.alloc("buf", 64)
+        assert mem.base_of("buf") == base
+
+
+class TestArrayIO:
+    def test_roundtrip(self):
+        mem = MemoryImage()
+        data = np.arange(16, dtype=np.float32)
+        mem.alloc_array("x", data)
+        out = mem.read_array("x", np.float32)
+        assert np.array_equal(out, data)
+
+    def test_read_with_count(self):
+        mem = MemoryImage()
+        mem.alloc_array("x", np.arange(16, dtype=np.int32))
+        assert len(mem.read_array("x", np.int32, 4)) == 4
+
+    def test_write_array_overwrites(self):
+        mem = MemoryImage()
+        mem.alloc_array("x", np.zeros(8, dtype=np.uint32))
+        mem.write_array("x", np.ones(8, dtype=np.uint32))
+        assert mem.read_array("x", np.uint32).sum() == 8
+
+    def test_write_array_too_large(self):
+        mem = MemoryImage()
+        mem.alloc_array("x", np.zeros(2, dtype=np.uint32))
+        with pytest.raises(ValueError):
+            mem.write_array("x", np.zeros(4, dtype=np.uint32))
+
+
+class TestScalarAccess:
+    def test_load_store_types(self):
+        mem = MemoryImage()
+        base = mem.alloc("x", 64)
+        mem.store(base, DType.U32, 0xDEADBEEF)
+        assert mem.load(base, DType.U32) == 0xDEADBEEF
+        mem.store(base + 8, DType.F32, 2.5)
+        assert mem.load(base + 8, DType.F32) == 2.5
+        mem.store(base + 16, DType.S32, -7)
+        assert mem.load(base + 16, DType.S32) == -7
+        mem.store(base + 24, DType.U64, 1 << 40)
+        assert mem.load(base + 24, DType.U64) == 1 << 40
+
+    def test_invalid_address_raises(self):
+        mem = MemoryImage()
+        mem.alloc("x", 16)
+        with pytest.raises(MemoryError_):
+            mem.load(0x10, DType.U32)
+
+    def test_access_past_allocation_end(self):
+        mem = MemoryImage()
+        base = mem.alloc("x", 16)
+        with pytest.raises(MemoryError_):
+            mem.load(base + 14, DType.U32)
+
+    def test_valid(self):
+        mem = MemoryImage()
+        base = mem.alloc("x", 16)
+        assert mem.valid(base)
+        assert mem.valid(base + 15)
+        assert not mem.valid(base + 16 + ALLOC_ALIGN)
+
+    def test_gap_between_allocations_invalid(self):
+        mem = MemoryImage()
+        base = mem.alloc("x", 10)
+        mem.alloc("y", 10)
+        # the padding bytes after x's 10 bytes belong to no allocation
+        assert not mem.valid(base + 100)
+
+
+class TestSharedMemory:
+    def test_load_store(self):
+        shared = SharedMemory(64)
+        shared.store(0, DType.F32, 1.5)
+        assert shared.load(0, DType.F32) == 1.5
+
+    def test_bounds(self):
+        shared = SharedMemory(16)
+        with pytest.raises(MemoryError_):
+            shared.load(16, DType.U32)
+        with pytest.raises(MemoryError_):
+            shared.store(-4, DType.U32, 0)
+
+    def test_zero_size_still_usable_object(self):
+        shared = SharedMemory(0)
+        assert shared.size >= 1

@@ -1,0 +1,171 @@
+"""Property tests: emulator scalar semantics vs. numpy fixed-width
+arithmetic.
+
+The emulator stores integer register values as unsigned bit patterns and
+implements PTX's width/signedness rules by hand (:mod:`repro.emulator.
+machine`).  These tests pin that implementation against numpy's
+fixed-width integer types on randomized operands.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.emulator.machine import (
+    _evaluate,
+    _sx,
+    _trunc_div,
+    _trunc_rem,
+    _wrap,
+)
+from repro.ptx.isa import DType, Instruction, Reg
+
+
+def make_inst(opcode, dtype, mul_mode=None, cmp_op=None):
+    return Instruction(opcode=opcode, dtype=dtype, mul_mode=mul_mode,
+                       cmp_op=cmp_op, dests=(Reg("%r0"),))
+
+
+u32 = st.integers(0, 2**32 - 1)
+nonzero_u32 = st.integers(1, 2**32 - 1)
+
+
+class TestHelpers:
+    @given(u32)
+    def test_sx_roundtrip(self, value):
+        assert _wrap(_sx(value, 32), 32) == value
+
+    @given(st.integers(-2**31, 2**31 - 1))
+    def test_sx_identity_on_signed_range(self, value):
+        assert _sx(_wrap(value, 32), 32) == value
+
+    @given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9))
+    def test_trunc_div_matches_c(self, a, b):
+        if b == 0:
+            return
+        q = _trunc_div(a, b)
+        r = _trunc_rem(a, b)
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+        # truncation toward zero: quotient magnitude never overshoots
+        assert abs(q) == abs(a) // abs(b)
+
+
+class TestIntegerOps:
+    @given(u32, u32)
+    def test_add_u32_wraps_like_numpy(self, a, b):
+        with np.errstate(over="ignore"):
+            expected = int(np.uint32(a) + np.uint32(b))
+        inst = make_inst("add", DType.U32)
+        assert _evaluate(inst, "add", DType.U32, [a, b]) == expected
+
+    @given(u32, u32)
+    def test_sub_u32(self, a, b):
+        with np.errstate(over="ignore"):
+            expected = int(np.uint32(a) - np.uint32(b))
+        inst = make_inst("sub", DType.U32)
+        assert _evaluate(inst, "sub", DType.U32, [a, b]) == expected
+
+    @given(u32, u32)
+    def test_mul_lo_u32(self, a, b):
+        with np.errstate(over="ignore"):
+            expected = int(np.uint32(np.uint64(a) * np.uint64(b)
+                                     & np.uint64(0xFFFFFFFF)))
+        inst = make_inst("mul", DType.U32, mul_mode="lo")
+        assert _evaluate(inst, "mul", DType.U32, [a, b]) == expected
+
+    @given(u32, u32)
+    def test_mul_wide_u32(self, a, b):
+        inst = make_inst("mul", DType.U32, mul_mode="wide")
+        assert _evaluate(inst, "mul", DType.U32, [a, b]) == a * b
+
+    @given(u32, u32)
+    def test_mul_hi_u32(self, a, b):
+        inst = make_inst("mul", DType.U32, mul_mode="hi")
+        assert _evaluate(inst, "mul", DType.U32, [a, b]) == (a * b) >> 32
+
+    @given(u32, u32, u32)
+    def test_mad_lo_u32(self, a, b, c):
+        inst = make_inst("mad", DType.U32, mul_mode="lo")
+        assert _evaluate(inst, "mad", DType.U32, [a, b, c]) == \
+            (a * b + c) & 0xFFFFFFFF
+
+    @given(u32, nonzero_u32)
+    def test_div_u32(self, a, b):
+        inst = make_inst("div", DType.U32)
+        assert _evaluate(inst, "div", DType.U32, [a, b]) == a // b
+
+    @given(u32, nonzero_u32)
+    def test_rem_u32(self, a, b):
+        inst = make_inst("rem", DType.U32)
+        assert _evaluate(inst, "rem", DType.U32, [a, b]) == a % b
+
+    @given(u32, st.integers(0, 31))
+    def test_shl_b32(self, a, s):
+        inst = make_inst("shl", DType.B32)
+        assert _evaluate(inst, "shl", DType.B32, [a, s]) == \
+            (a << s) & 0xFFFFFFFF
+
+    @given(u32, st.integers(0, 31))
+    def test_shr_u32_logical(self, a, s):
+        inst = make_inst("shr", DType.U32)
+        assert _evaluate(inst, "shr", DType.U32, [a, s]) == a >> s
+
+    @given(u32, st.integers(0, 31))
+    def test_shr_s32_arithmetic(self, a, s):
+        inst = make_inst("shr", DType.S32)
+        expected = _wrap(_sx(a, 32) >> s, 32)
+        assert _evaluate(inst, "shr", DType.S32, [a, s]) == expected
+
+    @given(u32, u32)
+    def test_min_max_s32(self, a, b):
+        sa, sb = _sx(a, 32), _sx(b, 32)
+        assert _evaluate(make_inst("min", DType.S32), "min", DType.S32,
+                         [a, b]) == _wrap(min(sa, sb), 32)
+        assert _evaluate(make_inst("max", DType.S32), "max", DType.S32,
+                         [a, b]) == _wrap(max(sa, sb), 32)
+
+    @given(u32)
+    def test_abs_neg_s32(self, a):
+        sa = _sx(a, 32)
+        assert _evaluate(make_inst("abs", DType.S32), "abs", DType.S32,
+                         [a]) == _wrap(abs(sa), 32)
+        assert _evaluate(make_inst("neg", DType.S32), "neg", DType.S32,
+                         [a]) == _wrap(-a, 32)
+
+    @given(u32, u32)
+    def test_bitwise(self, a, b):
+        for op, fn in (("and", int.__and__), ("or", int.__or__),
+                       ("xor", int.__xor__)):
+            inst = make_inst(op, DType.B32)
+            assert _evaluate(inst, op, DType.B32, [a, b]) == fn(a, b)
+
+    @given(u32)
+    def test_not(self, a):
+        inst = make_inst("not", DType.B32)
+        assert _evaluate(inst, "not", DType.B32, [a]) == \
+            (~a) & 0xFFFFFFFF
+
+
+class TestComparisons:
+    @given(u32, u32)
+    def test_setp_unsigned(self, a, b):
+        for cmp_op, fn in (("lt", int.__lt__), ("le", int.__le__),
+                           ("gt", int.__gt__), ("ge", int.__ge__),
+                           ("eq", int.__eq__), ("ne", int.__ne__)):
+            inst = make_inst("setp", DType.U32, cmp_op=cmp_op)
+            assert _evaluate(inst, "setp", DType.U32, [a, b]) == fn(a, b)
+
+    @given(u32, u32)
+    def test_setp_signed(self, a, b):
+        sa, sb = _sx(a, 32), _sx(b, 32)
+        inst = make_inst("setp", DType.S32, cmp_op="lt")
+        assert _evaluate(inst, "setp", DType.S32, [a, b]) == (sa < sb)
+
+
+class TestSelect:
+    @given(u32, u32, st.booleans())
+    def test_selp(self, a, b, c):
+        inst = make_inst("selp", DType.U32)
+        assert _evaluate(inst, "selp", DType.U32, [a, b, c]) == \
+            (a if c else b)

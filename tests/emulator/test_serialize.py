@@ -1,0 +1,67 @@
+"""Tests for trace serialization / trace-driven replay."""
+
+import pytest
+
+from repro.emulator.serialize import load_run, save_run
+from repro.sim import GPU, TINY
+
+
+def simulate(trace, classifications, config=TINY):
+    gpu = GPU(config)
+    for launch in trace:
+        gpu.run_launch(launch, classifications.get(launch.kernel_name))
+    return gpu.stats
+
+
+class TestRoundtrip:
+    def test_counts_preserved(self, bfs_run, tmp_path):
+        path = str(tmp_path / "bfs.trace.gz")
+        save_run(bfs_run, path)
+        loaded = load_run(path)
+        assert loaded.name == "bfs"
+        assert (loaded.trace.total_warp_instructions()
+                == bfs_run.trace.total_warp_instructions())
+        assert (loaded.trace.global_load_warp_count()
+                == bfs_run.trace.global_load_warp_count())
+        assert len(loaded.trace) == len(bfs_run.trace)
+
+    def test_addresses_preserved(self, bfs_run, tmp_path):
+        path = str(tmp_path / "bfs.trace.gz")
+        save_run(bfs_run, path)
+        loaded = load_run(path)
+        orig_ops = [(op.pc, op.active_mask, op.addresses)
+                    for l in bfs_run.trace for w in l for op in w.ops]
+        new_ops = [(op.pc, op.active_mask, op.addresses)
+                   for l in loaded.trace for w in l for op in w.ops]
+        assert orig_ops == new_ops
+
+    def test_classifications_recomputed_identically(self, bfs_run,
+                                                    tmp_path):
+        path = str(tmp_path / "bfs.trace.gz")
+        save_run(bfs_run, path)
+        loaded = load_run(path)
+        for name, original in bfs_run.classifications.items():
+            reloaded = loaded.classifications[name]
+            assert [(l.pc, str(l.load_class)) for l in original] == \
+                [(l.pc, str(l.load_class)) for l in reloaded]
+
+    def test_simulation_equivalence(self, spmv_run, tmp_path):
+        """A loaded trace must simulate to the exact same statistics."""
+        path = str(tmp_path / "spmv.trace.gz")
+        save_run(spmv_run, path)
+        loaded = load_run(path)
+        original = simulate(spmv_run.trace, spmv_run.classifications)
+        replayed = simulate(loaded.trace, loaded.classifications)
+        assert original.cycles == replayed.cycles
+        assert original.issued_warp_insts == replayed.issued_warp_insts
+        assert (original.classes["N"].turnaround_sum
+                == replayed.classes["N"].turnaround_sum)
+
+    def test_version_check(self, bfs_run, tmp_path):
+        import gzip
+        import json
+        path = str(tmp_path / "bad.trace.gz")
+        with gzip.open(path, "wt") as fh:
+            json.dump({"version": 99}, fh)
+        with pytest.raises(ValueError, match="version"):
+            load_run(path)

@@ -1,0 +1,51 @@
+"""Tests for the JSON export of experiment data."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import export_json, export_results
+
+APPS = ("2mm", "bfs")
+
+
+@pytest.fixture(scope="module")
+def results(test_runner):
+    return [test_runner.result(name) for name in APPS]
+
+
+class TestExport:
+    def test_all_sections_present(self, results):
+        data = export_results(results)
+        for key in ("apps", "table1", "table3", "fig1_class_split",
+                    "fig2_requests", "fig3_l1_cycles", "fig4_unit_idle",
+                    "fig5_turnaround", "fig8_miss_ratios",
+                    "fig9_shared_per_global", "fig10_cold_miss",
+                    "fig11_sharing", "fig12_cta_distance",
+                    "irregularity", "simulation"):
+            assert key in data, key
+
+    def test_apps_covered_everywhere(self, results):
+        data = export_results(results)
+        for section in ("fig1_class_split", "fig3_l1_cycles",
+                        "irregularity", "simulation"):
+            assert set(data[section]) == set(APPS)
+
+    def test_json_serializable(self, results):
+        text = export_json(results)
+        data = json.loads(text)
+        assert data["apps"] == list(APPS)
+
+    def test_json_written_to_file(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        export_json(results, path=str(path))
+        data = json.loads(path.read_text())
+        assert data["fig1_class_split"]["2mm"]["deterministic"] == 1.0
+
+    def test_values_consistent_with_stats(self, results):
+        data = export_results(results)
+        for result in results:
+            sim = data["simulation"][result.name]
+            assert sim["cycles"] == result.stats.cycles
+            assert sim["issued_warp_insts"] == \
+                result.stats.issued_warp_insts

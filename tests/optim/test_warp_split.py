@@ -1,0 +1,89 @@
+"""Tests for the Section X.A sub-warp-splitting ablation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emulator.trace import TraceOp
+from repro.optim.warp_split import compare_warp_splitting, split_launch, split_op
+from repro.ptx.isa import DType, Instruction, MemRef, Reg, Space
+from repro.sim.config import TINY
+
+
+def nondet_load(pc=0xD8):
+    inst = Instruction(opcode="ld", dtype=DType.U32, space=Space.GLOBAL,
+                       dests=(Reg("%r1"),),
+                       srcs=(MemRef(Reg("%rd1")),))
+    inst.pc = pc
+    return inst
+
+
+def op_with_blocks(num_blocks):
+    addrs = tuple((lane, lane * 128) for lane in range(num_blocks))
+    mask = 0
+    for lane, _ in addrs:
+        mask |= 1 << lane
+    return TraceOp(nondet_load(), mask, addrs)
+
+
+class TestSplitOp:
+    def test_small_op_unchanged(self):
+        op = op_with_blocks(3)
+        assert split_op(op, max_requests=4) == [op]
+
+    def test_split_count(self):
+        op = op_with_blocks(8)
+        parts = split_op(op, max_requests=4)
+        assert len(parts) == 2
+
+    def test_lanes_partitioned_exactly(self):
+        op = op_with_blocks(10)
+        parts = split_op(op, max_requests=4)
+        all_lanes = [lane for p in parts for lane, _a in p.addresses]
+        assert sorted(all_lanes) == [lane for lane, _a in op.addresses]
+        combined_mask = 0
+        for p in parts:
+            assert combined_mask & p.active_mask == 0  # disjoint
+            combined_mask |= p.active_mask
+        assert combined_mask == op.active_mask
+
+    def test_block_bound_respected(self):
+        op = op_with_blocks(13)
+        for p in split_op(op, max_requests=4):
+            blocks = {a // 128 for _l, a in p.addresses}
+            assert len(blocks) <= 4
+
+    @given(st.lists(st.integers(0, 4096), min_size=1, max_size=32),
+           st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_split_invariants_property(self, raw, max_requests):
+        addrs = tuple((lane, addr) for lane, addr in enumerate(raw))
+        mask = (1 << len(raw)) - 1
+        op = TraceOp(nondet_load(), mask, addrs)
+        parts = split_op(op, max_requests)
+        assert sum(len(p.addresses) for p in parts) == len(raw)
+        for p in parts:
+            blocks = {a // 128 for _l, a in p.addresses}
+            assert len(blocks) <= max_requests
+
+
+class TestSplitLaunch:
+    def test_only_nondet_loads_split(self, bfs_run):
+        launch = bfs_run.trace.launches[0]
+        classification = bfs_run.classifications[launch.kernel_name]
+        new = split_launch(launch, classification, max_requests=1)
+        assert new.total_warp_instructions() >= \
+            launch.total_warp_instructions()
+        # deterministic loads keep their op count
+        det_pcs = {l.pc for l in classification.deterministic}
+        for old_w, new_w in zip(launch.warps, new.warps):
+            old_det = sum(1 for op in old_w.ops if op.pc in det_pcs)
+            new_det = sum(1 for op in new_w.ops if op.pc in det_pcs)
+            assert old_det == new_det
+
+
+class TestComparison:
+    def test_split_reduces_requests_per_warp(self, bfs_run):
+        outcome = compare_warp_splitting(bfs_run, TINY, max_requests=2)
+        assert outcome["split"].n_requests_per_warp <= \
+            outcome["baseline"].n_requests_per_warp
+        assert outcome["split"].n_requests_per_warp <= 2.0 + 1e-9

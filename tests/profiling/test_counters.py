@@ -1,0 +1,41 @@
+"""Unit tests for the Table III counter derivation."""
+
+import pytest
+
+from repro.profiling.counters import (
+    COUNTER_DESCRIPTIONS,
+    collect_counters,
+    shared_per_global_ratio,
+)
+from repro.sim import GPU, TINY
+
+
+class TestCounters:
+    def test_all_table3_counters_present(self, twomm_run):
+        counters = collect_counters(twomm_run)
+        assert set(COUNTER_DESCRIPTIONS) <= set(counters)
+
+    def test_trace_counters_without_stats(self, twomm_run):
+        counters = collect_counters(twomm_run)
+        assert counters["gld_request"] == \
+            twomm_run.trace.global_load_warp_count()
+        assert counters["l1_global_load_hit"] is None
+
+    def test_cache_counters_with_stats(self, twomm_run):
+        gpu = GPU(TINY)
+        for launch in twomm_run.trace:
+            gpu.run_launch(launch,
+                           twomm_run.classifications[launch.kernel_name])
+        counters = collect_counters(twomm_run, gpu.stats)
+        assert counters["l1_global_load_hit"] is not None
+        assert (counters["l1_global_load_hit"]
+                + counters["l1_global_load_miss"]) > 0
+        queries = (counters["l2_subp0_read_sector_queries"]
+                   + counters["l2_subp1_read_sector_queries"])
+        hits = (counters["l2_subp0_read_hit_sectors"]
+                + counters["l2_subp1_read_hit_sectors"])
+        assert hits <= queries
+
+    def test_shared_per_global_ratio(self, bpr_run, twomm_run):
+        assert shared_per_global_ratio(bpr_run) > 0
+        assert shared_per_global_ratio(twomm_run) == 0.0

@@ -1,0 +1,70 @@
+"""Tests for critical-load ranking."""
+
+import pytest
+
+from repro.profiling.critical import (
+    format_critical_loads,
+    rank_critical_loads,
+    stall_share_by_class,
+)
+from repro.sim import GPU, TINY
+from repro.sim.stats import SimStats
+
+
+@pytest.fixture(scope="module")
+def bfs_stats(bfs_run):
+    gpu = GPU(TINY)
+    for launch in bfs_run.trace:
+        gpu.run_launch(launch, bfs_run.classifications[launch.kernel_name])
+    return gpu.stats
+
+
+class TestRanking:
+    def test_sorted_by_stall_cycles(self, bfs_stats):
+        loads = rank_critical_loads(bfs_stats, TINY)
+        stalls = [l.total_stall_cycles for l in loads]
+        assert stalls == sorted(stalls, reverse=True)
+
+    def test_shares_sum_to_one(self, bfs_stats):
+        loads = rank_critical_loads(bfs_stats, TINY)
+        assert sum(l.stall_share for l in loads) == pytest.approx(1.0)
+
+    def test_top_limits(self, bfs_stats):
+        assert len(rank_critical_loads(bfs_stats, TINY, top=3)) == 3
+
+    def test_classes_attached(self, bfs_stats, bfs_run):
+        loads = rank_critical_loads(bfs_stats, TINY,
+                                    bfs_run.classifications)
+        assert all(l.load_class in ("D", "N") for l in loads)
+
+    def test_every_profiled_pc_present(self, bfs_stats):
+        loads = rank_critical_loads(bfs_stats, TINY)
+        profiled = {(k, pc) for k, pc, _n in bfs_stats.pc_buckets}
+        assert {(l.kernel, l.pc) for l in loads} == profiled
+
+    def test_empty_stats(self):
+        assert rank_critical_loads(SimStats(), TINY) == []
+
+
+class TestClassShares:
+    def test_nondeterministic_loads_dominate_stalls(self, bfs_stats,
+                                                    bfs_run):
+        """The paper's thesis, quantified: non-deterministic loads are
+        the *critical* loads — they own most of the stall time."""
+        shares = stall_share_by_class(bfs_stats, TINY,
+                                      bfs_run.classifications)
+        assert shares.get("N", 0.0) > shares.get("D", 0.0)
+
+    def test_shares_normalized(self, bfs_stats, bfs_run):
+        shares = stall_share_by_class(bfs_stats, TINY,
+                                      bfs_run.classifications)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestFormatting:
+    def test_format(self, bfs_stats, bfs_run):
+        loads = rank_critical_loads(bfs_stats, TINY,
+                                    bfs_run.classifications)
+        text = format_critical_loads(loads, limit=5)
+        assert "critical loads" in text
+        assert "%#06x" % loads[0].pc in text

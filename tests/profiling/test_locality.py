@@ -1,0 +1,150 @@
+"""Unit tests for the locality analyzer (Figures 10-12 machinery)."""
+
+import pytest
+
+from repro.emulator.grid import make_launch
+from repro.emulator.trace import KernelLaunchTrace, TraceOp, WarpTrace
+from repro.profiling.locality import LocalityAnalyzer, analyze_run
+from repro.ptx.isa import DType, Instruction, MemRef, Reg, Space
+
+
+def load_inst(pc=8, space=Space.GLOBAL):
+    inst = Instruction(opcode="ld", dtype=DType.U32, space=space,
+                       dests=(Reg("%r1"),),
+                       srcs=(MemRef(Reg("%rd1")),))
+    inst.pc = pc
+    return inst
+
+
+def store_inst(pc=16):
+    inst = Instruction(opcode="st", dtype=DType.U32, space=Space.GLOBAL,
+                       srcs=(MemRef(Reg("%rd1")), Reg("%r1")))
+    inst.pc = pc
+    return inst
+
+
+def launch_from_accesses(accesses):
+    """accesses: [(cta_id, [addr, ...])] — one warp-load per entry."""
+    launch = KernelLaunchTrace("k", make_launch(8, 32))
+    for i, (cta, addrs) in enumerate(accesses):
+        warp = WarpTrace(cta_id=cta, warp_id=0)
+        warp.ops.append(TraceOp(load_inst(), 1,
+                                tuple((lane, a)
+                                      for lane, a in enumerate(addrs))))
+        launch.warps.append(warp)
+    return launch
+
+
+def analyze(accesses):
+    analyzer = LocalityAnalyzer()
+    analyzer.analyze_launch(launch_from_accesses(accesses))
+    return analyzer.report()
+
+
+class TestColdMiss:
+    def test_every_first_touch_is_cold(self):
+        report = analyze([(0, [0]), (0, [128]), (0, [256])])
+        assert report.cold_misses == 3
+        assert report.cold_miss_ratio == 1.0
+
+    def test_reuse_lowers_ratio(self):
+        report = analyze([(0, [0]), (0, [0]), (0, [0]), (0, [0])])
+        assert report.cold_misses == 1
+        assert report.cold_miss_ratio == 0.25
+        assert report.mean_accesses_per_block == 4.0
+
+    def test_same_block_same_warp_counts_once(self):
+        # two lanes in one 128 B block = one coalesced access
+        report = analyze([(0, [0, 4, 8])])
+        assert report.total_accesses == 1
+
+
+class TestSharing:
+    def test_private_blocks_not_shared(self):
+        report = analyze([(0, [0]), (1, [128])])
+        assert report.shared_blocks == 0
+        assert report.shared_block_ratio == 0.0
+
+    def test_shared_block_detected(self):
+        report = analyze([(0, [0]), (1, [0]), (0, [128])])
+        assert report.shared_blocks == 1
+        assert report.num_blocks == 2
+        assert report.shared_block_ratio == 0.5
+        # 2 of 3 accesses target the shared block
+        assert report.shared_access_ratio == pytest.approx(2 / 3)
+        assert report.mean_ctas_per_shared_block == 2.0
+
+    def test_many_cta_sharers(self):
+        report = analyze([(c, [0]) for c in range(10)])
+        assert report.mean_ctas_per_shared_block == 10.0
+
+
+class TestDistances:
+    def test_distance_between_consecutive_touchers(self):
+        report = analyze([(0, [0]), (1, [0]), (3, [0])])
+        assert report.distance_hist == {1: 1, 2: 1}
+
+    def test_same_cta_retouch_records_nothing(self):
+        report = analyze([(0, [0]), (0, [0])])
+        assert sum(report.distance_hist.values()) == 0
+
+    def test_fraction_normalization(self):
+        report = analyze([(0, [0]), (1, [0]), (2, [0]), (4, [0])])
+        fr = report.distance_fractions()
+        assert fr[1] == pytest.approx(2 / 3)
+        assert fr[2] == pytest.approx(1 / 3)
+
+    def test_max_distance_filter(self):
+        report = analyze([(0, [0]), (50, [0])])
+        assert report.distance_fractions(max_distance=10) == {}
+
+    def test_per_class_histogram(self):
+        launch = launch_from_accesses([(0, [0]), (1, [0])])
+        analyzer = LocalityAnalyzer()
+        analyzer.analyze_launch(launch, pc_classes={8: "N"})
+        report = analyzer.report()
+        assert report.distance_hist_by_class["N"][1] == 1
+        assert sum(report.distance_hist_by_class["D"].values()) == 0
+
+
+class TestFiltering:
+    def test_stores_excluded_by_default(self):
+        launch = KernelLaunchTrace("k", make_launch(1, 32))
+        warp = WarpTrace(cta_id=0, warp_id=0)
+        warp.ops.append(TraceOp(store_inst(), 1, ((0, 0),)))
+        launch.warps.append(warp)
+        analyzer = LocalityAnalyzer()
+        analyzer.analyze_launch(launch)
+        assert analyzer.report().total_accesses == 0
+
+    def test_stores_included_when_asked(self):
+        launch = KernelLaunchTrace("k", make_launch(1, 32))
+        warp = WarpTrace(cta_id=0, warp_id=0)
+        warp.ops.append(TraceOp(store_inst(), 1, ((0, 0),)))
+        launch.warps.append(warp)
+        analyzer = LocalityAnalyzer(include_stores=True)
+        analyzer.analyze_launch(launch)
+        assert analyzer.report().total_accesses == 1
+
+    def test_shared_space_ignored(self):
+        launch = KernelLaunchTrace("k", make_launch(1, 32))
+        warp = WarpTrace(cta_id=0, warp_id=0)
+        warp.ops.append(TraceOp(load_inst(space=Space.SHARED), 1, ((0, 0),)))
+        launch.warps.append(warp)
+        analyzer = LocalityAnalyzer()
+        analyzer.analyze_launch(launch)
+        assert analyzer.report().total_accesses == 0
+
+
+class TestWorkloadIntegration:
+    def test_analyze_run_2mm(self):
+        from repro.workloads import get_workload
+        # scale 1.0 gives a 3x3 CTA grid, so inter-CTA sharing is visible
+        run = get_workload("2mm", scale=1.0).run(verify=False)
+        report = analyze_run(run)
+        # 2mm re-reads every matrix row/column many times
+        assert report.cold_miss_ratio < 0.2
+        assert report.mean_accesses_per_block > 4
+        # B/C matrix blocks are shared by CTAs in the same grid row/column
+        assert report.shared_block_ratio > 0.1
+        assert report.mean_ctas_per_shared_block >= 2.0

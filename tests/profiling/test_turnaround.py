@@ -1,0 +1,80 @@
+"""Unit tests for turnaround-time breakdowns (Figures 5-7 machinery)."""
+
+import pytest
+
+from repro.profiling.turnaround import (
+    busiest_load_pcs,
+    class_breakdown,
+    pc_turnaround_series,
+)
+from repro.sim import GPU, TINY
+from repro.sim.stats import SimStats
+
+
+@pytest.fixture(scope="module")
+def bfs_stats(bfs_run):
+    gpu = GPU(TINY)
+    for launch in bfs_run.trace:
+        gpu.run_launch(launch, bfs_run.classifications[launch.kernel_name])
+    return gpu.stats
+
+
+class TestClassBreakdown:
+    def test_components_sum_to_mean(self, bfs_stats):
+        for label in ("D", "N"):
+            b = class_breakdown(bfs_stats, TINY, label)
+            assert b.total == pytest.approx(
+                bfs_stats.classes[label].mean_turnaround(), abs=1e-6)
+
+    def test_components_nonnegative(self, bfs_stats):
+        for label in ("D", "N"):
+            b = class_breakdown(bfs_stats, TINY, label)
+            assert b.unloaded >= 0
+            assert b.rsrv_prev_warps >= 0
+            assert b.rsrv_current_warp >= 0
+            assert b.wasted_memory >= 0
+
+    def test_nondeterministic_pays_more_current_warp_stall(self, bfs_stats):
+        """The paper's headline Figure 5 observation: N loads spend more
+        cycles reserving their own trailing requests than D loads."""
+        n = class_breakdown(bfs_stats, TINY, "N")
+        d = class_breakdown(bfs_stats, TINY, "D")
+        assert n.completed > 0 and d.completed > 0
+        assert n.rsrv_current_warp >= d.rsrv_current_warp
+
+    def test_empty_class(self):
+        b = class_breakdown(SimStats(), TINY, "N")
+        assert b.completed == 0
+        assert b.total == 0.0
+
+
+class TestPCSeries:
+    def test_busiest_pcs_ordered(self, bfs_stats):
+        pcs = busiest_load_pcs(bfs_stats, "bfs_kernel1")
+        assert pcs
+        counts = []
+        for pc in pcs:
+            total = sum(b.count for (k, p, n), b
+                        in bfs_stats.pc_buckets.items()
+                        if k == "bfs_kernel1" and p == pc)
+            counts.append(total)
+        assert counts == sorted(counts, reverse=True)
+
+    def test_series_sorted_by_request_count(self, bfs_stats):
+        pc = busiest_load_pcs(bfs_stats, "bfs_kernel1")[0]
+        series = pc_turnaround_series(bfs_stats, "bfs_kernel1", pc, TINY)
+        counts = [p.n_requests for p in series]
+        assert counts == sorted(counts)
+
+    def test_gap_components_nonnegative(self, bfs_stats):
+        pc = busiest_load_pcs(bfs_stats, "bfs_kernel1")[0]
+        for point in pc_turnaround_series(bfs_stats, "bfs_kernel1", pc,
+                                          TINY):
+            assert point.common_latency >= 0
+            assert point.gap_l1d >= 0
+            assert point.gap_icnt_l2 >= 0
+            assert point.gap_l2_icnt >= 0
+
+    def test_unknown_pc_empty(self, bfs_stats):
+        assert pc_turnaround_series(bfs_stats, "bfs_kernel1", 0xBEEF,
+                                    TINY) == []

@@ -1,0 +1,97 @@
+"""Unit tests for the programmatic kernel builder."""
+
+import pytest
+
+from repro.core import classify_kernel
+from repro.ptx.builder import KernelBuilder
+from repro.ptx.errors import PTXValidationError
+from repro.ptx.isa import DType, Imm, MemRef, Reg, Space
+
+
+def build_saxpy():
+    b = KernelBuilder("saxpy")
+    b.param("x", "u64")
+    b.param("y", "u64")
+    b.param("n", "u32")
+    b.emit("mov.u32", Reg("%r1"), b.sreg("%ctaid.x"))
+    b.emit("mov.u32", Reg("%r2"), b.sreg("%ntid.x"))
+    b.emit("mov.u32", Reg("%r3"), b.sreg("%tid.x"))
+    b.emit("mad.lo.u32", Reg("%r4"), Reg("%r1"), Reg("%r2"), Reg("%r3"))
+    b.emit("ld.param.u32", Reg("%r5"), b.mem(b_sym("n")))
+    b.emit("setp.ge.u32", Reg("%p1"), Reg("%r4"), Reg("%r5"))
+    b.emit("bra", pred=Reg("%p1"), target="EXIT")
+    b.emit("cvt.u64.u32", Reg("%rd1"), Reg("%r4"))
+    b.emit("shl.b64", Reg("%rd2"), Reg("%rd1"), Imm(2))
+    b.emit("ld.param.u64", Reg("%rd3"), b.mem(b_sym("x")))
+    b.emit("add.u64", Reg("%rd4"), Reg("%rd3"), Reg("%rd2"))
+    b.emit("ld.global.f32", Reg("%f1"), b.mem(Reg("%rd4")))
+    b.emit("mul.f32", Reg("%f2"), Reg("%f1"), Imm(2.0))
+    b.emit("ld.param.u64", Reg("%rd5"), b.mem(b_sym("y")))
+    b.emit("add.u64", Reg("%rd6"), Reg("%rd5"), Reg("%rd2"))
+    b.emit("st.global.f32", b.mem(Reg("%rd6")), Reg("%f2"))
+    b.label("EXIT")
+    b.emit("exit")
+    return b.build()
+
+
+def b_sym(name):
+    from repro.ptx.isa import Sym
+    return Sym(name)
+
+
+class TestBuilder:
+    def test_builds_valid_kernel(self):
+        k = build_saxpy()
+        assert k.name == "saxpy"
+        assert len(k.global_loads()) == 1
+        assert k.labels["EXIT"] == len(k.instructions) - 1
+
+    def test_built_kernel_classifies(self):
+        result = classify_kernel(build_saxpy())
+        assert len(result) == 1
+        assert result.loads[0].is_deterministic
+
+    def test_suffix_parsing(self):
+        b = KernelBuilder("k")
+        b.param("a", "u64")
+        inst_owner = b.emit("atom.add.global.u32", Reg("%r1"),
+                            b.mem(Reg("%rd1")), Reg("%r2"))
+        b.emit("exit")
+        k = b.build()
+        atom = k.instructions[0]
+        assert atom.atom_op == "add"
+        assert atom.space is Space.GLOBAL
+        assert atom.dtype is DType.U32
+
+    def test_auto_register_numbering(self):
+        b = KernelBuilder("k")
+        r1 = b.reg("r")
+        r2 = b.reg("r")
+        assert r1.name == "%r1"
+        assert r2.name == "%r2"
+
+    def test_shared_allocation_aligned(self):
+        b = KernelBuilder("k")
+        first = b.shared(20)
+        second = b.shared(16)
+        assert first.value == 0
+        assert second.value == 32  # 20 rounded up to 16-byte boundary
+
+    def test_bra_requires_target(self):
+        b = KernelBuilder("k")
+        with pytest.raises(PTXValidationError):
+            b.emit("bra")
+
+    def test_duplicate_label_rejected(self):
+        b = KernelBuilder("k")
+        b.label("A")
+        with pytest.raises(PTXValidationError):
+            b.label("A")
+
+    def test_undefined_branch_target_rejected_at_build(self):
+        b = KernelBuilder("k")
+        b.param("n", "u32")
+        b.emit("bra", target="MISSING")
+        b.emit("exit")
+        with pytest.raises(PTXValidationError):
+            b.build()

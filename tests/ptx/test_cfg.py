@@ -1,0 +1,150 @@
+"""Unit tests for CFG construction and post-dominator analysis."""
+
+import pytest
+
+from repro.ptx.cfg import CFG, EXIT_BLOCK
+from repro.ptx.parser import parse_kernel
+
+STRAIGHT = """
+.entry k ( .param .u32 n )
+{
+    mov.u32 %r1, 0;
+    add.u32 %r1, %r1, 1;
+    exit;
+}
+"""
+
+DIAMOND = """
+.entry k ( .param .u32 n )
+{
+    setp.eq.u32 %p1, %r1, 0;      // 0
+    @%p1 bra ELSE;                 // 1
+    mov.u32 %r2, 1;                // 2 (then)
+    bra JOIN;                      // 3
+ELSE:
+    mov.u32 %r2, 2;                // 4
+JOIN:
+    add.u32 %r3, %r2, 1;           // 5
+    exit;                          // 6
+}
+"""
+
+LOOP = """
+.entry k ( .param .u32 n )
+{
+    mov.u32 %r1, 0;                // 0
+LOOP:
+    setp.ge.u32 %p1, %r1, 10;      // 1
+    @%p1 bra DONE;                 // 2
+    add.u32 %r1, %r1, 1;           // 3
+    bra LOOP;                      // 4
+DONE:
+    exit;                          // 5
+}
+"""
+
+
+class TestBlocks:
+    def test_straight_line_single_block(self):
+        cfg = CFG(parse_kernel(STRAIGHT))
+        assert len(cfg) == 1
+        block = cfg.blocks[0]
+        assert (block.start, block.end) == (0, 3)
+        assert block.successors == []
+
+    def test_diamond_blocks(self):
+        cfg = CFG(parse_kernel(DIAMOND))
+        # entry, then, else, join
+        assert len(cfg) == 4
+        entry = cfg.block_of(0)
+        assert sorted(entry.successors) == [1, 2]
+
+    def test_loop_back_edge(self):
+        cfg = CFG(parse_kernel(LOOP))
+        body = cfg.block_of(3)
+        header = cfg.block_of(1)
+        assert header.index in body.successors
+
+    def test_block_of_membership(self):
+        cfg = CFG(parse_kernel(DIAMOND))
+        for i in range(len(cfg.kernel.instructions)):
+            assert i in cfg.block_of(i)
+
+    def test_predecessors_symmetric(self):
+        cfg = CFG(parse_kernel(LOOP))
+        for block in cfg:
+            for s in block.successors:
+                assert block.index in cfg.blocks[s].predecessors
+
+    def test_exit_blocks(self):
+        cfg = CFG(parse_kernel(LOOP))
+        exits = cfg.exit_blocks()
+        assert len(exits) == 1
+        assert cfg.kernel.instructions[exits[0].end - 1].is_exit
+
+
+class TestPostDominators:
+    def test_diamond_reconverges_at_join(self):
+        kernel = parse_kernel(DIAMOND)
+        cfg = CFG(kernel)
+        join_index = kernel.labels["JOIN"]
+        assert cfg.reconvergence_index(1) == join_index
+
+    def test_loop_exit_branch_reconverges_at_done(self):
+        kernel = parse_kernel(LOOP)
+        cfg = CFG(kernel)
+        done_index = kernel.labels["DONE"]
+        assert cfg.reconvergence_index(2) == done_index
+
+    def test_straight_line_ipdom_is_exit(self):
+        cfg = CFG(parse_kernel(STRAIGHT))
+        assert cfg.immediate_post_dominators()[0] == EXIT_BLOCK
+
+    def test_branch_to_exit_reconverges_never(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            setp.eq.u32 %p1, %r1, 0;
+            @%p1 bra OUT;
+            mov.u32 %r2, 1;
+        OUT:
+            exit;
+        }
+        """)
+        cfg = CFG(kernel)
+        # the paths rejoin at OUT (which is also the exit block)
+        assert cfg.reconvergence_index(1) == kernel.labels["OUT"]
+
+    def test_predicated_exit_reconverges_after(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            setp.eq.u32 %p1, %r1, 0;
+            @%p1 exit;
+            mov.u32 %r2, 1;
+            exit;
+        }
+        """)
+        cfg = CFG(kernel)
+        # the predicated exit splits the block; fall-through continues
+        block = cfg.block_of(1)
+        assert cfg.block_of(2).index in block.successors
+
+    def test_nested_diamond(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            setp.eq.u32 %p1, %r1, 0;   // 0
+            @%p1 bra OUTER;            // 1
+            setp.eq.u32 %p2, %r2, 0;   // 2
+            @%p2 bra INNER;            // 3
+            mov.u32 %r3, 1;            // 4
+        INNER:
+            mov.u32 %r4, 2;            // 5
+        OUTER:
+            exit;                      // 6
+        }
+        """)
+        cfg = CFG(kernel)
+        assert cfg.reconvergence_index(3) == kernel.labels["INNER"]
+        assert cfg.reconvergence_index(1) == kernel.labels["OUTER"]

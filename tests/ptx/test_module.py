@@ -1,0 +1,69 @@
+"""Unit tests for Kernel/Module container behaviour."""
+
+import pytest
+
+from repro.ptx import PC_STRIDE, Space, parse_kernel, parse_module
+from repro.ptx.errors import PTXValidationError
+from repro.ptx.module import Module
+
+PTX = """
+.entry k ( .param .u64 a, .param .u32 n )
+{
+    ld.param.u64 %rd1, [a];
+    ld.global.u32 %r1, [%rd1];
+    .shared .u32 buf[8];
+    mov.u32 %r2, buf;
+    ld.shared.u32 %r3, [%r2];
+    st.global.u32 [%rd1], %r3;
+    exit;
+}
+"""
+
+
+class TestKernelQueries:
+    def test_index_of_pc(self):
+        kernel = parse_kernel(PTX)
+        for i, inst in enumerate(kernel.instructions):
+            assert kernel.index_of_pc(inst.pc) == i
+            assert kernel.instruction_at(inst.pc) is inst
+
+    def test_index_of_unknown_pc(self):
+        kernel = parse_kernel(PTX)
+        with pytest.raises(PTXValidationError):
+            kernel.index_of_pc(0xDEAD)
+
+    def test_global_loads(self):
+        kernel = parse_kernel(PTX)
+        loads = kernel.global_loads()
+        assert len(loads) == 1
+        assert loads[0].pc == PC_STRIDE
+
+    def test_loads_filtered_by_space(self):
+        kernel = parse_kernel(PTX)
+        assert len(kernel.loads()) == 3  # param + global + shared
+        assert len(kernel.loads(Space.SHARED)) == 1
+        assert len(kernel.loads(Space.PARAM)) == 1
+
+    def test_len_and_iter(self):
+        kernel = parse_kernel(PTX)
+        assert len(kernel) == len(kernel.instructions)
+        assert list(iter(kernel)) == kernel.instructions
+
+    def test_repr(self):
+        assert "k" in repr(parse_kernel(PTX))
+
+
+class TestModule:
+    def test_duplicate_kernel_rejected(self):
+        module = parse_module(PTX)
+        with pytest.raises(PTXValidationError):
+            module.add(parse_kernel(PTX))
+
+    def test_len_iter_getitem(self):
+        module = parse_module(PTX)
+        assert len(module) == 1
+        assert module["k"].name == "k"
+        assert [k.name for k in module] == ["k"]
+
+    def test_empty_module(self):
+        assert len(Module()) == 0

@@ -1,0 +1,309 @@
+"""Unit tests for the PTX-subset text parser."""
+
+import pytest
+
+from repro.ptx.errors import PTXSyntaxError, PTXValidationError
+from repro.ptx.isa import DType, Imm, MemRef, Reg, Space, SReg, Sym
+from repro.ptx.parser import parse_kernel, parse_module
+
+MINIMAL = """
+.entry k ( .param .u64 a, .param .u32 n )
+{
+    mov.u32 %r1, %tid.x;
+    exit;
+}
+"""
+
+
+class TestKernelStructure:
+    def test_minimal(self):
+        k = parse_kernel(MINIMAL)
+        assert k.name == "k"
+        assert len(k.instructions) == 2
+        assert [p.name for p in k.params] == ["a", "n"]
+
+    def test_param_types_and_offsets(self):
+        k = parse_kernel(MINIMAL)
+        assert k.param("a").dtype is DType.U64
+        assert k.param("a").offset == 0
+        assert k.param("a").is_pointer
+        assert k.param("n").dtype is DType.U32
+        assert k.param("n").offset == 8
+        assert not k.param("n").is_pointer
+
+    def test_param_alignment(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 a, .param .u64 b )
+        { exit; }
+        """)
+        # u64 after u32 aligns to 8 bytes
+        assert k.param("b").offset == 8
+
+    def test_pcs_are_strided(self):
+        k = parse_kernel(MINIMAL)
+        assert [i.pc for i in k.instructions] == [0, 8]
+
+    def test_unknown_param_lookup(self):
+        k = parse_kernel(MINIMAL)
+        with pytest.raises(PTXValidationError):
+            k.param("missing")
+
+    def test_module_with_two_kernels(self):
+        mod = parse_module(MINIMAL + MINIMAL.replace(".entry k",
+                                                     ".entry k2"))
+        assert len(mod) == 2
+        assert mod["k"].name == "k"
+        assert mod["k2"].name == "k2"
+
+    def test_parse_kernel_rejects_multi(self):
+        with pytest.raises(PTXSyntaxError):
+            parse_kernel(MINIMAL + MINIMAL.replace(".entry k", ".entry k2"))
+
+    def test_no_entry(self):
+        with pytest.raises(PTXSyntaxError):
+            parse_module("mov.u32 %r1, %r2;")
+
+    def test_comments_stripped(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )  // signature comment
+        {
+            /* block
+               comment */
+            mov.u32 %r1, 5;   // trailing
+            exit;
+        }
+        """)
+        assert len(k.instructions) == 2
+
+
+class TestOperands:
+    def test_special_registers(self):
+        k = parse_kernel(MINIMAL)
+        assert k.instructions[0].srcs == (SReg("%tid.x"),)
+
+    def test_immediates(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            mov.u32 %r1, 42;
+            mov.u32 %r2, 0x1F;
+            mov.f32 %f1, 2.5;
+            mov.f32 %f2, -1.5e3;
+            exit;
+        }
+        """)
+        assert k.instructions[0].srcs == (Imm(42),)
+        assert k.instructions[1].srcs == (Imm(31),)
+        assert k.instructions[2].srcs == (Imm(2.5),)
+        assert k.instructions[3].srcs == (Imm(-1500.0),)
+
+    def test_memref_with_offset(self):
+        k = parse_kernel("""
+        .entry k ( .param .u64 a )
+        {
+            ld.param.u64 %rd1, [a];
+            ld.global.u32 %r1, [%rd1+8];
+            st.global.u32 [%rd1+12], %r1;
+            exit;
+        }
+        """)
+        ld = k.instructions[1]
+        assert ld.memref == MemRef(Reg("%rd1"), 8)
+        st = k.instructions[2]
+        assert st.memref == MemRef(Reg("%rd1"), 12)
+        assert st.srcs[1] == Reg("%r1")
+
+    def test_param_memref_uses_symbol(self):
+        k = parse_kernel(MINIMAL.replace("mov.u32 %r1, %tid.x;",
+                                         "ld.param.u32 %r1, [n];"))
+        assert k.instructions[0].memref.base == Sym("n")
+
+    def test_shared_declaration_resolves_offsets(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            .shared .f32 buf_a[8];
+            .shared .f32 buf_b[4];
+            mov.u32 %r1, buf_a;
+            mov.u32 %r2, buf_b;
+            exit;
+        }
+        """)
+        assert k.instructions[0].srcs == (Imm(0),)
+        # buf_b starts 16-byte aligned after buf_a's 32 bytes
+        assert k.instructions[1].srcs == (Imm(32),)
+        assert k.shared_size == 48
+
+    def test_reg_decl_ignored(self):
+        k = parse_kernel(MINIMAL.replace("{", "{ .reg .u32 %r<10>;"))
+        assert len(k.instructions) == 2
+
+
+class TestSuffixes:
+    def test_setp(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            setp.lt.s32 %p1, %r1, %r2;
+            exit;
+        }
+        """)
+        inst = k.instructions[0]
+        assert inst.cmp_op == "lt"
+        assert inst.dtype is DType.S32
+
+    def test_setp_missing_cmp(self):
+        with pytest.raises(PTXSyntaxError):
+            parse_kernel("""
+            .entry k ( .param .u32 n )
+            { setp.s32 %p1, %r1, %r2; exit; }
+            """)
+
+    def test_atom(self):
+        k = parse_kernel("""
+        .entry k ( .param .u64 a )
+        {
+            atom.min.global.s32 %r1, [%rd1], %r2;
+            exit;
+        }
+        """)
+        inst = k.instructions[0]
+        assert inst.atom_op == "min"
+        assert inst.space is Space.GLOBAL
+        assert inst.is_atomic
+
+    def test_mul_modes(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            mul.lo.u32 %r1, %r2, %r3;
+            mul.wide.u32 %rd1, %r2, %r3;
+            mad.lo.u32 %r4, %r2, %r3, %r1;
+            exit;
+        }
+        """)
+        assert k.instructions[0].mul_mode == "lo"
+        assert k.instructions[1].mul_mode == "wide"
+        assert k.instructions[2].mul_mode == "lo"
+
+    def test_cvt_second_type_in_modifiers(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        { cvt.u64.u32 %rd1, %r1; exit; }
+        """)
+        inst = k.instructions[0]
+        assert inst.dtype is DType.U64
+        assert "u32" in inst.modifiers
+
+    def test_memory_requires_space(self):
+        with pytest.raises(PTXSyntaxError):
+            parse_kernel("""
+            .entry k ( .param .u64 a )
+            { ld.u32 %r1, [%rd1]; exit; }
+            """)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(PTXSyntaxError):
+            parse_kernel("""
+            .entry k ( .param .u32 n )
+            { frobnicate.u32 %r1, %r2; exit; }
+            """)
+
+    def test_unknown_suffix(self):
+        with pytest.raises(PTXSyntaxError):
+            parse_kernel("""
+            .entry k ( .param .u32 n )
+            { add.banana %r1, %r2, %r3; exit; }
+            """)
+
+
+class TestControlFlow:
+    def test_labels_and_branches(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            mov.u32 %r1, 0;
+        LOOP:
+            add.u32 %r1, %r1, 1;
+            setp.lt.u32 %p1, %r1, 10;
+            @%p1 bra LOOP;
+            exit;
+        }
+        """)
+        assert k.labels["LOOP"] == 1
+        bra = k.instructions[3]
+        assert bra.is_branch and bra.target == "LOOP"
+        assert bra.pred == (Reg("%p1"), False)
+        assert k.target_index(bra) == 1
+
+    def test_negated_guard(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            @!%p1 bra DONE;
+        DONE:
+            exit;
+        }
+        """)
+        assert k.instructions[0].pred == (Reg("%p1"), True)
+
+    def test_undefined_label(self):
+        with pytest.raises(PTXValidationError):
+            parse_kernel("""
+            .entry k ( .param .u32 n )
+            { bra NOWHERE; exit; }
+            """)
+
+    def test_duplicate_label(self):
+        with pytest.raises(PTXSyntaxError):
+            parse_kernel("""
+            .entry k ( .param .u32 n )
+            {
+            A:
+                mov.u32 %r1, 0;
+            A:
+                exit;
+            }
+            """)
+
+    def test_label_on_same_line_as_instruction(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+        HERE: mov.u32 %r1, 0;
+            exit;
+        }
+        """)
+        assert k.labels["HERE"] == 0
+
+    def test_kernel_must_end_with_exit(self):
+        with pytest.raises(PTXValidationError):
+            parse_kernel("""
+            .entry k ( .param .u32 n )
+            { mov.u32 %r1, 0; }
+            """)
+
+    def test_bar_sync(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        { bar.sync 0; exit; }
+        """)
+        assert k.instructions[0].is_barrier
+        assert k.instructions[0].srcs == (Imm(0),)
+
+
+class TestDump:
+    def test_dump_contains_labels_and_pcs(self):
+        k = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+        LOOP:
+            add.u32 %r1, %r1, 1;
+            setp.lt.u32 %p1, %r1, 4;
+            @%p1 bra LOOP;
+            exit;
+        }
+        """)
+        text = k.dump()
+        assert "LOOP:" in text
+        assert ".entry k" in text

@@ -1,0 +1,132 @@
+"""Roundtrip tests for the PTX printer: text -> Kernel -> text -> Kernel
+must preserve the instruction stream, labels and classification."""
+
+import pytest
+
+from repro.core import classify_kernel
+from repro.ptx import parse_kernel, parse_module, print_kernel, print_module
+from repro.workloads import WORKLOAD_CLASSES
+
+
+def assert_equivalent(k1, k2):
+    assert k1.name == k2.name
+    assert len(k1) == len(k2)
+    assert k1.labels == k2.labels
+    assert k1.shared_size == k2.shared_size
+    assert [p.name for p in k1.params] == [p.name for p in k2.params]
+    assert [p.dtype for p in k1.params] == [p.dtype for p in k2.params]
+    for i1, i2 in zip(k1.instructions, k2.instructions):
+        assert i1.opcode == i2.opcode
+        assert i1.dtype == i2.dtype
+        assert i1.space == i2.space
+        assert i1.dests == i2.dests
+        assert i1.srcs == i2.srcs
+        assert i1.pred == i2.pred
+        assert i1.target == i2.target
+        assert i1.cmp_op == i2.cmp_op
+        assert i1.atom_op == i2.atom_op
+        assert i1.mul_mode == i2.mul_mode
+        assert set(i1.modifiers) == set(i2.modifiers)
+
+
+class TestRoundtripSmall:
+    def test_control_flow_kernel(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u64 a, .param .u32 n )
+        {
+            mov.u32 %r1, %tid.x;
+            setp.ge.u32 %p1, %r1, 8;
+            @%p1 bra DONE;
+            add.u32 %r1, %r1, 1;
+        DONE:
+            exit;
+        }
+        """)
+        assert_equivalent(kernel, parse_kernel(print_kernel(kernel)))
+
+    def test_memory_ops(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u64 a )
+        {
+            ld.param.u64 %rd1, [a];
+            ld.global.u32 %r1, [%rd1+8];
+            atom.min.global.s32 %r2, [%rd1], %r1;
+            st.global.u32 [%rd1+16], %r2;
+            exit;
+        }
+        """)
+        assert_equivalent(kernel, parse_kernel(print_kernel(kernel)))
+
+    def test_shared_and_barrier(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            .shared .f32 buf[32];
+            mov.u32 %r1, buf;
+            st.shared.f32 [%r1], 1.5;
+            bar.sync 0;
+            ld.shared.f32 %f1, [%r1+4];
+            exit;
+        }
+        """)
+        roundtrip = parse_kernel(print_kernel(kernel))
+        assert_equivalent(kernel, roundtrip)
+
+    def test_cvt_type_order_preserved(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            cvt.u64.u32 %rd1, %r1;
+            cvt.f32.s32 %f1, %r1;
+            exit;
+        }
+        """)
+        roundtrip = parse_kernel(print_kernel(kernel))
+        assert roundtrip.instructions[0].dtype.value == "u64"
+        assert roundtrip.instructions[1].dtype.value == "f32"
+
+    def test_float_immediates(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            mov.f32 %f1, 0.25;
+            mul.f32 %f2, %f1, -1.5;
+            mad.f32 %f3, %f2, 6.2831855, %f1;
+            exit;
+        }
+        """)
+        assert_equivalent(kernel, parse_kernel(print_kernel(kernel)))
+
+    def test_predicated_negated(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u32 n )
+        {
+            setp.eq.u32 %p1, %r1, 0;
+            @!%p1 add.u32 %r2, %r2, 1;
+            exit;
+        }
+        """)
+        assert_equivalent(kernel, parse_kernel(print_kernel(kernel)))
+
+
+@pytest.mark.parametrize("workload_cls", WORKLOAD_CLASSES,
+                         ids=[c.name for c in WORKLOAD_CLASSES])
+class TestRoundtripWorkloads:
+    def test_module_roundtrip(self, workload_cls):
+        workload = workload_cls(scale=0.25)
+        module = parse_module(workload.ptx())
+        roundtrip = parse_module(print_module(module))
+        assert len(roundtrip) == len(module)
+        for kernel in module:
+            assert_equivalent(kernel, roundtrip[kernel.name])
+
+    def test_classification_preserved(self, workload_cls):
+        workload = workload_cls(scale=0.25)
+        module = parse_module(workload.ptx())
+        roundtrip = parse_module(print_module(module))
+        for kernel in module:
+            original = [(l.pc, str(l.load_class))
+                        for l in classify_kernel(kernel)]
+            reparsed = [(l.pc, str(l.load_class))
+                        for l in classify_kernel(roundtrip[kernel.name])]
+            assert original == reparsed

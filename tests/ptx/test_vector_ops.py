@@ -1,0 +1,114 @@
+"""Tests for vectorized loads/stores (ld/st .v2/.v4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_kernel
+from repro.emulator import Emulator, MemoryImage
+from repro.ptx import parse_kernel, print_kernel
+from repro.ptx.errors import PTXSyntaxError
+
+VEC = """
+.entry vec ( .param .u64 src, .param .u64 dst )
+{
+    mov.u32 %r1, %tid.x;
+    ld.param.u64 %rd1, [src];
+    cvt.u64.u32 %rd2, %r1;
+    shl.b64 %rd3, %rd2, 4;            // 16 bytes per thread
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.v4.f32 {%f1, %f2, %f3, %f4}, [%rd4];
+    add.f32 %f5, %f1, %f2;
+    add.f32 %f6, %f3, %f4;
+    ld.param.u64 %rd5, [dst];
+    add.u64 %rd6, %rd5, %rd3;
+    st.global.v2.f32 [%rd6], {%f5, %f6};
+    exit;
+}
+"""
+
+
+class TestParsing:
+    def test_vector_widths(self):
+        kernel = parse_kernel(VEC)
+        ld = kernel.instructions[5]
+        st = kernel.instructions[10]
+        assert ld.vector == 4
+        assert len(ld.dests) == 4
+        assert ld.access_bytes == 16
+        assert st.vector == 2
+        assert len(st.srcs) == 3  # memref + 2 values
+        assert st.access_bytes == 8
+
+    def test_mnemonic(self):
+        kernel = parse_kernel(VEC)
+        assert kernel.instructions[5].mnemonic() == "ld.global.v4.f32"
+
+    def test_group_arity_checked(self):
+        with pytest.raises(PTXSyntaxError):
+            parse_kernel("""
+            .entry k ( .param .u64 a )
+            { ld.global.v4.f32 {%f1, %f2}, [%rd1]; exit; }
+            """)
+
+    def test_printer_roundtrip(self):
+        kernel = parse_kernel(VEC)
+        reparsed = parse_kernel(print_kernel(kernel))
+        assert reparsed.instructions[5].vector == 4
+        assert reparsed.instructions[5].dests == \
+            kernel.instructions[5].dests
+        assert reparsed.instructions[10].srcs == \
+            kernel.instructions[10].srcs
+
+
+class TestExecution:
+    def test_v4_load_v2_store(self):
+        kernel = parse_kernel(VEC)
+        mem = MemoryImage()
+        n = 32
+        src = np.arange(n * 4, dtype=np.float32)
+        p_src = mem.alloc_array("src", src)
+        p_dst = mem.alloc("dst", n * 16)
+        Emulator(mem).launch(kernel, 1, n, {"src": p_src, "dst": p_dst})
+        dst = mem.read_array("dst", np.float32).reshape(n, 4)
+        quads = src.reshape(n, 4)
+        assert np.allclose(dst[:, 0], quads[:, 0] + quads[:, 1])
+        assert np.allclose(dst[:, 1], quads[:, 2] + quads[:, 3])
+
+    def test_classification_of_vector_loads(self):
+        result = classify_kernel(parse_kernel(VEC))
+        assert len(result) == 1
+        assert result.loads[0].is_deterministic
+
+    def test_vector_taints_consumers(self):
+        kernel = parse_kernel("""
+        .entry k ( .param .u64 a, .param .u64 b )
+        {
+            ld.param.u64 %rd1, [a];
+            ld.global.v2.u32 {%r1, %r2}, [%rd1];
+            cvt.u64.u32 %rd2, %r2;
+            ld.param.u64 %rd3, [b];
+            add.u64 %rd4, %rd3, %rd2;
+            ld.global.u32 %r3, [%rd4];
+            exit;
+        }
+        """)
+        result = classify_kernel(kernel)
+        assert not result.loads[1].is_deterministic
+        assert result.loads[0].pc in result.loads[1].tainting_pcs
+
+
+class TestTiming:
+    def test_vector_footprint_in_coalescer(self):
+        from repro.sim import GPU, TINY
+        kernel = parse_kernel(VEC)
+        mem = MemoryImage()
+        n = 32
+        p_src = mem.alloc_array("src",
+                                np.zeros(n * 4, dtype=np.float32))
+        p_dst = mem.alloc("dst", n * 16)
+        trace = Emulator(mem).launch(kernel, 1, n,
+                                     {"src": p_src, "dst": p_dst})
+        gpu = GPU(TINY)
+        stats = gpu.run_launch(trace, classify_kernel(kernel))
+        # 32 lanes x 16 bytes = 512 bytes = 4 blocks for the v4 load
+        assert stats.classes["D"].requests == 4

@@ -1,0 +1,126 @@
+"""Unit tests for the reservation-aware cache model."""
+
+import pytest
+
+from repro.sim.cache import Cache, Outcome
+
+
+def make_cache(sets=2, assoc=2, mshr=4, merge=2):
+    return Cache(num_sets=sets, assoc=assoc, line_size=128,
+                 mshr_entries=mshr, mshr_merge=merge)
+
+
+def addr(set_index, tag, sets=2):
+    """An address mapping to a given set with a given tag."""
+    return (tag * sets + set_index) * 128
+
+
+class TestBasicOutcomes:
+    def test_cold_miss_then_hit_after_fill(self):
+        cache = make_cache()
+        a = addr(0, 1)
+        assert cache.lookup(a) is Outcome.MISS
+        cache.commit_miss(a, "req0")
+        # while in flight the line is reserved: further requests merge
+        assert cache.lookup(a) is Outcome.HIT_RESERVED
+        waiters = cache.fill(a)
+        assert waiters == ["req0"]
+        assert cache.lookup(a) is Outcome.HIT
+
+    def test_hit_reserved_merges_request(self):
+        cache = make_cache()
+        a = addr(0, 1)
+        cache.commit_miss(a, "r0")
+        cache.commit_hit_reserved(a, "r1")
+        assert cache.fill(a) == ["r0", "r1"]
+
+    def test_merge_capacity_becomes_mshr_fail(self):
+        cache = make_cache(merge=2)
+        a = addr(0, 1)
+        cache.commit_miss(a, "r0")
+        cache.commit_hit_reserved(a, "r1")
+        assert cache.lookup(a) is Outcome.RSRV_FAIL_MSHR
+
+    def test_mshr_exhaustion(self):
+        cache = make_cache(sets=4, assoc=2, mshr=2)
+        cache.commit_miss(addr(0, 1, 4), "a")
+        cache.commit_miss(addr(1, 1, 4), "b")
+        assert cache.lookup(addr(2, 1, 4)) is Outcome.RSRV_FAIL_MSHR
+
+    def test_tag_exhaustion(self):
+        cache = make_cache(sets=2, assoc=2, mshr=8)
+        # fill both ways of set 0 with in-flight misses
+        cache.commit_miss(addr(0, 1), "a")
+        cache.commit_miss(addr(0, 2), "b")
+        assert cache.lookup(addr(0, 3)) is Outcome.RSRV_FAIL_TAGS
+        # the other set is unaffected
+        assert cache.lookup(addr(1, 3)) is Outcome.MISS
+
+
+class TestEviction:
+    def test_lru_victim(self):
+        cache = make_cache(sets=1, assoc=2)
+        a, b, c = addr(0, 1, 1), addr(0, 2, 1), addr(0, 3, 1)
+        cache.commit_miss(a, "ra")
+        cache.fill(a)
+        cache.commit_miss(b, "rb")
+        cache.fill(b)
+        cache.commit_hit(a)  # make a most-recently used
+        cache.commit_miss(c, "rc")  # must evict b
+        cache.fill(c)
+        assert cache.lookup(a) is Outcome.HIT
+        assert cache.lookup(b) is Outcome.MISS
+
+    def test_reserved_lines_never_evicted(self):
+        cache = make_cache(sets=1, assoc=2)
+        a, b, c = addr(0, 1, 1), addr(0, 2, 1), addr(0, 3, 1)
+        cache.commit_miss(a, "ra")   # reserved
+        cache.commit_miss(b, "rb")   # reserved
+        assert cache.lookup(c) is Outcome.RSRV_FAIL_TAGS
+        cache.fill(a)
+        # a is now valid -> evictable
+        assert cache.lookup(c) is Outcome.MISS
+
+
+class TestWrites:
+    def test_write_evicts_valid_line(self):
+        cache = make_cache()
+        a = addr(0, 1)
+        cache.commit_miss(a, "r")
+        cache.fill(a)
+        assert cache.contains_valid(a)
+        cache.write_touch(a)
+        assert not cache.contains_valid(a)
+        assert cache.lookup(a) is Outcome.MISS
+
+    def test_write_to_absent_line_is_noop(self):
+        cache = make_cache()
+        cache.write_touch(addr(0, 5))  # must not raise
+
+
+class TestMaintenance:
+    def test_reserved_count(self):
+        cache = make_cache()
+        assert cache.reserved_count() == 0
+        cache.commit_miss(addr(0, 1), "r")
+        assert cache.reserved_count() == 1
+
+    def test_reset(self):
+        cache = make_cache()
+        a = addr(0, 1)
+        cache.commit_miss(a, "r")
+        cache.fill(a)
+        cache.reset()
+        assert cache.lookup(a) is Outcome.MISS
+        assert cache.reserved_count() == 0
+
+    def test_fill_unknown_block_returns_empty(self):
+        cache = make_cache()
+        assert cache.fill(addr(0, 9)) == []
+
+    def test_outcome_fail_flags(self):
+        assert Outcome.RSRV_FAIL_TAGS.is_fail
+        assert Outcome.RSRV_FAIL_MSHR.is_fail
+        assert Outcome.RSRV_FAIL_ICNT.is_fail
+        assert not Outcome.HIT.is_fail
+        assert not Outcome.MISS.is_fail

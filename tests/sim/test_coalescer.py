@@ -1,0 +1,79 @@
+"""Unit and property tests for the memory coalescer."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.coalescer import coalesce_addresses, coalescing_degree
+
+
+def lanes(addrs):
+    return [(i, a) for i, a in enumerate(addrs)]
+
+
+class TestCoalescing:
+    def test_fully_coalesced_warp(self):
+        # 32 consecutive 4-byte accesses in one 128 B block -> 1 request
+        addrs = lanes(range(0x1000, 0x1000 + 128, 4))
+        assert coalesce_addresses(addrs) == [0x1000]
+
+    def test_fully_scattered_warp(self):
+        # each lane in its own block -> 32 requests
+        addrs = lanes(range(0x1000, 0x1000 + 32 * 128, 128))
+        assert len(coalesce_addresses(addrs)) == 32
+
+    def test_two_blocks(self):
+        addrs = lanes(range(0x1000, 0x1000 + 256, 8))
+        assert coalesce_addresses(addrs) == [0x1000, 0x1080]
+
+    def test_unaligned_access_straddles(self):
+        # a 4-byte access at block_end-2 touches two blocks
+        assert coalesce_addresses([(0, 0x1000 + 126)]) == [0x1000, 0x1080]
+
+    def test_duplicate_addresses_merge(self):
+        addrs = [(0, 0x2000), (1, 0x2000), (2, 0x2004)]
+        assert coalesce_addresses(addrs) == [0x2000]
+
+    def test_empty(self):
+        assert coalesce_addresses([]) == []
+
+    def test_result_sorted_and_aligned(self):
+        addrs = [(0, 0x5555), (1, 0x1234), (2, 0x9999)]
+        blocks = coalesce_addresses(addrs)
+        assert blocks == sorted(blocks)
+        assert all(b % 128 == 0 for b in blocks)
+
+    def test_degree(self):
+        addrs = lanes(range(0x1000, 0x1000 + 128, 4))
+        n_req, n_lanes = coalescing_degree(addrs)
+        assert (n_req, n_lanes) == (1, 32)
+
+
+class TestCoalescingProperties:
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32))
+    def test_request_count_bounds(self, raw):
+        addrs = lanes(raw)
+        blocks = coalesce_addresses(addrs)
+        # at least one block; at most two per lane (straddling)
+        assert 1 <= len(blocks) <= 2 * len(raw)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32))
+    def test_every_lane_covered(self, raw):
+        addrs = lanes(raw)
+        blocks = set(coalesce_addresses(addrs))
+        for _lane, addr in addrs:
+            assert (addr // 128) * 128 in blocks
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32),
+           st.integers(0, 10))
+    def test_permutation_invariant(self, raw, seed):
+        import random
+        shuffled = list(raw)
+        random.Random(seed).shuffle(shuffled)
+        assert (coalesce_addresses(lanes(raw))
+                == coalesce_addresses(lanes(shuffled)))
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=32))
+    def test_degree_matches_coalesce(self, raw):
+        addrs = lanes(raw)
+        n_req, n_lanes = coalescing_degree(addrs)
+        assert n_req == len(coalesce_addresses(addrs))
+        assert n_lanes == len(raw)

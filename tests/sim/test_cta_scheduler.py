@@ -1,0 +1,64 @@
+"""Unit tests for CTA scheduling policies."""
+
+import pytest
+
+from repro.sim.cta_scheduler import (
+    ClusteredScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+
+
+class TestRoundRobin:
+    def test_pops_in_id_order(self):
+        sched = RoundRobinScheduler(range(6), num_sms=3)
+        # hardware order: whichever SM asks next gets the next CTA id
+        assert [sched.next_for(sm) for sm in (0, 1, 2, 0, 1, 2)] == \
+            [0, 1, 2, 3, 4, 5]
+
+    def test_exhaustion(self):
+        sched = RoundRobinScheduler([0], num_sms=2)
+        assert sched.next_for(0) == 0
+        assert sched.next_for(1) is None
+        assert sched.remaining == 0
+
+
+class TestClustered:
+    def test_neighbouring_ctas_share_an_sm(self):
+        sched = ClusteredScheduler(range(8), num_sms=2, cluster=2)
+        sm0 = [sched.next_for(0), sched.next_for(0)]
+        sm1 = [sched.next_for(1), sched.next_for(1)]
+        # Section X.B: CTA0,1 -> SM0; CTA2,3 -> SM1
+        assert sm0 == [0, 1]
+        assert sm1 == [2, 3]
+
+    def test_wraps_around(self):
+        sched = ClusteredScheduler(range(8), num_sms=2, cluster=2)
+        for _ in range(2):
+            sched.next_for(0)
+            sched.next_for(1)
+        # second wave: CTA4,5 -> SM0; CTA6,7 -> SM1
+        assert sched.next_for(0) == 4
+        assert sched.next_for(1) == 6
+
+    def test_stealing_when_own_queue_empty(self):
+        sched = ClusteredScheduler(range(4), num_sms=2, cluster=2)
+        # SM0 drains its own queue then steals from SM1's
+        assert [sched.next_for(0) for _ in range(4)] == [0, 1, 2, 3]
+        assert sched.next_for(0) is None
+
+    def test_remaining(self):
+        sched = ClusteredScheduler(range(5), num_sms=2, cluster=2)
+        assert sched.remaining == 5
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_scheduler("round_robin", [0], 1),
+                          RoundRobinScheduler)
+        assert isinstance(make_scheduler("clustered", [0], 1),
+                          ClusteredScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheduler("random", [0], 1)

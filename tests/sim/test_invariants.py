@@ -1,0 +1,80 @@
+"""Cross-layer consistency: trace-level counts vs. simulator statistics.
+
+The trace and the timing model measure the same execution through
+different lenses; these invariants tie them together and catch silent
+double-counting or dropped work in either layer.
+"""
+
+import pytest
+
+from repro.profiling.requests import request_histogram
+from repro.sim import GPU, TINY
+from repro.sim.cache import Outcome
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module", params=("bfs", "spmv", "bpr"))
+def app(request):
+    run = get_workload(request.param, scale=0.25).run(verify=False)
+    gpu = GPU(TINY)
+    for launch in run.trace:
+        gpu.run_launch(launch, run.classifications[launch.kernel_name])
+    return run, gpu.stats
+
+
+class TestCrossLayerInvariants:
+    def test_issued_equals_trace_total(self, app):
+        run, stats = app
+        assert stats.issued_warp_insts == \
+            run.trace.total_warp_instructions()
+
+    def test_global_load_counts_agree(self, app):
+        run, stats = app
+        assert stats.global_load_insts == \
+            run.trace.global_load_warp_count()
+
+    def test_shared_load_counts_agree(self, app):
+        run, stats = app
+        assert stats.shared_load_insts == \
+            run.trace.shared_load_warp_count()
+
+    def test_class_warp_insts_cover_all_loads(self, app):
+        run, stats = app
+        per_class = sum(cls.warp_insts for cls in stats.classes.values())
+        assert per_class == run.trace.global_load_warp_count()
+
+    def test_requests_match_histogram(self, app):
+        """The simulator's coalescing counters must equal the trace-level
+        request histogram exactly (same coalescer, two call sites)."""
+        run, stats = app
+        hist = request_histogram(run.trace, run.classifications)
+        for label in ("D", "N"):
+            hist_total = sum(n * c
+                             for n, c in hist.by_class[label].items())
+            # histogram skips all-inactive loads; the sim counts them with
+            # zero requests, so request totals match exactly
+            assert stats.classes[label].requests == hist_total
+
+    def test_accepted_l1_outcomes_equal_load_requests(self, app):
+        """Every load request is eventually accepted exactly once."""
+        run, stats = app
+        accepted = sum(cls.l1_hit + cls.l1_hit_reserved + cls.l1_miss
+                       for cls in stats.classes.values())
+        load_requests = sum(cls.requests
+                            for cls in stats.classes.values())
+        assert accepted == load_requests
+
+    def test_completions_equal_classified_loads(self, app):
+        run, stats = app
+        for label in ("D", "N"):
+            cls = stats.classes[label]
+            # every classified load with >=1 request completes exactly once
+            hist = request_histogram(run.trace, run.classifications)
+            assert cls.completed == hist.total(label)
+
+    def test_l1_cycles_at_least_accesses(self, app):
+        _run, stats = app
+        total_cycles = sum(stats.l1_cycles.values())
+        accepted = sum(cls.l1_accesses() for cls in stats.classes.values())
+        # retries can only add cycles on top of one per accepted request
+        assert total_cycles >= accepted

@@ -1,0 +1,56 @@
+"""Unit tests for the MSHR table."""
+
+import pytest
+
+from repro.sim.mshr import MSHRTable
+
+
+class TestMSHR:
+    def test_allocate_and_fill(self):
+        table = MSHRTable(2, 4)
+        table.allocate(0x100, "a")
+        assert table.has_entry(0x100)
+        assert table.fill(0x100) == ["a"]
+        assert not table.has_entry(0x100)
+
+    def test_merge(self):
+        table = MSHRTable(2, 4)
+        table.allocate(0x100, "a")
+        table.merge(0x100, "b")
+        assert table.fill(0x100) == ["a", "b"]
+
+    def test_capacity(self):
+        table = MSHRTable(1, 4)
+        table.allocate(0x100, "a")
+        assert not table.can_allocate()
+        with pytest.raises(ValueError):
+            table.allocate(0x200, "b")
+
+    def test_merge_capacity(self):
+        table = MSHRTable(2, 2)
+        table.allocate(0x100, "a")
+        table.merge(0x100, "b")
+        assert not table.can_merge(0x100)
+        with pytest.raises(ValueError):
+            table.merge(0x100, "c")
+
+    def test_cannot_merge_absent_block(self):
+        table = MSHRTable(2, 2)
+        assert not table.can_merge(0x300)
+
+    def test_duplicate_allocate_rejected(self):
+        table = MSHRTable(2, 2)
+        table.allocate(0x100, "a")
+        with pytest.raises(ValueError):
+            table.allocate(0x100, "b")
+
+    def test_occupancy_and_waiting(self):
+        table = MSHRTable(4, 4)
+        table.allocate(0x100, "a")
+        table.allocate(0x200, "b")
+        assert table.occupancy == 2
+        assert table.waiting(0x100) == ["a"]
+        assert table.waiting(0x300) == []
+
+    def test_fill_missing_block(self):
+        assert MSHRTable(2, 2).fill(0x500) == []

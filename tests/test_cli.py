@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import workload_names
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_apps(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for name in workload_names():
+            assert name in text
+
+
+class TestClassify:
+    def test_classify_workload(self):
+        code, text = run_cli("classify", "spmv")
+        assert code == 0
+        assert "non-deterministic" in text
+        assert "[%s]" % "N" not in text  # report format uses columns
+        assert "N " in text or " N" in text
+
+    def test_classify_file(self, tmp_path):
+        ptx = tmp_path / "k.ptx"
+        ptx.write_text("""
+        .entry k ( .param .u64 a )
+        {
+            ld.param.u64 %rd1, [a];
+            ld.global.u32 %r1, [%rd1];
+            exit;
+        }
+        """)
+        code, text = run_cli("classify", "--file", str(ptx))
+        assert code == 0
+        assert "kernel k" in text
+        assert "1 deterministic" in text
+
+    def test_classify_requires_target(self):
+        code, text = run_cli("classify")
+        assert code == 2
+
+
+class TestRun:
+    def test_run_reports_characteristics(self):
+        code, text = run_cli("run", "2mm", "--scale", "0.25")
+        assert code == 0
+        assert "warp instructions" in text
+        assert "PASS" in text
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "nonsense")
+
+
+class TestSimulate:
+    def test_simulate_prints_stats_and_critical_loads(self):
+        code, text = run_cli("simulate", "spmv", "--scale", "0.25",
+                             "--l1-kb", "2", "--top", "3")
+        assert code == 0
+        assert "simulated" in text
+        assert "critical loads" in text
+        assert "[N]" in text
+
+    def test_simulate_with_options(self):
+        code, text = run_cli("simulate", "bfs", "--scale", "0.25",
+                             "--scheduler", "gto",
+                             "--prefetcher", "indirect_oracle",
+                             "--cta-policy", "clustered")
+        assert code == 0
+        assert "prefetches issued" in text
+
+
+class TestFigures:
+    def test_figures_writes_outputs(self, tmp_path):
+        code, text = run_cli("figures", "--apps", "2mm", "--scale",
+                             "0.25", "--out", str(tmp_path / "res"))
+        assert code == 0
+        out_dir = tmp_path / "res"
+        assert (out_dir / "results.json").exists()
+        assert (out_dir / "fig1.txt").exists()
+        assert "2mm" in (out_dir / "fig1.txt").read_text()

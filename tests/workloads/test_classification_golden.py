@@ -1,0 +1,59 @@
+"""Golden classification pins: the exact D/N verdict of every static
+global load in every workload kernel.
+
+These act as regression anchors for the classifier and the workload PTX:
+an accidental change to either (a kernel edit that alters address
+provenance, or a classifier change that flips a verdict) fails loudly
+here with the precise kernel and count.
+"""
+
+import pytest
+
+from repro.core import classify_kernel
+from repro.ptx import parse_module
+from repro.workloads import WORKLOADS
+
+#: {workload: {kernel: (num_deterministic, num_nondeterministic)}}
+GOLDEN = {
+    "2mm": {"mm_kernel": (2, 0)},
+    "gaus": {"fan1": (2, 0), "fan2": (5, 0)},
+    "grm": {"grm_norm": (1, 0), "grm_normalize": (2, 0),
+            "grm_update": (4, 0)},
+    "lu": {"lu_scale": (2, 0), "lu_update": (3, 0)},
+    "spmv": {"spmv_csr": (2, 3)},
+    "htw": {"track_point": (2, 0)},
+    "mriq": {"compute_q": (3, 0)},
+    "dwt": {"haar2d": (8, 0), "copy_ll": (1, 0)},
+    "bpr": {"layerforward": (2, 0), "fold_sigmoid": (1, 0),
+            "adjust_weights": (3, 0)},
+    "srad": {"srad1": (5, 0), "srad2": (8, 0)},
+    "bfs": {"bfs_kernel1": (4, 2), "bfs_kernel2": (1, 0)},
+    "sssp": {"sssp_relax": (4, 2), "sssp_update": (1, 0)},
+    "ccl": {"ccl_propagate": (3, 2)},
+    "mst": {"mst_find_min": (3, 3), "mst_reduce_comp": (2, 0),
+            "mst_hook": (3, 1), "mst_pointer_jump": (1, 2)},
+    "mis": {"mis_select": (4, 3), "mis_exclude": (3, 2)},
+    # extended suite
+    "hotspot": {"hotspot_step": (6, 0)},
+    "histo": {"histo_kernel": (1, 0), "histo_saturate": (1, 0)},
+    "pagerank": {"pagerank_pull": (2, 3)},
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_classification(name):
+    workload = WORKLOADS[name](scale=0.25)
+    module = parse_module(workload.ptx())
+    kernels = {k.name: classify_kernel(k) for k in module}
+    assert set(kernels) == set(GOLDEN[name]), (
+        "%s: kernel set changed" % name)
+    for kernel_name, (want_d, want_n) in GOLDEN[name].items():
+        result = kernels[kernel_name]
+        got = (len(result.deterministic), len(result.nondeterministic))
+        assert got == (want_d, want_n), (
+            "%s/%s: classification changed: got %s, pinned %s"
+            % (name, kernel_name, got, (want_d, want_n)))
+
+
+def test_golden_covers_all_workloads():
+    assert set(GOLDEN) == set(WORKLOADS)
