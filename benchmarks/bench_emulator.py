@@ -1,0 +1,152 @@
+"""Emulator engine + trace-cache benchmark: ``python benchmarks/bench_emulator.py``.
+
+Times the emulation step of every Table I workload three ways:
+
+* ``scalar_cold``     — the per-lane reference interpreter,
+* ``vectorized_cold`` — the NumPy structure-of-arrays engine, and
+* ``cache_warm``      — the content-addressed trace cache hit path
+  (input setup + trace deserialization, no emulation at all),
+
+and writes the per-app and whole-suite numbers to ``BENCH_emulator.json``
+(repo root).  The headline number is ``totals.warm_vs_scalar_speedup`` —
+what a figure-regeneration run gains over re-interpreting every kernel
+when nothing changed.
+
+Unlike the pytest-benchmark figure harness in this directory, this is a
+plain script: it measures the pipeline's *infrastructure* (engine +
+cache), not the paper's results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def bench_app(name, scale, repeats):
+    from repro.emulator import MemoryImage, trace_cache
+    from repro.ptx import parse_module, print_module
+    from repro.workloads import get_workload
+
+    def scalar_cold():
+        return get_workload(name, scale=scale).run(
+            verify=False, engine="scalar")
+
+    def vectorized_cold():
+        return get_workload(name, scale=scale).run(
+            verify=False, engine="vectorized")
+
+    scalar_s, run = _time(scalar_cold)
+    vector_s, run = _time(vectorized_cold)
+
+    workload = get_workload(name, scale=scale)
+    key = trace_cache.trace_key(
+        name, print_module(parse_module(workload.ptx())),
+        workload.seed, workload.scale)
+    trace_cache.store(key, run)
+
+    def cache_warm():
+        w = get_workload(name, scale=scale)
+        w.setup(MemoryImage())
+        return trace_cache.lookup(key)
+
+    warm_s = min(_time(cache_warm)[0] for _ in range(repeats))
+    loaded = cache_warm()
+    assert loaded is not None
+    assert (loaded.trace.total_warp_instructions()
+            == run.trace.total_warp_instructions())
+
+    return {
+        "scalar_cold_s": round(scalar_s, 4),
+        "vectorized_cold_s": round(vector_s, 4),
+        "cache_warm_s": round(warm_s, 4),
+        "vectorized_speedup": round(scalar_s / vector_s, 2),
+        "warm_vs_scalar_speedup": round(scalar_s / warm_s, 2),
+        "warp_insts": run.trace.total_warp_instructions(),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="workload input scale (default 0.25)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="cache-warm repetitions (min is reported)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_emulator.json"))
+    args = parser.parse_args(argv)
+
+    # bench against a private cache so user caches don't skew cold runs.
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    os.environ["REPRO_TRACE_CACHE_DIR"] = cache_dir
+    os.environ.pop("REPRO_TRACE_CACHE", None)
+
+    import numpy
+    from repro.emulator import EMULATOR_VERSION
+    from repro.emulator.serialize import FORMAT_VERSION
+    from repro.workloads import workload_names
+
+    apps = {}
+    for name in workload_names():
+        apps[name] = bench_app(name, args.scale, args.repeats)
+        row = apps[name]
+        print("%-6s scalar %7.3fs  vectorized %7.3fs (%5.2fx)  "
+              "warm %7.4fs (%6.1fx)"
+              % (name, row["scalar_cold_s"], row["vectorized_cold_s"],
+                 row["vectorized_speedup"], row["cache_warm_s"],
+                 row["warm_vs_scalar_speedup"]))
+
+    totals = {
+        "scalar_cold_s": round(
+            sum(a["scalar_cold_s"] for a in apps.values()), 4),
+        "vectorized_cold_s": round(
+            sum(a["vectorized_cold_s"] for a in apps.values()), 4),
+        "cache_warm_s": round(
+            sum(a["cache_warm_s"] for a in apps.values()), 4),
+        "warp_insts": sum(a["warp_insts"] for a in apps.values()),
+    }
+    totals["vectorized_speedup"] = round(
+        totals["scalar_cold_s"] / totals["vectorized_cold_s"], 2)
+    totals["warm_vs_scalar_speedup"] = round(
+        totals["scalar_cold_s"] / totals["cache_warm_s"], 2)
+
+    payload = {
+        "meta": {
+            "scale": args.scale,
+            "repeats": args.repeats,
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "platform": platform.platform(),
+            "emulator_version": EMULATOR_VERSION,
+            "format_version": FORMAT_VERSION,
+        },
+        "apps": apps,
+        "totals": totals,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print("\nsuite: scalar %.2fs | vectorized %.2fs (%.2fx) | "
+          "cache-warm %.2fs (%.1fx vs scalar)"
+          % (totals["scalar_cold_s"], totals["vectorized_cold_s"],
+             totals["vectorized_speedup"], totals["cache_warm_s"],
+             totals["warm_vs_scalar_speedup"]))
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

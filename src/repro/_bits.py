@@ -1,0 +1,51 @@
+"""Bit-mask helpers shared by the emulator, profiling and timing layers.
+
+Warp active masks are 32-bit integers that get popcounted and iterated
+on every dynamic instruction — the hottest scalar operations in the
+whole pipeline.  This module centralizes them:
+
+* :func:`popcount` uses :meth:`int.bit_count` (a single CPython opcode,
+  Python >= 3.10) instead of the ``bin(mask).count("1")`` idiom.
+* :func:`lanes_of` returns the set-bit positions of a mask; results are
+  memoized because real traces reuse a handful of distinct masks (the
+  full mask, the boundary-warp masks and a few divergence patterns)
+  millions of times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+if hasattr(int, "bit_count"):  # Python >= 3.10
+    def popcount(mask):
+        """Number of set bits in ``mask``."""
+        return mask.bit_count()
+else:  # pragma: no cover - exercised only on Python 3.9
+    def popcount(mask):
+        """Number of set bits in ``mask``."""
+        return bin(mask).count("1")
+
+
+#: set-bit positions for every byte value, the building block of
+#: :func:`lanes_of`.
+_BYTE_LANES = tuple(
+    tuple(b for b in range(8) if (byte >> b) & 1) for byte in range(256)
+)
+
+
+@lru_cache(maxsize=65536)
+def lanes_of(mask):
+    """The set-bit positions of ``mask``, lowest first, as a tuple.
+
+    Memoized: callers may iterate the result but must not rely on it
+    being a fresh list.
+    """
+    lanes = []
+    base = 0
+    while mask:
+        byte = mask & 0xFF
+        if byte:
+            lanes.extend(base + b for b in _BYTE_LANES[byte])
+        mask >>= 8
+        base += 8
+    return tuple(lanes)

@@ -12,6 +12,11 @@ Commands
 ``simulate <app>``
     Run the full pipeline including the timing model and print the
     per-class statistics and the critical-load ranking.
+``figures``
+    Regenerate every table/figure; supports ``--jobs`` (parallel
+    emulation), ``--engine`` and the on-disk trace cache.
+``cache info|clear``
+    Inspect or empty the content-addressed trace cache.
 """
 
 from __future__ import annotations
@@ -49,6 +54,9 @@ def _build_parser():
     p_run.add_argument("app", choices=workload_names())
     p_run.add_argument("--scale", type=float, default=0.25)
     p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--engine", choices=("vectorized", "scalar"),
+                       default=None,
+                       help="warp-execution engine (default: vectorized)")
 
     p_sim = sub.add_parser("simulate",
                            help="execute, verify and time-simulate")
@@ -69,6 +77,9 @@ def _build_parser():
                        default="round_robin")
     p_sim.add_argument("--top", type=int, default=8,
                        help="critical loads to list")
+    p_sim.add_argument("--engine", choices=("vectorized", "scalar"),
+                       default=None,
+                       help="warp-execution engine (default: vectorized)")
 
     p_fig = sub.add_parser(
         "figures", help="regenerate tables/figures for a set of apps and "
@@ -79,6 +90,17 @@ def _build_parser():
     p_fig.add_argument("--scale", type=float, default=0.5)
     p_fig.add_argument("--out", default="repro-results",
                        help="output directory")
+    p_fig.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for emulation+simulation")
+    p_fig.add_argument("--engine", choices=("vectorized", "scalar"),
+                       default=None,
+                       help="warp-execution engine (default: vectorized)")
+    p_fig.add_argument("--trace-cache", action="store_true",
+                       help="reuse/populate the on-disk trace cache")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk trace cache")
+    p_cache.add_argument("action", choices=("info", "clear"))
     return parser
 
 
@@ -109,7 +131,7 @@ def _cmd_classify(args, out):
 
 def _cmd_run(args, out):
     workload = get_workload(args.app, scale=args.scale, seed=args.seed)
-    run = workload.run()
+    run = workload.run(engine=args.engine)
     trace = run.trace
     total = trace.total_warp_instructions()
     loads = trace.global_load_warp_count()
@@ -129,7 +151,7 @@ def _cmd_run(args, out):
 
 def _cmd_simulate(args, out):
     workload = get_workload(args.app, scale=args.scale, seed=args.seed)
-    run = workload.run()
+    run = workload.run(engine=args.engine)
     config = TESLA_C2050.scaled(
         num_sms=args.sms, num_partitions=args.partitions,
         l1_size=args.l1_kb * 1024, l2_size=args.l2_kb * 1024,
@@ -174,7 +196,9 @@ def _cmd_figures(args, out):
     from .experiments import tables, figures as fig
 
     names = (args.apps.split(",") if args.apps else workload_names())
-    runner = ExperimentRunner(scale=args.scale, config=BENCH_CONFIG)
+    runner = ExperimentRunner(scale=args.scale, config=BENCH_CONFIG,
+                              jobs=args.jobs, engine=args.engine,
+                              use_trace_cache=args.trace_cache)
     results = runner.results(names)
 
     os.makedirs(args.out, exist_ok=True)
@@ -199,12 +223,28 @@ def _cmd_figures(args, out):
     return 0
 
 
+def _cmd_cache(args, out):
+    from .emulator import trace_cache
+
+    if args.action == "clear":
+        removed = trace_cache.clear()
+        out.write("removed %d cached trace(s)\n" % removed)
+        return 0
+    count, total = trace_cache.stats()
+    out.write("directory: %s\n" % trace_cache.cache_dir())
+    out.write("enabled:   %s\n" % ("yes" if trace_cache.cache_enabled()
+                                   else "no (REPRO_TRACE_CACHE=0)"))
+    out.write("entries:   %d (%.1f KiB)\n" % (count, total / 1024.0))
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "classify": _cmd_classify,
     "run": _cmd_run,
     "simulate": _cmd_simulate,
     "figures": _cmd_figures,
+    "cache": _cmd_cache,
 }
 
 

@@ -8,7 +8,7 @@ the trace-level locality analyses (:mod:`repro.profiling`).
 """
 
 from .grid import FULL_MASK, WARP_SIZE, Dim3, LaunchConfig, as_dim3, make_launch
-from .machine import EmulationError, Emulator
+from .machine import DEFAULT_ENGINE, EMULATOR_VERSION, EmulationError, Emulator
 from .memory import (
     ALLOC_ALIGN,
     GLOBAL_BASE,
@@ -19,6 +19,7 @@ from .memory import (
 )
 from .serialize import LoadedRun, load_run, save_run
 from .trace import ApplicationTrace, KernelLaunchTrace, TraceOp, WarpTrace
+from . import trace_cache
 
 __all__ = [
     "FULL_MASK",
@@ -27,8 +28,11 @@ __all__ = [
     "LaunchConfig",
     "as_dim3",
     "make_launch",
+    "DEFAULT_ENGINE",
+    "EMULATOR_VERSION",
     "EmulationError",
     "Emulator",
+    "trace_cache",
     "ALLOC_ALIGN",
     "GLOBAL_BASE",
     "Allocation",

@@ -18,14 +18,26 @@ drive the timing simulator in :mod:`repro.sim`.
 from __future__ import annotations
 
 import math
+import os
 from typing import Dict, List, Optional
 
+from .._bits import lanes_of as _lanes_of
 from ..ptx.cfg import CFG
 from ..ptx.isa import DType, Imm, Instruction, MemRef, Reg, Space, SReg, Sym
 from ..ptx.module import Kernel
 from .grid import FULL_MASK, WARP_SIZE, LaunchConfig, as_dim3
 from .memory import MemoryImage, SharedMemory
 from .trace import KernelLaunchTrace, TraceOp, WarpTrace
+
+#: Bumped whenever emulation semantics change in a way that can alter
+#: produced traces; part of the trace-cache key (see
+#: :mod:`repro.emulator.trace_cache`).
+EMULATOR_VERSION = 2
+
+#: Engine used when ``Emulator(engine=None)``: the NumPy
+#: structure-of-arrays fast path by default, overridable for debugging
+#: via the ``REPRO_EMULATOR_ENGINE`` environment variable.
+DEFAULT_ENGINE = os.environ.get("REPRO_EMULATOR_ENGINE", "vectorized")
 
 
 class EmulationError(Exception):
@@ -79,13 +91,64 @@ class _WarpState:
         return not self.stack
 
 
-class Emulator:
-    """Functionally executes kernel launches against a :class:`MemoryImage`."""
+class _ScalarEngine:
+    """The reference per-lane interpreter (the differential-test oracle).
 
-    def __init__(self, memory, max_warp_insts=20_000_000, record_trace=True):
+    Executes every instruction with Python loops over the live lanes of
+    the warp — simple, obviously correct, and slow.  The vectorized
+    engine (:mod:`repro.emulator.vector`) must produce byte-identical
+    serialized traces; ``tests/emulator/test_engine_differential.py``
+    enforces that over the whole workload suite.
+    """
+
+    name = "scalar"
+
+    def make_warp(self, warp_id, init_mask, sregs, trace):
+        return _WarpState(warp_id, init_mask, sregs, trace)
+
+    def pred_mask(self, warp, preg, negated, live):
+        pmask = 0
+        for lane in _lanes_of(live):
+            val = bool(warp.regs[lane].get(preg.name, False))
+            if val != negated:
+                pmask |= 1 << lane
+        return pmask
+
+    def exec_alu(self, emu, warp, inst, exec_mask):
+        emu._exec_alu(warp, inst, exec_mask)
+
+    def exec_memory(self, emu, warp, inst, exec_mask, shared, params):
+        emu._exec_memory(warp, inst, exec_mask, shared, params)
+
+
+def _make_engine(name):
+    """Instantiate an execution engine by name."""
+    if name == "scalar":
+        return _ScalarEngine()
+    if name == "vectorized":
+        from .vector import VectorEngine
+        return VectorEngine()
+    raise ValueError("unknown emulator engine %r "
+                     "(choices: vectorized, scalar)" % (name,))
+
+
+class Emulator:
+    """Functionally executes kernel launches against a :class:`MemoryImage`.
+
+    ``engine`` selects the warp-execution strategy: ``"vectorized"``
+    (default) runs ALU/compare/select/address work for all active lanes
+    with masked NumPy operations over structure-of-arrays register
+    files; ``"scalar"`` is the per-lane reference interpreter.  Both
+    produce identical traces and memory state.
+    """
+
+    def __init__(self, memory, max_warp_insts=20_000_000, record_trace=True,
+                 engine=None):
         self.memory = memory
         self.max_warp_insts = max_warp_insts
         self.record_trace = record_trace
+        self.engine = engine if engine is not None else DEFAULT_ENGINE
+        self._engine = _make_engine(self.engine)
         self._executed = 0
 
     # ------------------------------------------------------------------ launch
@@ -135,7 +198,7 @@ class Emulator:
             trace = WarpTrace(cta_id=cta_linear, warp_id=w)
             if self.record_trace:
                 launch_trace.warps.append(trace)
-            warps.append(_WarpState(w, mask, sregs, trace))
+            warps.append(self._engine.make_warp(w, mask, sregs, trace))
 
         # run warps round-robin, releasing barriers when every live warp
         # has arrived
@@ -193,12 +256,7 @@ class Emulator:
             exec_mask = live
             if inst.pred is not None:
                 preg, negated = inst.pred
-                pmask = 0
-                for lane in _lanes_of(live):
-                    val = bool(warp.regs[lane].get(preg.name, False))
-                    if val != negated:
-                        pmask |= 1 << lane
-                exec_mask = pmask
+                exec_mask = self._engine.pred_mask(warp, preg, negated, live)
 
             if inst.is_branch:
                 self._trace(warp, inst, exec_mask)
@@ -238,9 +296,10 @@ class Emulator:
                 continue
 
             if inst.is_memory:
-                self._exec_memory(warp, inst, exec_mask, shared, params)
+                self._engine.exec_memory(self, warp, inst, exec_mask,
+                                         shared, params)
             else:
-                self._exec_alu(warp, inst, exec_mask)
+                self._engine.exec_alu(self, warp, inst, exec_mask)
             stack[-1][1] = pc + 1
 
     def _trace(self, warp, inst, exec_mask, addresses=None):
@@ -345,17 +404,6 @@ class Emulator:
 # ---------------------------------------------------------------------------
 # scalar semantics
 # ---------------------------------------------------------------------------
-
-
-def _lanes_of(mask):
-    lanes = []
-    lane = 0
-    while mask:
-        if mask & 1:
-            lanes.append(lane)
-        mask >>= 1
-        lane += 1
-    return lanes
 
 
 def _coerce_store(value, dtype):

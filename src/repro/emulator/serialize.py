@@ -51,15 +51,24 @@ def _encode_launch(launch):
 
 
 def save_run(run, path):
-    """Serialize a :class:`WorkloadRun`'s kernels and traces to ``path``."""
+    """Serialize a :class:`WorkloadRun`'s kernels and traces to ``path``.
+
+    The output is byte-deterministic: the gzip stream carries no mtime,
+    so two identical runs serialize to identical files.  The trace cache
+    and the engine differential tests rely on this.
+    """
     payload = {
         "version": FORMAT_VERSION,
         "name": run.trace.name,
         "ptx": print_module(run.module),
         "launches": [_encode_launch(l) for l in run.trace],
     }
-    with gzip.open(path, "wt", encoding="utf-8") as fh:
-        json.dump(payload, fh)
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    with open(path, "wb") as fh:
+        # filename="" and mtime=0 keep the gzip header content-only.
+        with gzip.GzipFile(filename="", fileobj=fh, mode="wb",
+                           mtime=0) as gz:
+            gz.write(data)
     return path
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from .._bits import popcount
 from ..ptx.isa import Instruction, Space
 from .grid import WARP_SIZE, LaunchConfig
 
@@ -39,7 +40,7 @@ class TraceOp:
 
     @property
     def active_count(self):
-        return bin(self.active_mask).count("1")
+        return popcount(self.active_mask)
 
     @property
     def is_memory(self):

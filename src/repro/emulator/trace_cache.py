@@ -1,0 +1,165 @@
+"""Content-addressed on-disk cache of serialized application traces.
+
+Emulation dominates the wall-clock cost of every figure and table in
+the reproduction; the trace produced for a given (workload, scale,
+seed) never changes unless the kernels or the emulator itself change.
+This module memoizes :func:`~.serialize.save_run` outputs on disk,
+keyed by the *content* that determines the trace:
+
+* the workload name,
+* the printed PTX of every kernel (so editing a kernel invalidates),
+* the input ``seed`` and ``scale`` (they shape the generated inputs
+  and launch geometry),
+* the serialization :data:`~.serialize.FORMAT_VERSION`, and
+* the emulator's :data:`~.machine.EMULATOR_VERSION` (bumped whenever a
+  semantic change could alter emitted traces).
+
+The key is the SHA-256 of that tuple; entries live as
+``<key>.trace.gz`` files (the exact :func:`save_run` byte format, so a
+cache entry is also a normal trace file) in
+
+* ``$REPRO_TRACE_CACHE_DIR`` if set, else
+* ``~/.cache/repro-traces``.
+
+``REPRO_TRACE_CACHE=0`` disables the cache entirely.  A corrupted or
+truncated entry is deleted and treated as a miss — the caller simply
+re-emulates.  Writes go through a temporary file and an atomic rename
+so concurrent experiment workers never observe partial entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .machine import EMULATOR_VERSION
+from .serialize import FORMAT_VERSION, LoadedRun, load_run, save_run
+
+_ENV_DIR = "REPRO_TRACE_CACHE_DIR"
+_ENV_SWITCH = "REPRO_TRACE_CACHE"
+_SUFFIX = ".trace.gz"
+
+
+def cache_enabled():
+    """False when the user set ``REPRO_TRACE_CACHE=0`` (or empty)."""
+    value = os.environ.get(_ENV_SWITCH)
+    if value is None:
+        return True
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def cache_dir():
+    """The cache directory (not created until the first store)."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-traces"
+
+
+def trace_key(name, ptx, seed, scale):
+    """The content hash identifying one emulation's trace.
+
+    ``ptx`` must be the *printed* module text (the parser/printer
+    roundtrip is canonicalizing, so cosmetic source differences hash
+    identically while any semantic edit changes the key).
+    """
+    h = hashlib.sha256()
+    for part in (
+        "repro-trace",
+        "format=%d" % FORMAT_VERSION,
+        "emulator=%d" % EMULATOR_VERSION,
+        "name=%s" % name,
+        "seed=%r" % (seed,),
+        "scale=%r" % (scale,),
+    ):
+        h.update(part.encode("utf-8"))
+        h.update(b"\0")
+    h.update(ptx.encode("utf-8"))
+    return h.hexdigest()
+
+
+def entry_path(key):
+    return cache_dir() / (key + _SUFFIX)
+
+
+def lookup(key):
+    """Load the cached :class:`LoadedRun` for ``key``, or ``None``.
+
+    Corrupt entries (truncated gzip, bad JSON, wrong format version,
+    unparsable PTX) are removed so the next store can heal the cache.
+    """
+    if not cache_enabled():
+        return None
+    path = entry_path(key)
+    if not path.is_file():
+        return None
+    try:
+        return load_run(path)
+    except Exception:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store(key, run):
+    """Serialize ``run`` into the cache under ``key`` (atomic).
+
+    Returns the entry path, or ``None`` when the cache is disabled or
+    the directory is unwritable (caching is best-effort; emulation
+    results are never lost to a cache failure).
+    """
+    if not cache_enabled():
+        return None
+    path = entry_path(key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-" + key[:16] + "-", suffix=_SUFFIX,
+            dir=str(path.parent))
+        os.close(fd)
+        try:
+            save_run(run, tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+    except OSError:
+        return None
+    return path
+
+
+def clear():
+    """Delete every cache entry; returns the number removed."""
+    directory = cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for entry in directory.glob("*" + _SUFFIX):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def stats():
+    """``(entry_count, total_bytes)`` for the current cache directory."""
+    directory = cache_dir()
+    count = 0
+    total = 0
+    if directory.is_dir():
+        for entry in directory.glob("*" + _SUFFIX):
+            try:
+                total += entry.stat().st_size
+                count += 1
+            except OSError:
+                pass
+    return count, total

@@ -111,13 +111,18 @@ class Workload(abc.ABC):
 
     # -- driver --------------------------------------------------------------
 
-    def run(self, verify=True, max_warp_insts=20_000_000):
-        """Execute the full application; returns a :class:`WorkloadRun`."""
+    def run(self, verify=True, max_warp_insts=20_000_000, engine=None):
+        """Execute the full application; returns a :class:`WorkloadRun`.
+
+        ``engine`` selects the emulator's warp-execution engine
+        (``"vectorized"`` or ``"scalar"``; ``None`` = the emulator
+        default).
+        """
         module = parse_module(self.ptx())
         classifications = {k.name: classify_kernel(k) for k in module}
         mem = MemoryImage()
         self.setup(mem)
-        emu = Emulator(mem, max_warp_insts=max_warp_insts)
+        emu = Emulator(mem, max_warp_insts=max_warp_insts, engine=engine)
         app = ApplicationTrace(name=self.name)
         for launch_trace in self.host(emu, module):
             app.add(launch_trace)

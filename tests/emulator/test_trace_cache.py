@@ -1,0 +1,145 @@
+"""Tests for the content-addressed on-disk trace cache."""
+
+import gzip
+
+import pytest
+
+from repro.emulator import trace_cache
+from repro.emulator.machine import EMULATOR_VERSION
+from repro.emulator.serialize import FORMAT_VERSION
+from repro.ptx import parse_module, print_module
+from repro.workloads import get_workload
+
+SCALE = 0.1
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the cache at a per-test directory and ensure it's enabled."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    return tmp_path / "cache"
+
+
+@pytest.fixture(scope="module")
+def bfs_small():
+    workload = get_workload("bfs", scale=SCALE)
+    run = workload.run(verify=False)
+    ptx = print_module(parse_module(workload.ptx()))
+    return workload, run, ptx
+
+
+def _key(workload, ptx, **overrides):
+    kwargs = {
+        "name": workload.name,
+        "ptx": ptx,
+        "seed": workload.seed,
+        "scale": workload.scale,
+    }
+    kwargs.update(overrides)
+    return trace_cache.trace_key(**kwargs)
+
+
+class TestKeying:
+    def test_roundtrip_hit(self, bfs_small):
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        assert trace_cache.lookup(key) is None
+        assert trace_cache.store(key, run) is not None
+        loaded = trace_cache.lookup(key)
+        assert loaded is not None
+        assert loaded.name == "bfs"
+        assert (loaded.trace.total_warp_instructions()
+                == run.trace.total_warp_instructions())
+        ops = [(op.pc, op.active_mask, op.addresses)
+               for l in run.trace for w in l for op in w.ops]
+        loaded_ops = [(op.pc, op.active_mask, op.addresses)
+                      for l in loaded.trace for w in l for op in w.ops]
+        assert ops == loaded_ops
+
+    def test_key_is_stable(self, bfs_small):
+        workload, _, ptx = bfs_small
+        assert _key(workload, ptx) == _key(workload, ptx)
+
+    def test_changed_ptx_misses(self, bfs_small):
+        workload, run, ptx = bfs_small
+        trace_cache.store(_key(workload, ptx), run)
+        edited = ptx.replace("bfs", "bfs_edited", 1)
+        assert edited != ptx
+        assert trace_cache.lookup(_key(workload, edited)) is None
+
+    def test_changed_seed_misses(self, bfs_small):
+        workload, run, ptx = bfs_small
+        trace_cache.store(_key(workload, ptx), run)
+        assert trace_cache.lookup(
+            _key(workload, ptx, seed=workload.seed + 1)) is None
+
+    def test_changed_scale_misses(self, bfs_small):
+        workload, run, ptx = bfs_small
+        trace_cache.store(_key(workload, ptx), run)
+        assert trace_cache.lookup(
+            _key(workload, ptx, scale=workload.scale * 2)) is None
+
+    def test_version_bumps_change_key(self, bfs_small, monkeypatch):
+        workload, _, ptx = bfs_small
+        before = _key(workload, ptx)
+        monkeypatch.setattr(trace_cache, "FORMAT_VERSION",
+                            FORMAT_VERSION + 1)
+        bumped_format = _key(workload, ptx)
+        monkeypatch.setattr(trace_cache, "FORMAT_VERSION", FORMAT_VERSION)
+        monkeypatch.setattr(trace_cache, "EMULATOR_VERSION",
+                            EMULATOR_VERSION + 1)
+        bumped_emulator = _key(workload, ptx)
+        assert len({before, bumped_format, bumped_emulator}) == 3
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_removed(self, bfs_small):
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+        path = trace_cache.entry_path(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert trace_cache.lookup(key) is None
+        assert not path.exists()
+
+    def test_garbage_gzip_is_a_miss(self, bfs_small):
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+        path = trace_cache.entry_path(key)
+        with gzip.open(path, "wt") as fh:
+            fh.write("this is not a trace payload")
+        assert trace_cache.lookup(key) is None
+
+    def test_store_is_byte_deterministic(self, bfs_small):
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        path = trace_cache.store(key, run)
+        first = path.read_bytes()
+        path = trace_cache.store(key, run)
+        assert path.read_bytes() == first
+
+    def test_clear_and_stats(self, bfs_small):
+        workload, run, ptx = bfs_small
+        trace_cache.store(_key(workload, ptx), run)
+        count, total = trace_cache.stats()
+        assert count == 1 and total > 0
+        assert trace_cache.clear() == 1
+        assert trace_cache.stats() == (0, 0)
+
+
+class TestDisableSwitch:
+    def test_disabled_via_env(self, bfs_small, monkeypatch):
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        assert not trace_cache.cache_enabled()
+        assert trace_cache.lookup(key) is None
+        assert trace_cache.store(key, run) is None
+        monkeypatch.delenv("REPRO_TRACE_CACHE")
+        assert trace_cache.lookup(key) is not None
+
+    def test_enabled_by_default(self):
+        assert trace_cache.cache_enabled()

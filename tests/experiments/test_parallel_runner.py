@@ -1,0 +1,90 @@
+"""Tests for the parallel / trace-cache-aware ExperimentRunner."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.config import TINY
+
+SCALE = 0.1
+NAMES = ["2mm", "spmv", "bfs"]
+
+
+def _runner(**kwargs):
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("config", TINY)
+    return ExperimentRunner(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return _runner().results(NAMES)
+
+
+class TestParallel:
+    def test_matches_serial(self, serial_results):
+        parallel = _runner(jobs=2).results(NAMES)
+        assert [r.name for r in parallel] == NAMES
+        for serial, par in zip(serial_results, parallel):
+            assert par.name == serial.name
+            assert par.category == serial.category
+            assert (par.trace.total_warp_instructions()
+                    == serial.trace.total_warp_instructions())
+            assert par.stats.cycles == serial.stats.cycles
+            assert (par.stats.issued_warp_insts
+                    == serial.stats.issued_warp_insts)
+
+    def test_order_is_input_order(self):
+        reversed_names = list(reversed(NAMES))
+        results = _runner(jobs=2).results(reversed_names)
+        assert [r.name for r in results] == reversed_names
+
+    def test_parallel_results_are_cached_in_process(self):
+        runner = _runner(jobs=2)
+        first = runner.results(NAMES)
+        again = runner.results(NAMES)
+        for a, b in zip(first, again):
+            assert a is b
+
+    def test_single_missing_runs_inline(self, serial_results):
+        runner = _runner(jobs=4)
+        result = runner.result("spmv")
+        assert result.stats.cycles == serial_results[1].stats.cycles
+
+
+class TestTraceCacheIntegration:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+
+    def test_cold_then_warm_equivalence(self, serial_results):
+        from repro.emulator import trace_cache
+
+        cold = _runner(use_trace_cache=True).results(NAMES)
+        assert trace_cache.stats()[0] == len(NAMES)
+        warm = _runner(use_trace_cache=True).results(NAMES)
+        for serial, a, b in zip(serial_results, cold, warm):
+            assert a.stats.cycles == serial.stats.cycles
+            assert b.stats.cycles == serial.stats.cycles
+            assert (b.trace.total_warp_instructions()
+                    == serial.trace.total_warp_instructions())
+
+    def test_warm_hit_skips_emulation(self, monkeypatch):
+        from repro.workloads.base import Workload
+
+        _runner(use_trace_cache=True).result("spmv")
+
+        def boom(self, *a, **k):  # pragma: no cover - must not run
+            raise AssertionError("emulated despite a cache hit")
+
+        monkeypatch.setattr(Workload, "run", boom)
+        result = _runner(use_trace_cache=True).result("spmv")
+        assert result.run.memory is None
+        assert result.trace.total_warp_instructions() > 0
+
+    def test_disabled_cache_stores_nothing(self, monkeypatch):
+        from repro.emulator import trace_cache
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        _runner(use_trace_cache=True).result("spmv")
+        assert trace_cache.stats() == (0, 0)
