@@ -6,6 +6,9 @@ Commands
     The benchmark suite with Table I metadata.
 ``classify <app> | --file kernel.ptx``
     Static load classification (the paper's Section V analysis).
+``verify <app> | --file kernel.ptx``
+    Static PTX verification (type/def-use/CFG/barrier checks); exits 1
+    when error-severity diagnostics are found.
 ``run <app>``
     Execute an application functionally, verify it, and print its
     Table I characteristics.
@@ -49,6 +52,14 @@ def _build_parser():
                             help="workload name (e.g. bfs)")
     p_classify.add_argument("--file", help="classify a PTX-subset file "
                                            "instead of a workload")
+
+    p_verify = sub.add_parser(
+        "verify", help="statically verify PTX (types, def-before-use, "
+                       "branch targets, barriers)")
+    p_verify.add_argument("app", nargs="?",
+                          help="workload name (e.g. bfs)")
+    p_verify.add_argument("--file", help="verify a PTX-subset file "
+                                         "instead of a workload")
 
     p_run = sub.add_parser("run", help="execute and verify a workload")
     p_run.add_argument("app", choices=workload_names())
@@ -97,6 +108,12 @@ def _build_parser():
                        help="warp-execution engine (default: vectorized)")
     p_fig.add_argument("--trace-cache", action="store_true",
                        help="reuse/populate the on-disk trace cache")
+    p_fig.add_argument("--strict", action="store_true",
+                       help="abort (exit nonzero) on the first failing "
+                            "application instead of degrading")
+    p_fig.add_argument("--timeout", type=float, default=None,
+                       help="per-application timeout in seconds "
+                            "(parallel runs only)")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk trace cache")
@@ -127,6 +144,27 @@ def _cmd_classify(args, out):
     for kernel in module:
         out.write(format_kernel_report(classify_kernel(kernel)) + "\n\n")
     return 0
+
+
+def _cmd_verify(args, out):
+    from .ptx import verify_module
+
+    if args.file:
+        with open(args.file) as fh:
+            module = parse_module(fh.read())
+    elif args.app:
+        workload = get_workload(args.app, scale=0.25)
+        module = parse_module(workload.ptx())
+    else:
+        out.write("error: provide a workload name or --file\n")
+        return 2
+    report = verify_module(module)
+    if len(report):
+        out.write(report.format() + "\n")
+    errors = len(report.errors())
+    warnings = len(report.warnings())
+    out.write("%d error(s), %d warning(s)\n" % (errors, warnings))
+    return 1 if errors else 0
 
 
 def _cmd_run(args, out):
@@ -189,6 +227,7 @@ def _cmd_simulate(args, out):
 
 
 def _cmd_figures(args, out):
+    import json
     import os
 
     from .experiments import export_json
@@ -198,10 +237,35 @@ def _cmd_figures(args, out):
     names = (args.apps.split(",") if args.apps else workload_names())
     runner = ExperimentRunner(scale=args.scale, config=BENCH_CONFIG,
                               jobs=args.jobs, engine=args.engine,
-                              use_trace_cache=args.trace_cache)
-    results = runner.results(names)
+                              use_trace_cache=args.trace_cache,
+                              strict=args.strict, timeout=args.timeout)
+    try:
+        mixed = runner.results(names)
+    except Exception as exc:                    # noqa: BLE001 — strict abort
+        if not args.strict:
+            raise
+        out.write("error: %s: %s\n" % (type(exc).__name__, exc))
+        return 1
+    results = [r for r in mixed if r.ok]
+    failures = [r for r in mixed if not r.ok]
 
     os.makedirs(args.out, exist_ok=True)
+    manifest = {
+        "completed": [r.name for r in results],
+        "failures": [f.to_json() for f in failures],
+    }
+    manifest_path = os.path.join(args.out, "failures.json")
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh, indent=2, default=str)
+        fh.write("\n")
+    for failure in failures:
+        out.write("FAILED %s\n" % failure.format())
+    if failures:
+        out.write("continuing with %d of %d application(s); manifest: %s\n"
+                  % (len(results), len(mixed), manifest_path))
+    if not results:
+        out.write("no application completed; wrote %s\n" % manifest_path)
+        return 0
     renders = {
         "table1": tables.render_table1,
         "table3": tables.render_table3,
@@ -220,6 +284,7 @@ def _cmd_figures(args, out):
     json_path = os.path.join(args.out, "results.json")
     export_json(results, path=json_path)
     out.write("wrote %s\n" % json_path)
+    out.write("wrote %s\n" % manifest_path)
     return 0
 
 
@@ -241,6 +306,7 @@ def _cmd_cache(args, out):
 _COMMANDS = {
     "list": _cmd_list,
     "classify": _cmd_classify,
+    "verify": _cmd_verify,
     "run": _cmd_run,
     "simulate": _cmd_simulate,
     "figures": _cmd_figures,

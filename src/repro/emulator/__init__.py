@@ -8,11 +8,21 @@ the trace-level locality analyses (:mod:`repro.profiling`).
 """
 
 from .grid import FULL_MASK, WARP_SIZE, Dim3, LaunchConfig, as_dim3, make_launch
-from .machine import DEFAULT_ENGINE, EMULATOR_VERSION, EmulationError, Emulator
+from .machine import (
+    DEFAULT_ENGINE,
+    DEFAULT_MAX_WARP_INSTS,
+    EMULATOR_VERSION,
+    BarrierDeadlockError,
+    EmulationError,
+    Emulator,
+    MemoryFaultError,
+    WatchdogError,
+)
 from .memory import (
     ALLOC_ALIGN,
     GLOBAL_BASE,
     Allocation,
+    MemoryError_,
     MemoryImage,
     SharedMemory,
     np_dtype_for,
@@ -29,13 +39,18 @@ __all__ = [
     "as_dim3",
     "make_launch",
     "DEFAULT_ENGINE",
+    "DEFAULT_MAX_WARP_INSTS",
     "EMULATOR_VERSION",
+    "BarrierDeadlockError",
     "EmulationError",
     "Emulator",
+    "MemoryFaultError",
+    "WatchdogError",
     "trace_cache",
     "ALLOC_ALIGN",
     "GLOBAL_BASE",
     "Allocation",
+    "MemoryError_",
     "MemoryImage",
     "SharedMemory",
     "np_dtype_for",

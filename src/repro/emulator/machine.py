@@ -26,7 +26,7 @@ from ..ptx.cfg import CFG
 from ..ptx.isa import DType, Imm, Instruction, MemRef, Reg, Space, SReg, Sym
 from ..ptx.module import Kernel
 from .grid import FULL_MASK, WARP_SIZE, LaunchConfig, as_dim3
-from .memory import MemoryImage, SharedMemory
+from .memory import MemoryError_, MemoryImage, SharedMemory
 from .trace import KernelLaunchTrace, TraceOp, WarpTrace
 
 #: Bumped whenever emulation semantics change in a way that can alter
@@ -39,9 +39,114 @@ EMULATOR_VERSION = 2
 #: via the ``REPRO_EMULATOR_ENGINE`` environment variable.
 DEFAULT_ENGINE = os.environ.get("REPRO_EMULATOR_ENGINE", "vectorized")
 
+#: Per-launch warp-instruction watchdog budget used when neither the
+#: ``Emulator(max_warp_insts=...)`` argument nor the
+#: ``REPRO_EMULATOR_MAX_WARP_INSTS`` environment variable is set.
+DEFAULT_MAX_WARP_INSTS = 20_000_000
+
+
+def _default_max_warp_insts():
+    env = os.environ.get("REPRO_EMULATOR_MAX_WARP_INSTS")
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            raise ValueError(
+                "REPRO_EMULATOR_MAX_WARP_INSTS must be an integer, got %r"
+                % (env,)) from None
+    return DEFAULT_MAX_WARP_INSTS
+
 
 class EmulationError(Exception):
     """Raised on runaway kernels, barrier deadlocks or bad operands."""
+
+
+class MemoryFaultError(EmulationError):
+    """An out-of-bounds or misaligned access, with full launch context.
+
+    Carries structured fields (``kernel``, ``pc``, ``cta``, ``warp``,
+    ``lane``, ``address``, ``space``) so failure manifests and tests can
+    report *where* a kernel faulted without parsing the message.
+    """
+
+    def __init__(self, detail, *, kernel=None, pc=None, cta=None,
+                 warp=None, lane=None, address=None, space=None):
+        self.kernel = kernel
+        self.pc = pc
+        self.cta = cta
+        self.warp = warp
+        self.lane = lane
+        self.address = address
+        self.space = space
+        self.detail = detail
+        where = []
+        if kernel is not None:
+            where.append("kernel %r" % kernel)
+        if pc is not None:
+            where.append("pc=%#x" % pc)
+        if cta is not None:
+            where.append("cta %d" % cta)
+        if warp is not None:
+            where.append("warp %d" % warp)
+        if lane is not None:
+            where.append("lane %d" % lane)
+        if address is not None:
+            where.append("addr %#x" % address)
+        if space is not None:
+            where.append("space %s" % space)
+        super().__init__("memory fault (%s): %s" % (", ".join(where), detail))
+
+
+class WatchdogError(EmulationError):
+    """The per-launch warp-instruction budget was exhausted (runaway or
+    non-terminating kernel)."""
+
+    def __init__(self, budget, kernel=None, pc=None, cta=None, warp=None):
+        self.budget = budget
+        self.kernel = kernel
+        self.pc = pc
+        self.cta = cta
+        self.warp = warp
+        super().__init__(
+            "instruction budget exceeded (%d) in kernel %r at pc=%#x "
+            "(cta %s, warp %s); raise REPRO_EMULATOR_MAX_WARP_INSTS or "
+            "Emulator(max_warp_insts=...) if the kernel is legitimately "
+            "long-running" % (budget, kernel, pc, cta, warp))
+
+
+class BarrierDeadlockError(EmulationError):
+    """Every live warp of a CTA is stuck, but not all at a barrier.
+
+    ``warp_status`` lists one dict per unfinished warp with its
+    ``warp`` id, ``at_barrier`` flag, and current ``pc`` (None once past
+    the last instruction), so the report shows exactly which warps never
+    arrived.
+    """
+
+    def __init__(self, kernel, cta, warp_status):
+        self.kernel = kernel
+        self.cta = cta
+        self.warp_status = warp_status
+        lines = ["barrier deadlock in kernel %r (CTA %d):" % (kernel, cta)]
+        for st in warp_status:
+            pc = st.get("pc")
+            lines.append("  warp %d: %s, pc=%s" % (
+                st["warp"],
+                "waiting at barrier" if st["at_barrier"] else "stuck",
+                "%#x" % pc if pc is not None else "<end>"))
+        super().__init__("\n".join(lines))
+
+
+def _fault_lane(addresses, fault_addr, width, count):
+    """Best-effort lane attribution for a memory fault: the lane whose
+    effective address range covers the faulting address."""
+    if fault_addr is None:
+        return addresses[-1][0] if addresses else None
+    span = max(width * max(count, 1), 1)
+    for lane, addr in addresses:
+        if addr <= fault_addr < addr + span:
+            return lane
+    return addresses[-1][0] if addresses else None
 
 
 #: Sentinel "reconverge never" PC index (divergence that only rejoins at exit).
@@ -142,10 +247,11 @@ class Emulator:
     produce identical traces and memory state.
     """
 
-    def __init__(self, memory, max_warp_insts=20_000_000, record_trace=True,
+    def __init__(self, memory, max_warp_insts=None, record_trace=True,
                  engine=None):
         self.memory = memory
-        self.max_warp_insts = max_warp_insts
+        self.max_warp_insts = (max_warp_insts if max_warp_insts is not None
+                               else _default_max_warp_insts())
         self.record_trace = record_trace
         self.engine = engine if engine is not None else DEFAULT_ENGINE
         self._engine = _make_engine(self.engine)
@@ -206,21 +312,31 @@ class Emulator:
             alive = [w for w in warps if not w.finished]
             if not alive:
                 break
-            ran_any = False
+            executed_before = self._executed
             for warp in alive:
                 if warp.at_barrier:
                     continue
                 self._run_warp(kernel, cfg, warp, shared, params)
-                ran_any = True
             waiting = [w for w in warps if not w.finished]
             if waiting and all(w.at_barrier for w in waiting):
                 for w in waiting:
                     w.at_barrier = False
                 continue
-            if not ran_any and waiting:
-                raise EmulationError(
-                    "barrier deadlock in kernel %r (CTA %d)"
-                    % (kernel.name, cta_linear))
+            # a full round that executed nothing and released no barrier
+            # can never make progress: some warp is stuck short of the
+            # barrier its siblings wait at
+            if self._executed == executed_before and waiting:
+                insts = kernel.instructions
+                status = []
+                for w in waiting:
+                    idx = w.stack[-1][1] if w.stack else None
+                    pc = (insts[idx].pc
+                          if idx is not None and 0 <= idx < len(insts)
+                          else None)
+                    status.append({"warp": w.warp_id,
+                                   "at_barrier": w.at_barrier,
+                                   "pc": pc})
+                raise BarrierDeadlockError(kernel.name, cta_linear, status)
 
     @staticmethod
     def _make_sregs(tid, ctaid, config, laneid, warpid):
@@ -248,9 +364,9 @@ class Emulator:
                 continue
             self._executed += 1
             if self._executed > self.max_warp_insts:
-                raise EmulationError(
-                    "instruction budget exceeded (%d) in kernel %r at pc=%#x"
-                    % (self.max_warp_insts, kernel.name, insts[pc].pc))
+                raise WatchdogError(
+                    self.max_warp_insts, kernel=kernel.name, pc=insts[pc].pc,
+                    cta=warp.trace.cta_id, warp=warp.warp_id)
             inst = insts[pc]
 
             exec_mask = live
@@ -296,8 +412,16 @@ class Emulator:
                 continue
 
             if inst.is_memory:
-                self._engine.exec_memory(self, warp, inst, exec_mask,
-                                         shared, params)
+                try:
+                    self._engine.exec_memory(self, warp, inst, exec_mask,
+                                             shared, params)
+                except MemoryError_ as exc:
+                    raise MemoryFaultError(
+                        str(exc), kernel=kernel.name, pc=inst.pc,
+                        cta=warp.trace.cta_id, warp=warp.warp_id,
+                        lane=exc.lane, address=exc.addr,
+                        space=(inst.space.name.lower()
+                               if inst.space is not None else None)) from exc
             else:
                 self._engine.exec_alu(self, warp, inst, exec_mask)
             stack[-1][1] = pc + 1
@@ -336,6 +460,21 @@ class Emulator:
 
         addresses = []
         width = dtype.nbytes
+        try:
+            self._exec_memory_lanes(warp, inst, exec_mask, shared, addresses,
+                                    width)
+        except MemoryError_ as exc:
+            # the address was appended just before the faulting access
+            if exc.lane is None and addresses:
+                exc.lane = addresses[-1][0]
+            raise
+        self._trace(warp, inst, exec_mask, tuple(addresses))
+
+    def _exec_memory_lanes(self, warp, inst, exec_mask, shared, addresses,
+                           width):
+        space = inst.space
+        memref = inst.memref
+        dtype = inst.dtype
         if inst.is_load:
             dest_names = [d.name for d in inst.dests]
             target = shared if space is Space.SHARED else self.memory
@@ -376,7 +515,6 @@ class Emulator:
                                    dtype)
                 target.store(addr, dtype, _coerce_store(new, dtype))
                 warp.regs[lane][dest] = old
-        self._trace(warp, inst, exec_mask, tuple(addresses))
 
     # -------------------------------------------------------------------- ALU
 

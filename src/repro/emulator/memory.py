@@ -48,7 +48,19 @@ _NP_DTYPE = {
 
 
 class MemoryError_(Exception):
-    """Access outside any allocation (the emulator's segfault)."""
+    """Access outside any allocation, or a misaligned access (the
+    emulator's segfault).
+
+    ``addr`` carries the faulting byte address so the emulator can
+    attach warp/lane context when it re-raises as
+    :class:`repro.emulator.machine.MemoryFaultError`.
+    """
+
+    def __init__(self, message, addr=None):
+        super().__init__(message)
+        self.addr = addr
+        #: faulting lane, attached by the execution engines when known.
+        self.lane = None
 
 
 class Allocation:
@@ -134,27 +146,33 @@ class MemoryImage:
             alloc = self._allocs[i]
             if alloc.base <= addr < alloc.end:
                 return alloc
-        raise MemoryError_("invalid global access at %#x" % addr)
+        raise MemoryError_("invalid global access at %#x" % addr, addr=addr)
 
     def load(self, addr, dtype):
         """Read one scalar of ``dtype`` at absolute address ``addr``."""
         alloc = self._find(addr)
-        fmt = _STRUCT_FMT[dtype]
+        size = dtype.nbytes
+        if addr % size:
+            raise MemoryError_("misaligned %d-byte load at %#x"
+                               % (size, addr), addr=addr)
         off = addr - alloc.base
-        if off + struct.calcsize(fmt) > alloc.size:
+        if off + size > alloc.size:
             raise MemoryError_("access at %#x crosses end of %r"
-                               % (addr, alloc.name))
-        return struct.unpack_from(fmt, alloc.data, off)[0]
+                               % (addr, alloc.name), addr=addr)
+        return struct.unpack_from(_STRUCT_FMT[dtype], alloc.data, off)[0]
 
     def store(self, addr, dtype, value):
         """Write one scalar of ``dtype`` at absolute address ``addr``."""
         alloc = self._find(addr)
-        fmt = _STRUCT_FMT[dtype]
+        size = dtype.nbytes
+        if addr % size:
+            raise MemoryError_("misaligned %d-byte store at %#x"
+                               % (size, addr), addr=addr)
         off = addr - alloc.base
-        if off + struct.calcsize(fmt) > alloc.size:
+        if off + size > alloc.size:
             raise MemoryError_("access at %#x crosses end of %r"
-                               % (addr, alloc.name))
-        struct.pack_into(fmt, alloc.data, off, value)
+                               % (addr, alloc.name), addr=addr)
+        struct.pack_into(_STRUCT_FMT[dtype], alloc.data, off, value)
 
     def valid(self, addr):
         """True when ``addr`` falls inside some allocation."""
@@ -176,18 +194,24 @@ class SharedMemory:
         self.data = bytearray(self.size)
 
     def load(self, addr, dtype):
-        fmt = _STRUCT_FMT[dtype]
-        if addr < 0 or addr + struct.calcsize(fmt) > self.size:
+        size = dtype.nbytes
+        if addr < 0 or addr + size > self.size:
             raise MemoryError_("invalid shared access at %#x (size %d)"
-                               % (addr, self.size))
-        return struct.unpack_from(fmt, self.data, addr)[0]
+                               % (addr, self.size), addr=addr)
+        if addr % size:
+            raise MemoryError_("misaligned %d-byte shared load at %#x"
+                               % (size, addr), addr=addr)
+        return struct.unpack_from(_STRUCT_FMT[dtype], self.data, addr)[0]
 
     def store(self, addr, dtype, value):
-        fmt = _STRUCT_FMT[dtype]
-        if addr < 0 or addr + struct.calcsize(fmt) > self.size:
+        size = dtype.nbytes
+        if addr < 0 or addr + size > self.size:
             raise MemoryError_("invalid shared access at %#x (size %d)"
-                               % (addr, self.size))
-        struct.pack_into(fmt, self.data, addr, value)
+                               % (addr, self.size), addr=addr)
+        if addr % size:
+            raise MemoryError_("misaligned %d-byte shared store at %#x"
+                               % (size, addr), addr=addr)
+        struct.pack_into(_STRUCT_FMT[dtype], self.data, addr, value)
 
 
 def np_dtype_for(dtype):

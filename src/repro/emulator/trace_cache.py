@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -41,6 +42,11 @@ from .serialize import FORMAT_VERSION, LoadedRun, load_run, save_run
 _ENV_DIR = "REPRO_TRACE_CACHE_DIR"
 _ENV_SWITCH = "REPRO_TRACE_CACHE"
 _SUFFIX = ".trace.gz"
+
+#: Back-off delays (seconds) between retries of transient cache I/O
+#: failures.  Short: the cache is best-effort and the fallback — a
+#: re-emulation — is always correct.
+_RETRY_DELAYS = (0.05, 0.2)
 
 
 def cache_enabled():
@@ -88,22 +94,42 @@ def entry_path(key):
 def lookup(key):
     """Load the cached :class:`LoadedRun` for ``key``, or ``None``.
 
-    Corrupt entries (truncated gzip, bad JSON, wrong format version,
-    unparsable PTX) are removed so the next store can heal the cache.
+    A cache problem is never fatal: transient I/O errors (``OSError``,
+    truncated gzip reads) are retried once after a short delay, then
+    treated as a miss; corrupt entries (persistently truncated streams,
+    bad JSON, wrong format version, unparsable PTX) are removed so the
+    next store can heal the cache.
     """
     if not cache_enabled():
         return None
     path = entry_path(key)
-    if not path.is_file():
-        return None
-    try:
-        return load_run(path)
-    except Exception:
+    for delay in (_RETRY_DELAYS[0], None):
         try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
+            if not path.is_file():
+                return None
+            return load_run(path)
+        except (OSError, EOFError) as exc:
+            # possibly transient (NFS hiccup, read racing a writer):
+            # retry once before deciding
+            if delay is not None:
+                time.sleep(delay)
+                continue
+            if isinstance(exc, EOFError):
+                # stores are atomic (tempfile + rename), so a short
+                # stream that survives the retry is real corruption
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+        except Exception:
+            # structurally corrupt: delete so a later store heals it
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+    return None
 
 
 def store(key, run):
@@ -116,24 +142,29 @@ def store(key, run):
     if not cache_enabled():
         return None
     path = entry_path(key)
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            prefix=".tmp-" + key[:16] + "-", suffix=_SUFFIX,
-            dir=str(path.parent))
-        os.close(fd)
+    for delay in _RETRY_DELAYS + (None,):
         try:
-            save_run(run, tmp)
-            os.replace(tmp, path)
-        finally:
-            if os.path.exists(tmp):
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-    except OSError:
-        return None
-    return path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-" + key[:16] + "-", suffix=_SUFFIX,
+                dir=str(path.parent))
+            os.close(fd)
+            try:
+                save_run(run, tmp)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+        except OSError:
+            if delay is not None:
+                time.sleep(delay)
+                continue
+            return None
+        return path
+    return None
 
 
 def clear():

@@ -50,8 +50,10 @@ from .machine import (
     _atom_result,
     _coerce_store,
     _evaluate,
+    _fault_lane,
     _sx,
 )
+from .memory import MemoryError_
 
 _M64 = (1 << 64) - 1
 
@@ -349,6 +351,19 @@ class VectorEngine:
         width = dtype.nbytes
         target = shared if space is Space.SHARED else emu.memory
 
+        try:
+            self._exec_memory_lanes(warp, inst, addresses, width, target,
+                                    active, exec_mask)
+        except MemoryError_ as exc:
+            if exc.lane is None:
+                count = max(len(inst.dests), len(inst.srcs) - 1, 1)
+                exc.lane = _fault_lane(addresses, exc.addr, width, count)
+            raise
+        emu._trace(warp, inst, exec_mask, tuple(addresses))
+
+    def _exec_memory_lanes(self, warp, inst, addresses, width, target,
+                           active, exec_mask):
+        dtype = inst.dtype
         if inst.is_load:
             is_float = dtype.is_float
             for k, dest in enumerate(inst.dests):
@@ -384,7 +399,6 @@ class VectorEngine:
                 olds.append(old)
             self._scatter_loaded(warp, dest, active, olds, dtype.is_float,
                                  exec_mask)
-        emu._trace(warp, inst, exec_mask, tuple(addresses))
 
     def _scatter_loaded(self, warp, name, active_lanes, values, is_float,
                         exec_mask):

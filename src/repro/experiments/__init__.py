@@ -31,6 +31,7 @@ from .render import format_bar, format_stacked, format_table
 from .runner import (
     BENCH_CONFIG,
     BENCH_SCALE,
+    AppFailure,
     AppResult,
     ExperimentRunner,
     default_runner,
@@ -46,7 +47,7 @@ __all__ = [
     "render_fig9", "render_fig10", "render_fig11", "render_fig12",
     "export_json", "export_results",
     "format_bar", "format_stacked", "format_table",
-    "BENCH_CONFIG", "BENCH_SCALE", "AppResult", "ExperimentRunner",
-    "default_runner",
+    "BENCH_CONFIG", "BENCH_SCALE", "AppFailure", "AppResult",
+    "ExperimentRunner", "default_runner",
     "render_table1", "render_table3", "table1_rows", "table3_rows",
 ]

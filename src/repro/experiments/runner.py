@@ -10,12 +10,20 @@ here.  Three layers of reuse keep the many per-figure benchmarks cheap:
   re-emulate unchanged workloads — by far the most expensive step; and
 * an optional process pool (``jobs > 1``) that runs independent
   applications in parallel with deterministic result ordering.
+
+Fault isolation: with ``strict=False`` a failing application degrades to
+an :class:`AppFailure` (which records the pipeline stage and any
+structured context the exception carried — kernel, pc, warp, lane, ...)
+instead of aborting the whole experiment; :meth:`ExperimentRunner.results`
+then returns a mix of :class:`AppResult` and :class:`AppFailure` and the
+figure harness renders whatever completed.  ``strict=True`` (the
+default) re-raises, so programmatic users keep fail-fast semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..emulator import MemoryImage, trace_cache
 from ..profiling.locality import LocalityAnalyzer, LocalityReport
@@ -23,6 +31,7 @@ from ..ptx import parse_module, print_module
 from ..sim.config import GPUConfig, TESLA_C2050
 from ..sim.gpu import GPU
 from ..sim.stats import SimStats
+from ..testing.faults import check_fault
 from ..workloads.base import WorkloadRun
 from ..workloads.registry import get_workload, workload_names
 
@@ -45,6 +54,12 @@ BENCH_CONFIG = TESLA_C2050.scaled(
 #: default input scale for the benchmark harness.
 BENCH_SCALE = 0.5
 
+#: exception attributes copied into :attr:`AppFailure.context` when
+#: present (the structured fields of MemoryFaultError, WatchdogError,
+#: BarrierDeadlockError and SimulationError).
+_CONTEXT_FIELDS = ("kernel", "pc", "cta", "warp", "lane", "address",
+                   "space", "budget", "warp_status")
+
 
 @dataclass
 class AppResult:
@@ -57,9 +72,53 @@ class AppResult:
     locality: LocalityReport
     config: GPUConfig
 
+    #: discriminator shared with :class:`AppFailure`.
+    ok = True
+
     @property
     def trace(self):
         return self.run.trace
+
+
+@dataclass
+class AppFailure:
+    """A degraded result: the application failed at ``stage``.
+
+    ``context`` holds whatever structured fields the exception carried
+    (kernel, pc, cta, warp, lane, address, ...), so failure manifests
+    can say *where* a workload faulted, not just that it did.
+    """
+
+    name: str
+    stage: str                      # "emulate" | "simulate" | "analyze"
+    error: str                      # exception class name
+    message: str
+    context: Dict[str, object] = field(default_factory=dict)
+
+    ok = False
+
+    def to_json(self):
+        return {"name": self.name, "stage": self.stage,
+                "error": self.error, "message": self.message,
+                "context": self.context}
+
+    def format(self):
+        where = ", ".join("%s=%s" % kv for kv in sorted(self.context.items())
+                          if kv[0] != "warp_status")
+        base = "%s: %s at stage %r: %s" % (self.name, self.error,
+                                           self.stage, self.message)
+        return base if not where else "%s [%s]" % (base, where)
+
+
+def _failure_from(name, stage, exc):
+    context = {}
+    for attr in _CONTEXT_FIELDS:
+        value = getattr(exc, attr, None)
+        if value is not None:
+            context[attr] = value
+    return AppFailure(name=name, stage=stage,
+                      error=type(exc).__name__,
+                      message=str(exc), context=context)
 
 
 class ExperimentRunner:
@@ -71,11 +130,18 @@ class ExperimentRunner:
     stale hit is impossible).  ``engine`` selects the emulator engine
     for cold runs; ``jobs`` parallelizes :meth:`results` across a
     process pool.
+
+    ``strict=False`` isolates per-application failures: :meth:`result`
+    returns an :class:`AppFailure` instead of raising, and sibling
+    applications are unaffected.  ``timeout`` (seconds, parallel runs
+    only) bounds how long :meth:`results` waits for any one
+    application's worker.
     """
 
     def __init__(self, scale=BENCH_SCALE, config=BENCH_CONFIG,
                  cta_policy="round_robin", simulate=True, verify=True,
-                 jobs=1, use_trace_cache=False, engine=None):
+                 jobs=1, use_trace_cache=False, engine=None, strict=True,
+                 timeout=None):
         self.scale = scale
         self.config = config
         self.cta_policy = cta_policy
@@ -84,13 +150,20 @@ class ExperimentRunner:
         self.jobs = max(1, int(jobs))
         self.use_trace_cache = use_trace_cache
         self.engine = engine
+        self.strict = strict
+        self.timeout = timeout
         self._cache: Dict[str, AppResult] = {}
+        self._failures: Dict[str, AppFailure] = {}
+        self._stage = "emulate"
 
     # -- emulation (with optional on-disk memoization) --------------------
 
     def _emulate(self, name):
         """Produce the :class:`WorkloadRun` for ``name`` — from the
         trace cache when possible, by running the emulator otherwise."""
+        # the same hook Workload.run fires, so injection also covers the
+        # cache-hit path (which skips Workload.run entirely)
+        check_fault(name, "emulate")
         workload = get_workload(name, scale=self.scale)
         key = None
         if self.use_trace_cache and trace_cache.cache_enabled():
@@ -116,23 +189,26 @@ class ExperimentRunner:
             trace_cache.store(key, run)
         return workload, run
 
-    def result(self, name):
-        """Run (or fetch the cached run of) one application."""
-        cached = self._cache.get(name)
-        if cached is not None:
-            return cached
+    def _compute(self, name):
+        """The fail-fast pipeline for one application.  ``self._stage``
+        tracks progress so non-strict callers can attribute a failure."""
+        self._stage = "emulate"
         workload, run = self._emulate(name)
         stats = None
         if self.simulate:
+            self._stage = "simulate"
+            check_fault(name, "simulate")
             gpu = GPU(self.config, cta_policy=self.cta_policy)
             for launch in run.trace:
                 gpu.run_launch(
                     launch, run.classifications.get(launch.kernel_name))
             stats = gpu.stats
+        self._stage = "analyze"
+        check_fault(name, "analyze")
         analyzer = LocalityAnalyzer()
         locality = analyzer.analyze_application(run.trace,
                                                 run.classifications)
-        result = AppResult(
+        return AppResult(
             name=name,
             category=workload.category,
             run=run,
@@ -140,13 +216,41 @@ class ExperimentRunner:
             locality=locality,
             config=self.config,
         )
+
+    def result(self, name):
+        """Run (or fetch the cached run of) one application.
+
+        With ``strict=False`` a failure is captured as (and subsequently
+        returned from the cache as) an :class:`AppFailure`.
+        """
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        failed = self._failures.get(name)
+        if failed is not None:
+            if self.strict:
+                raise RuntimeError(failed.format())
+            return failed
+        if self.strict:
+            result = self._compute(name)
+        else:
+            try:
+                result = self._compute(name)
+            except Exception as exc:            # noqa: BLE001 — isolation
+                failure = _failure_from(name, self._stage, exc)
+                self._failures[name] = failure
+                return failure
         self._cache[name] = result
         return result
 
     def results(self, names=None):
         """Results for several applications (default: all 15, Table I
         order).  With ``jobs > 1`` the uncached applications run in a
-        process pool; result order always matches ``names`` order."""
+        process pool; result order always matches ``names`` order.
+
+        Under ``strict=False`` the returned list may contain
+        :class:`AppFailure` entries; filter with ``r.ok``.
+        """
         if names is None:
             names = workload_names()
         names = list(names)
@@ -154,8 +258,12 @@ class ExperimentRunner:
             self._fill_parallel(names)
         return [self.result(name) for name in names]
 
-    def _spec(self):
-        """Constructor kwargs reproducing this runner in a worker."""
+    def _spec(self, strict=True):
+        """Constructor kwargs reproducing this runner in a worker.
+
+        Workers always run strict so the original exception propagates
+        through the future; the parent decides whether to isolate it.
+        """
         return {
             "scale": self.scale,
             "config": self.config,
@@ -165,27 +273,75 @@ class ExperimentRunner:
             "jobs": 1,
             "use_trace_cache": self.use_trace_cache,
             "engine": self.engine,
+            "strict": strict,
         }
 
     def _fill_parallel(self, names):
-        """Compute missing results for ``names`` in a process pool."""
-        import concurrent.futures
+        """Compute missing results for ``names`` in a process pool.
 
-        missing = [n for n in names if n not in self._cache]
+        Failure isolation: a worker exception, a crashed worker
+        (:class:`BrokenProcessPool`) or a per-job ``timeout`` affects
+        only the applications involved — completed siblings are kept,
+        and failed names fall back to a serial retry in-process (where
+        ``strict`` decides between raising and recording the failure).
+        """
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        missing = [n for n in names
+                   if n not in self._cache and n not in self._failures]
         if len(missing) < 2:
             return
         spec = self._spec()
         workers = min(self.jobs, len(missing))
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers) as pool:
-            # executor.map preserves input order -> determinism.
-            for name, result in zip(
-                    missing,
-                    pool.map(_run_single, [(name, spec) for name in missing])):
-                self._cache[name] = result
+        retry_serial: List[str] = []
+        timed_out = False
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = [(name, pool.submit(_run_single, (name, spec)))
+                       for name in missing]
+            for name, future in futures:
+                try:
+                    self._cache[name] = future.result(timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    future.cancel()
+                    timed_out = True
+                    failure = AppFailure(
+                        name=name, stage="emulate", error="TimeoutError",
+                        message="job exceeded the %ss per-application "
+                                "timeout" % self.timeout)
+                    if self.strict:
+                        raise RuntimeError(failure.format()) from None
+                    self._failures[name] = failure
+                except BrokenProcessPool:
+                    # the pool is dead; everything not yet collected must
+                    # be redone serially (completed results are kept)
+                    retry_serial.extend(
+                        n for n, _f in futures
+                        if n not in self._cache and n not in retry_serial
+                        and n not in self._failures)
+                    break
+                except Exception:               # noqa: BLE001 — isolation
+                    # worker raised: retry serially so strict mode raises
+                    # from a clean in-process traceback and non-strict
+                    # mode captures structured context off the live
+                    # exception object
+                    retry_serial.append(name)
+        finally:
+            # a timed-out worker may be stuck for a while: don't block
+            # shutdown on it, just cancel whatever has not started
+            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+        for name in retry_serial:
+            self.result(name)
+
+    def failures(self):
+        """Failures recorded so far (non-strict mode), in no particular
+        order."""
+        return list(self._failures.values())
 
     def clear(self):
         self._cache.clear()
+        self._failures.clear()
 
 
 def _run_single(job):

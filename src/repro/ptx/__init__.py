@@ -12,6 +12,7 @@ from .errors import (
     PTXError,
     PTXSyntaxError,
     PTXValidationError,
+    PTXVerificationError,
     UnknownOpcodeError,
 )
 from .isa import (
@@ -33,6 +34,14 @@ from .isa import (
 from .module import Kernel, Module, Param
 from .parser import Parser, parse_kernel, parse_module
 from .printer import print_kernel, print_module
+from .verify import (
+    Diagnostic,
+    Severity,
+    VerificationReport,
+    check_module,
+    verify_kernel,
+    verify_module,
+)
 
 __all__ = [
     "CFG",
@@ -42,7 +51,14 @@ __all__ = [
     "PTXError",
     "PTXSyntaxError",
     "PTXValidationError",
+    "PTXVerificationError",
     "UnknownOpcodeError",
+    "Diagnostic",
+    "Severity",
+    "VerificationReport",
+    "check_module",
+    "verify_kernel",
+    "verify_module",
     "PC_STRIDE",
     "SPECIAL_REGISTERS",
     "DType",

@@ -27,6 +27,23 @@ class PTXValidationError(PTXError):
     (unknown label, duplicate label, ill-typed operand, ...)."""
 
 
+class PTXVerificationError(PTXValidationError):
+    """Raised by ``parse_module(strict=True)`` / ``check_module`` when the
+    static verifier finds error-severity diagnostics.
+
+    ``report`` is the full :class:`repro.ptx.verify.VerificationReport`,
+    so callers can inspect every structured diagnostic rather than just
+    the formatted message.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        errors = report.errors()
+        summary = "%d verification error(s)" % len(errors)
+        super().__init__("%s\n%s" % (
+            summary, "\n".join(d.format() for d in errors)))
+
+
 class UnknownOpcodeError(PTXValidationError):
     """Raised when an instruction uses an opcode outside the supported subset."""
 

@@ -147,8 +147,14 @@ def _split_kernels(text):
 class Parser:
     """Parses PTX-subset text into :class:`Kernel`/:class:`Module` objects."""
 
-    def parse_module(self, text):
-        """Parse a translation unit; returns a :class:`Module`."""
+    def parse_module(self, text, strict=False):
+        """Parse a translation unit; returns a :class:`Module`.
+
+        With ``strict=True`` the static verifier
+        (:mod:`repro.ptx.verify`) runs over the parsed module and any
+        error-severity diagnostic raises
+        :class:`~repro.ptx.errors.PTXVerificationError`.
+        """
         clean = _strip_comments(text)
         module = Module()
         regions = _split_kernels(clean)
@@ -156,11 +162,14 @@ class Parser:
             raise PTXSyntaxError("no .entry kernel found")
         for region in regions:
             module.add(self._parse_kernel(region))
+        if strict:
+            from .verify import check_module
+            check_module(module)
         return module
 
-    def parse_kernel(self, text):
+    def parse_kernel(self, text, strict=False):
         """Parse text containing exactly one kernel; returns the :class:`Kernel`."""
-        module = self.parse_module(text)
+        module = self.parse_module(text, strict=strict)
         kernels = list(module)
         if len(kernels) != 1:
             raise PTXSyntaxError(
@@ -383,11 +392,15 @@ class Parser:
             inst.srcs = tuple(operands[1:])
 
 
-def parse_module(text):
-    """Convenience wrapper: parse a multi-kernel translation unit."""
-    return Parser().parse_module(text)
+def parse_module(text, strict=False):
+    """Convenience wrapper: parse a multi-kernel translation unit.
+
+    ``strict=True`` additionally runs the static verifier and raises
+    :class:`~repro.ptx.errors.PTXVerificationError` on any error.
+    """
+    return Parser().parse_module(text, strict=strict)
 
 
-def parse_kernel(text):
+def parse_kernel(text, strict=False):
     """Convenience wrapper: parse text containing exactly one kernel."""
-    return Parser().parse_kernel(text)
+    return Parser().parse_kernel(text, strict=strict)

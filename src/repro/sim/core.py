@@ -270,6 +270,24 @@ class SMCore:
                 return "unit_busy"
         return "scoreboard"
 
+    def debug_state(self):
+        """Scheduling-relevant state for deadlock reports."""
+        warps = []
+        for w in self.warps:
+            if w.trace_done and not w.pending_regs:
+                continue
+            warps.append({"cta": w.cta.cta_id, "warp": w.trace.warp_id,
+                          "op": "%d/%d" % (w.ptr, len(w.ops)),
+                          "at_barrier": w.at_barrier,
+                          "pending_regs": sorted(w.pending_regs)})
+        return {"sm": self.sm_id,
+                "resident_ctas": sorted(self.ctas),
+                "stall": self.stall_reason() if self.warps else "empty",
+                "ldst_queue": len(self.ldst_queue),
+                "pending_events": len(self._events),
+                "l1_mshr": self.l1.mshr.debug_state(),
+                "warps": warps}
+
     def _pop_events(self, now):
         worked = False
         while self._events and self._events[0][0] <= now:

@@ -26,7 +26,51 @@ from .stats import SimStats
 
 
 class SimulationError(Exception):
-    """Raised on deadlock or cycle-budget exhaustion."""
+    """Raised on deadlock or cycle-budget exhaustion.
+
+    ``state`` (when set) is the structured :meth:`GPU.debug_state`
+    snapshot taken at the failing cycle; the formatted dump is also
+    appended to the message so plain tracebacks show where the machine
+    was stuck.
+    """
+
+    def __init__(self, message, state=None):
+        self.state = state
+        if state is not None:
+            message = "%s\n%s" % (message, _format_state(state))
+        super().__init__(message)
+
+
+def _format_state(state):
+    """Render a :meth:`GPU.debug_state` snapshot as an indented report."""
+    lines = ["simulator state at failure:"]
+    for icnt in state["interconnects"]:
+        lines.append("  icnt %(name)s: %(in_flight)d in flight, "
+                     "credits=%(credits)s" % icnt)
+    for part in state["partitions"]:
+        mshr = part["l2_mshr"]
+        lines.append("  partition %d: rop=%d dram_queue=%d "
+                     "dram_in_flight=%d resp_wait=%d+%d "
+                     "L2-MSHR %d/%d" % (
+                         part["partition"], part["rop_queue"],
+                         part["dram_queue"], part["dram_in_flight"],
+                         part["resp_wait_latency"], part["resp_wait_credit"],
+                         mshr["occupancy"], mshr["capacity"]))
+    for sm in state["sms"]:
+        mshr = sm["l1_mshr"]
+        lines.append("  sm %d: ctas=%s stall=%s ldst=%d events=%d "
+                     "L1-MSHR %d/%d" % (
+                         sm["sm"], sm["resident_ctas"], sm["stall"],
+                         sm["ldst_queue"], sm["pending_events"],
+                         mshr["occupancy"], mshr["capacity"]))
+        for w in sm["warps"][:8]:
+            lines.append("    cta %s warp %s: op %s%s pending=%s" % (
+                w["cta"], w["warp"], w["op"],
+                " at-barrier" if w["at_barrier"] else "",
+                ",".join(w["pending_regs"]) or "-"))
+    if state.get("unassigned_ctas"):
+        lines.append("  unassigned CTAs: %d" % state["unassigned_ctas"])
+    return "\n".join(lines)
 
 
 class GPU:
@@ -156,7 +200,8 @@ class GPU:
             self.now += 1
             if self.now - start > self.max_cycles:
                 raise SimulationError(
-                    "cycle budget exceeded (%d cycles)" % self.max_cycles)
+                    "cycle budget exceeded (%d cycles)" % self.max_cycles,
+                    state=self.debug_state())
             worked = False
             for req, dst in self.req_icnt.deliver_ready(self.now):
                 self.partitions[dst].receive(req, self.now)
@@ -176,6 +221,19 @@ class GPU:
         self.stats.icnt_queue_delay = (self.req_icnt.total_queue_delay
                                        + self.resp_icnt.total_queue_delay)
 
+    def debug_state(self):
+        """Structured snapshot of every component's in-flight state, for
+        deadlock and budget-exhaustion reports."""
+        return {
+            "cycle": self.now,
+            "interconnects": [self.req_icnt.debug_state(),
+                              self.resp_icnt.debug_state()],
+            "partitions": [p.debug_state() for p in self.partitions],
+            "sms": [sm.debug_state() for sm in self.sms],
+            "unassigned_ctas": (self._scheduler.remaining
+                                if self._scheduler is not None else 0),
+        }
+
     def _idle_jump(self):
         """Nothing happened this cycle: jump the clock to the next event."""
         candidates = []
@@ -194,7 +252,7 @@ class GPU:
         if not candidates:
             raise SimulationError(
                 "deadlock at cycle %d: no component has pending events"
-                % self.now)
+                % self.now, state=self.debug_state())
         target = max(self.now + 1, min(candidates))
         skipped = target - self.now - 1
         if skipped > 0:

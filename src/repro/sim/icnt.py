@@ -85,3 +85,10 @@ class Interconnect:
         if not self.total_injected:
             return 0.0
         return self.total_queue_delay / self.total_injected
+
+    def debug_state(self):
+        """Credit and in-flight state for deadlock reports."""
+        return {"name": self.name,
+                "in_flight": len(self._heap),
+                "next_delivery": self._heap[0][0] if self._heap else None,
+                "credits": list(self._credits)}

@@ -186,5 +186,16 @@ class MemoryPartition:
         return bool(self._input or self._resp_heap or self._resp_ready
                     or self._dram_queue or self._dram_heap)
 
+    def debug_state(self):
+        """Queue depths and in-flight L2 misses for deadlock reports."""
+        return {"partition": self.pid,
+                "rop_queue": len(self._input),
+                "l2_mshr": self.l2.mshr.debug_state(),
+                "dram_queue": len(self._dram_queue),
+                "dram_in_flight": len(self._dram_heap),
+                "dram_busy_until": self._dram_busy_until,
+                "resp_wait_latency": len(self._resp_heap),
+                "resp_wait_credit": len(self._resp_ready)}
+
     def reset_caches(self):
         self.l2.reset()

@@ -61,3 +61,15 @@ class MSHRTable:
 
     def waiting(self, block_addr):
         return list(self._entries.get(block_addr, ()))
+
+    # -- diagnostics --------------------------------------------------------
+
+    def debug_state(self, max_entries=8):
+        """In-flight misses for deadlock reports: occupancy plus the first
+        few ``block_addr: waiter_count`` pairs."""
+        entries = {"%#x" % addr: len(waiters)
+                   for addr, waiters in list(self._entries.items())
+                   [:max_entries]}
+        return {"occupancy": len(self._entries),
+                "capacity": self.num_entries,
+                "entries": entries}

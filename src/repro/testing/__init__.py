@@ -1,0 +1,12 @@
+"""Test-support utilities shipped inside the package.
+
+This package exists so robustness machinery can be exercised end to end:
+:mod:`repro.testing.faults` lets tests (and the CI degraded-figures
+smoke run) inject deterministic failures into the pipeline via the
+``REPRO_INJECT_FAULTS`` environment variable, which propagates into the
+parallel runner's worker processes.
+"""
+
+from .faults import FaultSpec, InjectedFault, check_fault, injected
+
+__all__ = ["FaultSpec", "InjectedFault", "check_fault", "injected"]

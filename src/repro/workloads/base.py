@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional
 from ..core import ClassificationResult, classify_kernel
 from ..emulator import ApplicationTrace, Emulator, MemoryImage
 from ..ptx import Kernel, Module, parse_module
+from ..testing.faults import check_fault
 
 
 @dataclass
@@ -111,13 +112,16 @@ class Workload(abc.ABC):
 
     # -- driver --------------------------------------------------------------
 
-    def run(self, verify=True, max_warp_insts=20_000_000, engine=None):
+    def run(self, verify=True, max_warp_insts=None, engine=None):
         """Execute the full application; returns a :class:`WorkloadRun`.
 
         ``engine`` selects the emulator's warp-execution engine
         (``"vectorized"`` or ``"scalar"``; ``None`` = the emulator
-        default).
+        default).  ``max_warp_insts=None`` resolves to the
+        ``REPRO_EMULATOR_MAX_WARP_INSTS`` environment variable, else the
+        emulator's built-in watchdog budget.
         """
+        check_fault(self.name, "emulate")
         module = parse_module(self.ptx())
         classifications = {k.name: classify_kernel(k) for k in module}
         mem = MemoryImage()

@@ -1,0 +1,181 @@
+"""Tests for guarded execution: memory faults, watchdog, barrier deadlock."""
+
+import pytest
+
+from repro.emulator import (
+    BarrierDeadlockError,
+    EmulationError,
+    Emulator,
+    MemoryFaultError,
+    MemoryImage,
+    WatchdogError,
+)
+from repro.emulator.machine import DEFAULT_MAX_WARP_INSTS
+from repro.ptx import parse_module
+
+ENGINES = ("scalar", "vectorized")
+
+
+def _kernel(body, params=".param .u64 a"):
+    return parse_module("""
+    .entry k ( %s )
+    {
+        %s
+    }
+    """ % (params, body))["k"]
+
+
+OOB_STORE = """
+        ld.param.u64 %rd1, [a];
+        mov.u32 %r1, %tid.x;
+        mul.wide.u32 %rd2, %r1, 4;
+        add.u64 %rd3, %rd1, %rd2;
+        st.global.u32 [%rd3], %r1;
+        exit;
+"""
+
+
+class TestMemoryFault:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_oob_store_carries_context(self, engine):
+        mem = MemoryImage()
+        base = mem.alloc("buf", 8 * 4)  # 8 elements, 32 threads launched
+        emu = Emulator(mem, engine=engine)
+        with pytest.raises(MemoryFaultError) as info:
+            emu.launch(_kernel(OOB_STORE), grid=1, block=32, params={"a": base})
+        exc = info.value
+        assert exc.kernel == "k"
+        assert exc.pc == 0x20          # the st.global (5th instruction)
+        assert exc.cta == 0
+        assert exc.warp == 0
+        assert exc.lane == 8           # first lane past the allocation
+        assert exc.address == base + 8 * 4
+        assert exc.space == "global"
+        assert "memory fault" in str(exc)
+        assert isinstance(exc, EmulationError)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_misaligned_load_faults(self, engine):
+        mem = MemoryImage()
+        base = mem.alloc("buf", 64)
+        emu = Emulator(mem, engine=engine)
+        body = """
+        ld.param.u64 %rd1, [a];
+        ld.global.u32 %r1, [%rd1+2];
+        exit;
+        """
+        with pytest.raises(MemoryFaultError) as info:
+            emu.launch(_kernel(body), grid=1, block=1, params={"a": base})
+        assert "misaligned" in str(info.value)
+        assert info.value.address == base + 2
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_oob_shared_store_faults(self, engine):
+        mem = MemoryImage()
+        emu = Emulator(mem, engine=engine)
+        kernel = parse_module("""
+        .entry k ( )
+        {
+            .shared .u32 smem[4];
+            mov.u32 %r1, %tid.x;
+            mul.lo.u32 %r2, %r1, 4;
+            st.shared.u32 [%r2], %r1;
+            exit;
+        }
+        """)["k"]
+        with pytest.raises(MemoryFaultError) as info:
+            emu.launch(kernel, grid=1, block=32, params={})
+        assert info.value.space == "shared"
+        assert info.value.lane == 4  # 16 bytes -> lanes 0-3 fit
+
+
+class TestWatchdog:
+    LOOP = """
+        mov.u32 %r1, 0;
+    TOP:
+        add.u32 %r1, %r1, 1;
+        bra TOP;
+        exit;
+    """
+
+    def test_budget_raises_watchdog_error(self):
+        emu = Emulator(MemoryImage(), max_warp_insts=1000)
+        with pytest.raises(WatchdogError) as info:
+            emu.launch(_kernel(self.LOOP, params=""), grid=1, block=1,
+                       params={})
+        exc = info.value
+        assert "instruction budget exceeded" in str(exc)
+        assert exc.budget == 1000
+        assert exc.kernel == "k"
+        assert exc.cta == 0 and exc.warp == 0
+
+    def test_env_knob_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EMULATOR_MAX_WARP_INSTS", "500")
+        emu = Emulator(MemoryImage())
+        assert emu.max_warp_insts == 500
+        with pytest.raises(WatchdogError) as info:
+            emu.launch(_kernel(self.LOOP, params=""), grid=1, block=1,
+                       params={})
+        assert info.value.budget == 500
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EMULATOR_MAX_WARP_INSTS", "500")
+        emu = Emulator(MemoryImage(), max_warp_insts=123)
+        assert emu.max_warp_insts == 123
+
+    def test_default_budget_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EMULATOR_MAX_WARP_INSTS", raising=False)
+        assert Emulator(MemoryImage()).max_warp_insts \
+            == DEFAULT_MAX_WARP_INSTS
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EMULATOR_MAX_WARP_INSTS", "lots")
+        with pytest.raises(ValueError):
+            Emulator(MemoryImage())
+
+
+class TestBarrierDeadlock:
+    def test_stuck_warp_produces_structured_report(self):
+        """Force the defensive deadlock branch by making one warp stop
+        without reaching the barrier (simulating a divergent-barrier
+        hang)."""
+        kernel = parse_module("""
+        .entry k ( )
+        {
+            bar.sync 0;
+            exit;
+        }
+        """)["k"]
+        emu = Emulator(MemoryImage())
+
+        real_run_warp = Emulator._run_warp
+
+        def stuck_run_warp(self, kern, cfg, warp, shared, params):
+            if warp.warp_id == 1:
+                return  # never advances, never reaches the barrier
+            return real_run_warp(self, kern, cfg, warp, shared, params)
+
+        emu._run_warp = stuck_run_warp.__get__(emu, Emulator)
+        with pytest.raises(BarrierDeadlockError) as info:
+            emu.launch(kernel, grid=1, block=64, params={})
+        exc = info.value
+        assert exc.kernel == "k"
+        assert exc.cta == 0
+        by_warp = {st["warp"]: st for st in exc.warp_status}
+        assert by_warp[0]["at_barrier"] is True
+        assert by_warp[1]["at_barrier"] is False
+        assert "barrier deadlock" in str(exc)
+        assert "stuck" in str(exc)
+
+
+class TestUnsupportedOperands:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_unsupported_source_operand(self, engine):
+        from repro.ptx import KernelBuilder, MemRef, Reg
+
+        b = KernelBuilder("k")
+        b.emit("add.u32", Reg("%r1"), Reg("%r1"), MemRef(Reg("%r1")))
+        b.emit("exit")
+        emu = Emulator(MemoryImage(), engine=engine)
+        with pytest.raises(EmulationError):
+            emu.launch(b.build(), grid=1, block=1, params={})

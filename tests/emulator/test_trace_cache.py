@@ -143,3 +143,88 @@ class TestDisableSwitch:
 
     def test_enabled_by_default(self):
         assert trace_cache.cache_enabled()
+
+
+class TestTransientIO:
+    @pytest.fixture(autouse=True)
+    def no_sleep(self, monkeypatch):
+        self.slept = []
+        monkeypatch.setattr(trace_cache.time, "sleep", self.slept.append)
+
+    def test_transient_read_error_retried_then_hit(self, bfs_small,
+                                                   monkeypatch):
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+        real_load = trace_cache.load_run
+        calls = []
+
+        def flaky(path):
+            calls.append(path)
+            if len(calls) == 1:
+                raise OSError("stale NFS handle")
+            return real_load(path)
+
+        monkeypatch.setattr(trace_cache, "load_run", flaky)
+        loaded = trace_cache.lookup(key)
+        assert loaded is not None and loaded.name == "bfs"
+        assert len(calls) == 2
+        assert self.slept == [trace_cache._RETRY_DELAYS[0]]
+
+    def test_persistent_oserror_is_miss_without_unlink(self, bfs_small,
+                                                       monkeypatch):
+        """Permission/FS trouble is not evidence the entry is corrupt;
+        the file must survive so a healthier process can still hit."""
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+
+        def broken(path):
+            raise OSError("permission denied")
+
+        monkeypatch.setattr(trace_cache, "load_run", broken)
+        assert trace_cache.lookup(key) is None
+        assert trace_cache.entry_path(key).is_file()
+
+    def test_persistent_truncation_retried_then_removed(self, bfs_small):
+        """Stores are atomic, so a short gzip stream that survives the
+        retry is real corruption and gets unlinked."""
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+        path = trace_cache.entry_path(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert trace_cache.lookup(key) is None
+        assert self.slept  # the retry happened first
+        assert not path.exists()
+
+    def test_store_retries_transient_write_error(self, bfs_small,
+                                                 monkeypatch):
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        real_save = trace_cache.save_run
+        calls = []
+
+        def flaky(run_, path):
+            calls.append(path)
+            if len(calls) == 1:
+                raise OSError("disk briefly full")
+            return real_save(run_, path)
+
+        monkeypatch.setattr(trace_cache, "save_run", flaky)
+        path = trace_cache.store(key, run)
+        assert path is not None and path.is_file()
+        assert len(calls) == 2
+        assert trace_cache.lookup(key) is not None
+
+    def test_store_gives_up_after_retries(self, bfs_small, monkeypatch):
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+
+        def broken(run_, path):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(trace_cache, "save_run", broken)
+        assert trace_cache.store(key, run) is None
+        assert len(self.slept) == len(trace_cache._RETRY_DELAYS)
+        assert not trace_cache.entry_path(key).exists()

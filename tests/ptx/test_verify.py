@@ -1,0 +1,220 @@
+"""Tests for the static PTX verifier (repro.ptx.verify)."""
+
+import pytest
+
+from repro.ptx import (
+    PTXVerificationError,
+    Severity,
+    parse_module,
+    verify_module,
+)
+from repro.workloads import get_workload, workload_names
+
+
+def _verify(text):
+    return verify_module(parse_module(text))
+
+
+def _codes(report):
+    return [d.code for d in report]
+
+
+GOOD = """
+.entry k ( .param .u64 a, .param .u32 n )
+{
+    ld.param.u64 %rd1, [a];
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, %tid.x;
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r2, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.u32 %r3, [%rd3];
+    add.u32 %r3, %r3, 1;
+    st.global.u32 [%rd3], %r3;
+DONE:
+    exit;
+}
+"""
+
+
+class TestCleanKernels:
+    def test_good_kernel_verifies(self):
+        report = _verify(GOOD)
+        assert report.ok
+        assert len(report) == 0
+
+    def test_all_workloads_verify_clean(self):
+        """Regression: the verifier must not false-positive on any
+        shipped workload kernel."""
+        for name in workload_names():
+            workload = get_workload(name, scale=0.1)
+            report = verify_module(parse_module(workload.ptx()))
+            assert report.ok, "%s: %s" % (name, report.format())
+            assert len(report.warnings()) == 0, \
+                "%s: %s" % (name, report.format())
+
+
+class TestUndefinedRegisters:
+    def test_undefined_register_error_with_pc(self):
+        report = _verify("""
+        .entry k ( .param .u64 a )
+        {
+            ld.param.u64 %rd1, [a];
+            add.u64 %rd2, %rd1, %rd9;
+            exit;
+        }
+        """)
+        errs = report.errors()
+        assert len(errs) == 1
+        d = errs[0]
+        assert d.code == "undefined-register"
+        assert "%rd9" in d.message
+        assert d.kernel == "k"
+        assert d.pc == 0x8  # the add is the second instruction
+        assert d.severity is Severity.ERROR
+
+    def test_defined_on_every_path_is_clean(self):
+        report = _verify("""
+        .entry k ( .param .u32 n )
+        {
+            ld.param.u32 %r1, [n];
+            setp.eq.u32 %p1, %r1, 0;
+            @%p1 bra ELSE;
+            mov.u32 %r2, 1;
+            bra JOIN;
+        ELSE:
+            mov.u32 %r2, 2;
+        JOIN:
+            add.u32 %r3, %r2, %r1;
+            exit;
+        }
+        """)
+        assert report.ok
+        assert not _codes(report)
+
+    def test_maybe_undefined_warns(self):
+        report = _verify("""
+        .entry k ( .param .u32 n )
+        {
+            ld.param.u32 %r1, [n];
+            setp.eq.u32 %p1, %r1, 0;
+            @%p1 bra JOIN;
+            mov.u32 %r2, 1;
+        JOIN:
+            add.u32 %r3, %r2, %r1;
+            exit;
+        }
+        """)
+        assert report.ok  # warning, not error
+        assert "maybe-undefined-register" in _codes(report)
+
+
+class TestTypeAndOperandChecks:
+    def test_missing_dtype_on_load(self):
+        report = _verify("""
+        .entry k ( .param .u64 a )
+        {
+            ld.param.u64 %rd1, [a];
+            ld.global %r1, [%rd1];
+            exit;
+        }
+        """)
+        assert "missing-dtype" in [d.code for d in report.errors()]
+
+    def test_operand_count(self):
+        report = _verify("""
+        .entry k ( )
+        {
+            mov.u32 %r1, 1;
+            add.u32 %r2, %r1;
+            exit;
+        }
+        """)
+        assert "operand-count" in [d.code for d in report.errors()]
+
+    def test_param_width_overread(self):
+        report = _verify("""
+        .entry k ( .param .u32 n )
+        {
+            ld.param.u64 %rd1, [n];
+            exit;
+        }
+        """)
+        errs = report.errors()
+        assert [d.code for d in errs] == ["param-width"]
+        assert errs[0].pc == 0x0
+
+    def test_mul_wide_on_float_rejected(self):
+        report = _verify("""
+        .entry k ( )
+        {
+            mov.f32 %f1, 1.5;
+            mul.wide.f32 %f2, %f1, %f1;
+            exit;
+        }
+        """)
+        assert "bad-mul-mode" in [d.code for d in report.errors()]
+
+
+class TestBarrierAndCFG:
+    def test_divergent_barrier_warns(self):
+        report = _verify("""
+        .entry k ( )
+        {
+            mov.u32 %r1, %tid.x;
+            setp.eq.u32 %p1, %r1, 0;
+            @%p1 bra SKIP;
+            bar.sync 0;
+        SKIP:
+            exit;
+        }
+        """)
+        warns = report.warnings()
+        assert "divergent-barrier" in [d.code for d in warns]
+
+    def test_uniform_barrier_is_clean(self):
+        report = _verify("""
+        .entry k ( .param .u32 n )
+        {
+            ld.param.u32 %r1, [n];
+            setp.eq.u32 %p1, %r1, 0;
+            @%p1 bra SKIP;
+            bar.sync 0;
+        SKIP:
+            exit;
+        }
+        """)
+        assert "divergent-barrier" not in _codes(report)
+
+    def test_unreachable_block_warns(self):
+        report = _verify("""
+        .entry k ( )
+        {
+            exit;
+        DEAD:
+            mov.u32 %r1, 1;
+            exit;
+        }
+        """)
+        assert "unreachable" in _codes(report)
+
+
+class TestStrictParse:
+    def test_strict_raises_with_report(self):
+        bad = """
+        .entry k ( .param .u64 a )
+        {
+            ld.param.u64 %rd1, [a];
+            add.u64 %rd2, %rd1, %rd9;
+            exit;
+        }
+        """
+        with pytest.raises(PTXVerificationError) as info:
+            parse_module(bad, strict=True)
+        assert "undefined-register" in str(info.value)
+        assert not info.value.report.ok
+
+    def test_strict_passes_clean_module(self):
+        module = parse_module(GOOD, strict=True)
+        assert [k.name for k in module] == ["k"]

@@ -1,0 +1,73 @@
+"""Tests for simulator failure diagnostics (debug_state / SimulationError)."""
+
+import pytest
+
+from repro.sim.config import TINY
+from repro.sim.gpu import GPU, SimulationError, _format_state
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return get_workload("2mm", scale=0.1).run(verify=False)
+
+
+class TestDebugState:
+    def test_snapshot_shape(self, small_run):
+        gpu = GPU(TINY)
+        state = gpu.debug_state()
+        assert len(state["sms"]) == TINY.num_sms
+        assert len(state["partitions"]) == TINY.num_partitions
+        assert [i["name"] for i in state["interconnects"]] == ["req", "resp"]
+        for part in state["partitions"]:
+            assert part["l2_mshr"]["occupancy"] == 0
+        text = _format_state(state)
+        assert "partition 0" in text
+        assert "sm 0" in text
+
+    def test_format_is_json_safe(self, small_run):
+        import json
+
+        gpu = GPU(TINY)
+        for launch in small_run.trace:
+            gpu.run_launch(launch)
+        json.dumps(gpu.debug_state())  # must not raise
+
+
+class TestCycleBudget:
+    def test_budget_error_carries_state_dump(self, small_run):
+        gpu = GPU(TINY, max_cycles=50)
+        with pytest.raises(SimulationError) as info:
+            for launch in small_run.trace:
+                gpu.run_launch(launch)
+        exc = info.value
+        assert "cycle budget exceeded" in str(exc)
+        assert "simulator state at failure" in str(exc)
+        assert exc.state is not None
+        assert len(exc.state["sms"]) == TINY.num_sms
+        # at 50 cycles into a real launch, something must be resident
+        assert any(sm["resident_ctas"] for sm in exc.state["sms"])
+
+
+class TestDeadlock:
+    def test_idle_jump_deadlock_carries_state(self, small_run):
+        """Force the no-pending-events branch: give an SM a warp whose
+        trace is empty but whose CTA never finishes (outstanding
+        refcount pinned), so work is 'pending' with no future event."""
+        gpu = GPU(TINY)
+        launch = small_run.trace.launches[0]
+        by_cta = {}
+        for warp in launch.warps:
+            by_cta.setdefault(warp.cta_id, []).append(warp)
+        first = sorted(by_cta)[0]
+        sm = gpu.sms[0]
+        sm.assign_cta(first, by_cta[first])
+        sm.ctas[first].outstanding += 1      # never released -> no events
+        for w in sm.warps:
+            w.ptr = len(w.ops)
+            w.trace_done = True
+        with pytest.raises(SimulationError) as info:
+            gpu._run_until_drained()
+        assert "deadlock" in str(info.value)
+        assert "simulator state at failure" in str(info.value)
+        assert info.value.state["sms"][0]["resident_ctas"] == [first]

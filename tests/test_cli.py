@@ -89,3 +89,67 @@ class TestFigures:
         assert (out_dir / "results.json").exists()
         assert (out_dir / "fig1.txt").exists()
         assert "2mm" in (out_dir / "fig1.txt").read_text()
+
+
+class TestVerify:
+    BAD = """
+    .entry k ( .param .u64 a )
+    {
+        ld.param.u64 %rd1, [a];
+        add.u64 %rd2, %rd1, %rd9;
+        exit;
+    }
+    """
+
+    def test_verify_clean_workload(self):
+        code, text = run_cli("verify", "bfs")
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in text
+
+    def test_verify_flags_bad_file_with_location(self, tmp_path):
+        ptx = tmp_path / "bad.ptx"
+        ptx.write_text(self.BAD)
+        code, text = run_cli("verify", "--file", str(ptx))
+        assert code == 1
+        assert "undefined-register" in text
+        assert "k+0x8" in text
+        assert "%rd9" in text
+        assert "1 error(s)" in text
+
+    def test_verify_requires_target(self):
+        code, text = run_cli("verify")
+        assert code == 2
+
+
+@pytest.mark.faults
+class TestFiguresDegraded:
+    def test_injected_fault_degrades_and_writes_manifest(self, tmp_path):
+        import json
+
+        from repro.testing.faults import injected
+
+        out_dir = tmp_path / "res"
+        with injected("2mm", "emulate"):
+            code, text = run_cli("figures", "--apps", "2mm,bfs",
+                                 "--scale", "0.1", "--out", str(out_dir))
+        assert code == 0
+        assert "FAILED" in text and "2mm" in text
+        assert "continuing with 1 of 2" in text
+        assert (out_dir / "fig1.txt").exists()
+        assert "bfs" in (out_dir / "fig1.txt").read_text()
+        manifest = json.loads((out_dir / "failures.json").read_text())
+        assert manifest["completed"] == ["bfs"]
+        [failure] = manifest["failures"]
+        assert failure["name"] == "2mm"
+        assert failure["stage"] == "emulate"
+        assert failure["error"] == "InjectedFault"
+
+    def test_strict_exits_nonzero(self, tmp_path):
+        from repro.testing.faults import injected
+
+        with injected("2mm", "emulate"):
+            code, text = run_cli("figures", "--apps", "2mm", "--strict",
+                                 "--scale", "0.1", "--out",
+                                 str(tmp_path / "res"))
+        assert code == 1
+        assert "InjectedFault" in text
