@@ -17,7 +17,15 @@ Commands
     per-class statistics and the critical-load ranking.
 ``figures``
     Regenerate every table/figure; supports ``--jobs`` (parallel
-    emulation), ``--engine`` and the on-disk trace cache.
+    emulation), ``--engine`` and the on-disk trace cache.  Stamps the
+    output directory with a ``manifest.json`` run manifest.
+``trace <app>``
+    Run the pipeline under the span tracer and print the timing tree;
+    ``--trace-out`` additionally writes Chrome ``trace_event`` JSON
+    (loadable in Perfetto / ``chrome://tracing``).
+``metrics export``
+    Run a set of applications and export the resulting metrics-registry
+    snapshot as JSON or Prometheus text exposition.
 ``cache info|clear``
     Inspect or empty the content-addressed trace cache.
 """
@@ -114,6 +122,38 @@ def _build_parser():
     p_fig.add_argument("--timeout", type=float, default=None,
                        help="per-application timeout in seconds "
                             "(parallel runs only)")
+
+    p_trace = sub.add_parser(
+        "trace", help="run the pipeline under the span tracer and print "
+                      "the timing tree")
+    p_trace.add_argument("app", choices=workload_names())
+    p_trace.add_argument("--scale", type=float, default=0.25)
+    p_trace.add_argument("--engine", choices=("vectorized", "scalar"),
+                         default=None,
+                         help="warp-execution engine (default: vectorized)")
+    p_trace.add_argument("--no-simulate", action="store_true",
+                         help="skip the timing simulation stage")
+    p_trace.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write Chrome trace_event JSON "
+                              "(open in Perfetto or chrome://tracing)")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="export a metrics-registry snapshot for a set of "
+                        "applications")
+    p_metrics.add_argument("action", choices=("export",))
+    p_metrics.add_argument("--apps", default=None,
+                           help="comma-separated workload names "
+                                "(default: all 15)")
+    p_metrics.add_argument("--scale", type=float, default=0.25)
+    p_metrics.add_argument("--format", choices=("json", "prom"),
+                           default="json", dest="fmt",
+                           help="JSON snapshot or Prometheus text "
+                                "exposition")
+    p_metrics.add_argument("--no-simulate", action="store_true",
+                           help="skip the timing simulation stage "
+                                "(trace/locality series only)")
+    p_metrics.add_argument("--out", default=None, metavar="PATH",
+                           help="write to a file instead of stdout")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk trace cache")
@@ -233,19 +273,30 @@ def _cmd_figures(args, out):
     from .experiments import export_json
     from .experiments.runner import BENCH_CONFIG, ExperimentRunner
     from .experiments import tables, figures as fig
+    from .obs.manifest import RunManifest
+    from .obs.metrics import isolated_registry
 
     names = (args.apps.split(",") if args.apps else workload_names())
-    runner = ExperimentRunner(scale=args.scale, config=BENCH_CONFIG,
-                              jobs=args.jobs, engine=args.engine,
-                              use_trace_cache=args.trace_cache,
-                              strict=args.strict, timeout=args.timeout)
-    try:
-        mixed = runner.results(names)
-    except Exception as exc:                    # noqa: BLE001 — strict abort
-        if not args.strict:
-            raise
-        out.write("error: %s: %s\n" % (type(exc).__name__, exc))
-        return 1
+    run_manifest = RunManifest("figures", {
+        "apps": names, "scale": args.scale, "jobs": args.jobs,
+        "engine": args.engine, "trace_cache": args.trace_cache,
+        "strict": args.strict, "timeout": args.timeout,
+    })
+    with isolated_registry() as registry:
+        runner = ExperimentRunner(scale=args.scale, config=BENCH_CONFIG,
+                                  jobs=args.jobs, engine=args.engine,
+                                  use_trace_cache=args.trace_cache,
+                                  strict=args.strict, timeout=args.timeout)
+        try:
+            mixed = runner.results(names)
+        except Exception as exc:                # noqa: BLE001 — strict abort
+            if not args.strict:
+                raise
+            out.write("error: %s: %s\n" % (type(exc).__name__, exc))
+            return 1
+        for result in mixed:
+            run_manifest.record_result(result)
+        run_manifest.attach_metrics(registry)
     results = [r for r in mixed if r.ok]
     failures = [r for r in mixed if not r.ok]
 
@@ -258,6 +309,14 @@ def _cmd_figures(args, out):
     with open(manifest_path, "w") as fh:
         json.dump(manifest, fh, indent=2, default=str)
         fh.write("\n")
+    run_manifest_path = os.path.join(args.out, "manifest.json")
+    run_manifest.finish().write(run_manifest_path)
+    out.write("wrote %s\n" % run_manifest_path)
+    summary = run_manifest.summary()
+    if args.trace_cache:
+        out.write("trace cache: %d hit(s), %d miss(es)\n"
+                  % (summary["trace_cache_hits"],
+                     summary["trace_cache_misses"]))
     for failure in failures:
         out.write("FAILED %s\n" % failure.format())
     if failures:
@@ -288,6 +347,54 @@ def _cmd_figures(args, out):
     return 0
 
 
+def _cmd_trace(args, out):
+    from .experiments.runner import BENCH_CONFIG, ExperimentRunner
+    from .obs import tracing
+    from .obs.metrics import isolated_registry
+
+    tracer = tracing.Tracer()
+    with isolated_registry(), tracing.use_tracer(tracer):
+        with tracing.span("pipeline", app=args.app, scale=args.scale):
+            runner = ExperimentRunner(
+                scale=args.scale, config=BENCH_CONFIG,
+                simulate=not args.no_simulate, engine=args.engine)
+            runner.result(args.app)
+    out.write(tracer.render_tree())
+    if args.trace_out:
+        tracer.write_chrome_trace(args.trace_out)
+        out.write("wrote %s (load in Perfetto or chrome://tracing)\n"
+                  % args.trace_out)
+    return 0
+
+
+def _cmd_metrics(args, out):
+    import json
+
+    from .experiments.runner import BENCH_CONFIG, ExperimentRunner
+    from .obs.metrics import isolated_registry
+
+    names = (args.apps.split(",") if args.apps else workload_names())
+    with isolated_registry() as registry:
+        runner = ExperimentRunner(scale=args.scale, config=BENCH_CONFIG,
+                                  simulate=not args.no_simulate,
+                                  strict=False)
+        mixed = runner.results(names)
+        for failure in (r for r in mixed if not r.ok):
+            out.write("FAILED %s\n" % failure.format())
+        if args.fmt == "prom":
+            text = registry.to_prometheus()
+        else:
+            text = json.dumps(registry.snapshot(), indent=2,
+                              sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        out.write("wrote %s\n" % args.out)
+    else:
+        out.write(text)
+    return 0
+
+
 def _cmd_cache(args, out):
     from .emulator import trace_cache
 
@@ -310,6 +417,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "simulate": _cmd_simulate,
     "figures": _cmd_figures,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "cache": _cmd_cache,
 }
 

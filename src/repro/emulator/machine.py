@@ -22,6 +22,8 @@ import os
 from typing import Dict, List, Optional
 
 from .._bits import lanes_of as _lanes_of
+from ..obs import tracing
+from ..obs.metrics import get_registry
 from ..ptx.cfg import CFG
 from ..ptx.isa import DType, Imm, Instruction, MemRef, Reg, Space, SReg, Sym
 from ..ptx.module import Kernel
@@ -208,6 +210,11 @@ class _ScalarEngine:
 
     name = "scalar"
 
+    def describe(self):
+        """Engine identity for manifests and span attributes (never for
+        metrics — snapshots must be engine-invariant)."""
+        return {"engine": self.name, "strategy": "per-lane interpreter"}
+
     def make_warp(self, warp_id, init_mask, sregs, trace):
         return _WarpState(warp_id, init_mask, sregs, trace)
 
@@ -281,8 +288,28 @@ class Emulator:
         launch_trace = KernelLaunchTrace(kernel_name=kernel.name, config=config,
                                          shared_size=kernel.shared_size)
         self._executed = 0
-        for cta_linear in range(config.num_ctas):
-            self._run_cta(kernel, cfg, config, cta_linear, params, launch_trace)
+        with tracing.span("emulate.launch", kernel=kernel.name,
+                          engine=self.engine, ctas=config.num_ctas,
+                          threads_per_cta=config.threads_per_cta) as sp:
+            for cta_linear in range(config.num_ctas):
+                self._run_cta(kernel, cfg, config, cta_linear, params,
+                              launch_trace)
+            sp.set(warp_insts=self._executed)
+        # engine-invariant launch telemetry: counts come from the shared
+        # driver, so scalar and vectorized runs publish identical series
+        registry = get_registry()
+        registry.counter(
+            "emulator.launches",
+            "kernel launches executed by the emulator").inc(
+            1, kernel=kernel.name)
+        registry.counter(
+            "emulator.ctas",
+            "CTAs executed by the emulator").inc(
+            config.num_ctas, kernel=kernel.name)
+        registry.counter(
+            "emulator.warp_insts",
+            "warp instructions executed by the emulator").inc(
+            self._executed, kernel=kernel.name)
         return launch_trace
 
     # ------------------------------------------------------------------- CTA

@@ -36,6 +36,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from ..obs.metrics import get_registry
 from .machine import EMULATOR_VERSION
 from .serialize import FORMAT_VERSION, LoadedRun, load_run, save_run
 
@@ -47,6 +48,13 @@ _SUFFIX = ".trace.gz"
 #: failures.  Short: the cache is best-effort and the fallback — a
 #: re-emulation — is always correct.
 _RETRY_DELAYS = (0.05, 0.2)
+
+
+def _count(result):
+    """Tally one cache operation in the metrics registry."""
+    get_registry().counter(
+        "trace_cache.operations",
+        "trace-cache lookups/stores by result").inc(1, result=result)
 
 
 def cache_enabled():
@@ -106,8 +114,11 @@ def lookup(key):
     for delay in (_RETRY_DELAYS[0], None):
         try:
             if not path.is_file():
+                _count("miss")
                 return None
-            return load_run(path)
+            run = load_run(path)
+            _count("hit")
+            return run
         except (OSError, EOFError) as exc:
             # possibly transient (NFS hiccup, read racing a writer):
             # retry once before deciding
@@ -121,6 +132,7 @@ def lookup(key):
                     path.unlink()
                 except OSError:
                     pass
+            _count("error")
             return None
         except Exception:
             # structurally corrupt: delete so a later store heals it
@@ -128,6 +140,7 @@ def lookup(key):
                 path.unlink()
             except OSError:
                 pass
+            _count("error")
             return None
     return None
 
@@ -162,7 +175,9 @@ def store(key, run):
             if delay is not None:
                 time.sleep(delay)
                 continue
+            _count("store_error")
             return None
+        _count("store")
         return path
     return None
 

@@ -194,6 +194,13 @@ class VectorEngine:
 
     name = "vectorized"
 
+    def describe(self):
+        """Engine identity for manifests and span attributes (never for
+        metrics — snapshots must be engine-invariant)."""
+        return {"engine": self.name,
+                "strategy": "masked NumPy structure-of-arrays",
+                "sparse_lanes": SPARSE_LANES}
+
     def make_warp(self, warp_id, init_mask, sregs, trace):
         return VectorWarpState(warp_id, init_mask, sregs, trace)
 

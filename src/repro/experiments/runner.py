@@ -22,10 +22,14 @@ default) re-raises, so programmatic users keep fail-fast semantics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..emulator import MemoryImage, trace_cache
+from ..emulator.machine import DEFAULT_ENGINE
+from ..obs import bridge, tracing
+from ..obs.metrics import get_registry
 from ..profiling.locality import LocalityAnalyzer, LocalityReport
 from ..ptx import parse_module, print_module
 from ..sim.config import GPUConfig, TESLA_C2050
@@ -71,6 +75,12 @@ class AppResult:
     stats: Optional[SimStats]
     locality: LocalityReport
     config: GPUConfig
+    #: provenance riding along with the result — wall_seconds,
+    #: trace_cache ("hit"/"miss"), engine, seed.  Picklable, so the
+    #: parallel runner's parent process can republish it into the
+    #: metrics registry and stamp it into run manifests even though the
+    #: worker's registry died with the worker.
+    meta: Dict[str, object] = field(default_factory=dict)
 
     #: discriminator shared with :class:`AppFailure`.
     ok = True
@@ -166,6 +176,7 @@ class ExperimentRunner:
         check_fault(name, "emulate")
         workload = get_workload(name, scale=self.scale)
         key = None
+        cache_status = None
         if self.use_trace_cache and trace_cache.cache_enabled():
             ptx = print_module(parse_module(workload.ptx()))
             key = trace_cache.trace_key(
@@ -183,31 +194,53 @@ class ExperimentRunner:
                     memory=None,
                     trace=loaded.trace,
                     classifications=loaded.classifications,
-                )
+                ), "hit"
+            cache_status = "miss"
         run = workload.run(verify=self.verify, engine=self.engine)
         if key is not None:
             trace_cache.store(key, run)
-        return workload, run
+        return workload, run, cache_status
 
     def _compute(self, name):
         """The fail-fast pipeline for one application.  ``self._stage``
         tracks progress so non-strict callers can attribute a failure."""
-        self._stage = "emulate"
-        workload, run = self._emulate(name)
-        stats = None
-        if self.simulate:
-            self._stage = "simulate"
-            check_fault(name, "simulate")
-            gpu = GPU(self.config, cta_policy=self.cta_policy)
-            for launch in run.trace:
-                gpu.run_launch(
-                    launch, run.classifications.get(launch.kernel_name))
-            stats = gpu.stats
-        self._stage = "analyze"
-        check_fault(name, "analyze")
-        analyzer = LocalityAnalyzer()
-        locality = analyzer.analyze_application(run.trace,
-                                                run.classifications)
+        started = time.perf_counter()
+        with tracing.span("app", app=name, scale=self.scale) as app_span:
+            self._stage = "emulate"
+            workload, run, cache_status = self._emulate(name)
+            stats = None
+            if self.simulate:
+                self._stage = "simulate"
+                check_fault(name, "simulate")
+                with tracing.span("simulate", app=name) as sp:
+                    gpu = GPU(self.config, cta_policy=self.cta_policy)
+                    for launch in run.trace:
+                        gpu.run_launch(
+                            launch,
+                            run.classifications.get(launch.kernel_name))
+                    stats = gpu.stats
+                    sp.set(cycles=stats.cycles)
+                    # per-component series (partitions, icnt, MSHRs) are
+                    # published where the GPU object lives; the aggregate
+                    # SimStats is published by _record in the parent
+                    gpu.publish_metrics(get_registry(),
+                                        include_stats=False, app=name)
+            self._stage = "analyze"
+            check_fault(name, "analyze")
+            with tracing.span("profile", app=name):
+                analyzer = LocalityAnalyzer()
+                locality = analyzer.analyze_application(run.trace,
+                                                        run.classifications)
+            if cache_status is not None:
+                app_span.set(trace_cache=cache_status)
+        meta = {
+            "wall_seconds": time.perf_counter() - started,
+            "engine": (self.engine if self.engine is not None
+                       else DEFAULT_ENGINE),
+            "seed": workload.seed,
+        }
+        if cache_status is not None:
+            meta["trace_cache"] = cache_status
         return AppResult(
             name=name,
             category=workload.category,
@@ -215,7 +248,43 @@ class ExperimentRunner:
             stats=stats,
             locality=locality,
             config=self.config,
+            meta=meta,
         )
+
+    # -- registry publication ---------------------------------------------
+
+    def _record(self, result):
+        """Publish one fresh :class:`AppResult` into the metrics
+        registry: the full figure-input series plus runner bookkeeping.
+
+        Called exactly once per computed result — in-process cache hits
+        do not republish, and the parallel path calls it from the
+        *parent* (the worker's registry dies with the worker).
+        """
+        registry = get_registry()
+        bridge.publish_result(result, registry)
+        registry.counter(
+            "runner.apps", "applications run, by outcome").inc(
+            1, status="ok")
+        cache_status = result.meta.get("trace_cache")
+        if cache_status is not None:
+            registry.counter(
+                "runner.trace_cache",
+                "per-application trace-cache outcomes").inc(
+                1, result=cache_status)
+
+    def _record_failure(self, failure):
+        """Publish one :class:`AppFailure` into the metrics registry —
+        the same records that reach ``failures.json`` and the manifest,
+        so the three can never disagree."""
+        registry = get_registry()
+        registry.counter(
+            "runner.apps", "applications run, by outcome").inc(
+            1, status="failed")
+        registry.counter(
+            "runner.failures",
+            "per-application failures by stage and error class").inc(
+            1, app=failure.name, stage=failure.stage, error=failure.error)
 
     def result(self, name):
         """Run (or fetch the cached run of) one application.
@@ -239,8 +308,10 @@ class ExperimentRunner:
             except Exception as exc:            # noqa: BLE001 — isolation
                 failure = _failure_from(name, self._stage, exc)
                 self._failures[name] = failure
+                self._record_failure(failure)
                 return failure
         self._cache[name] = result
+        self._record(result)
         return result
 
     def results(self, names=None):
@@ -302,7 +373,11 @@ class ExperimentRunner:
                        for name in missing]
             for name, future in futures:
                 try:
-                    self._cache[name] = future.result(timeout=self.timeout)
+                    result = future.result(timeout=self.timeout)
+                    self._cache[name] = result
+                    # republish in the parent: the worker's registry
+                    # (and spans) died with the worker process
+                    self._record(result)
                 except concurrent.futures.TimeoutError:
                     future.cancel()
                     timed_out = True
@@ -313,6 +388,7 @@ class ExperimentRunner:
                     if self.strict:
                         raise RuntimeError(failure.format()) from None
                     self._failures[name] = failure
+                    self._record_failure(failure)
                 except BrokenProcessPool:
                     # the pool is dead; everything not yet collected must
                     # be redone serially (completed results are kept)

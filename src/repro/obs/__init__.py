@@ -1,0 +1,56 @@
+"""Observability layer: metrics registry, span tracing, run manifests.
+
+Three cooperating subsystems (DESIGN.md section 9):
+
+* :mod:`repro.obs.metrics` — a hierarchical registry of labelled
+  counters/gauges/histograms that every pipeline layer publishes into;
+  values are deterministic counts, exportable as JSON snapshots or
+  Prometheus text (``repro metrics export``);
+* :mod:`repro.obs.tracing` — span-based wall-clock tracing with
+  parent/child nesting across parse → emulate → simulate → profile,
+  renderable as a timeline tree or Chrome ``trace_event`` JSON
+  (``repro trace <app>``);
+* :mod:`repro.obs.manifest` — per-run provenance records (config,
+  seeds, cache hits, wall-clock, failures, metrics snapshot) written by
+  ``repro figures`` as ``manifest.json``.
+
+:mod:`repro.obs.bridge` converts the pipeline's existing stats objects
+(:class:`~repro.sim.stats.SimStats`, traces, locality reports) into
+registry series whose values are exactly the figures' inputs.
+"""
+
+from .bridge import (
+    publish_locality,
+    publish_result,
+    publish_sim,
+    publish_trace,
+)
+from .manifest import AppRecord, RunManifest, load_manifest, tool_versions
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    isolated_registry,
+    set_registry,
+)
+from .tracing import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_span,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "AppRecord", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_TRACER", "RunManifest", "Span", "Tracer",
+    "current_span", "get_registry", "get_tracer", "isolated_registry",
+    "load_manifest", "publish_locality", "publish_result", "publish_sim",
+    "publish_trace", "set_registry", "set_tracer", "span", "tool_versions",
+    "use_tracer",
+]

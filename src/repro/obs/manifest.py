@@ -1,0 +1,160 @@
+"""Exportable run manifests: what ran, with what, and what came out.
+
+Every experiment/figure run can be stamped with a :class:`RunManifest`:
+the command and its arguments, the tool versions that shape results
+(emulator semantics, trace format, Python), per-application outcome
+records (status, pipeline stage reached, wall-clock, trace-cache
+hit/miss), the structured failure records, and a full metrics-registry
+snapshot.  ``repro figures`` writes one as ``manifest.json`` next to its
+outputs; its failure list is by construction the same data as
+``failures.json``, so the two can never disagree.
+
+Wall-clock fields live here (and in spans) rather than in the metrics
+registry, which is reserved for deterministic counts — see
+DESIGN.md section 9.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: manifest schema version, bumped on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+def tool_versions():
+    """The version facts that determine whether two runs are comparable."""
+    from ..emulator.machine import EMULATOR_VERSION
+    from ..emulator.serialize import FORMAT_VERSION
+
+    return {
+        "python": platform.python_version(),
+        "emulator": EMULATOR_VERSION,
+        "trace_format": FORMAT_VERSION,
+        "manifest": MANIFEST_VERSION,
+    }
+
+
+@dataclass
+class AppRecord:
+    """Per-application outcome inside a manifest."""
+
+    name: str
+    status: str                      # "ok" | "failed"
+    stage: Optional[str] = None      # failing stage, or None when ok
+    error: Optional[str] = None
+    wall_seconds: Optional[float] = None
+    trace_cache: Optional[str] = None  # "hit" | "miss" | None (unused)
+    engine: Optional[str] = None
+    seed: Optional[object] = None
+
+    def to_json(self):
+        out = {"name": self.name, "status": self.status}
+        for key in ("stage", "error", "wall_seconds", "trace_cache",
+                    "engine", "seed"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+class RunManifest:
+    """Accumulates one run's provenance; serializes to JSON."""
+
+    def __init__(self, command, arguments=None):
+        self.command = command
+        self.arguments: Dict[str, object] = dict(arguments or {})
+        self.started_at = time.time()
+        self.finished_at: Optional[float] = None
+        self.versions = tool_versions()
+        self.hostname = platform.node()
+        self.apps: List[AppRecord] = []
+        self.failures: List[Dict[str, object]] = []
+        self.metrics: Optional[Dict[str, object]] = None
+
+    # -- recording --------------------------------------------------------
+
+    def record_result(self, result):
+        """Record one runner outcome (:class:`AppResult` or
+        :class:`AppFailure`); returns the :class:`AppRecord`."""
+        if result.ok:
+            meta = getattr(result, "meta", {}) or {}
+            record = AppRecord(
+                name=result.name, status="ok",
+                wall_seconds=meta.get("wall_seconds"),
+                trace_cache=meta.get("trace_cache"),
+                engine=meta.get("engine"),
+                seed=meta.get("seed"))
+        else:
+            record = AppRecord(
+                name=result.name, status="failed",
+                stage=result.stage, error=result.error)
+            self.failures.append(result.to_json())
+        self.apps.append(record)
+        return record
+
+    def attach_metrics(self, registry=None):
+        """Snapshot a metrics registry into the manifest (the process
+        registry by default)."""
+        from .metrics import get_registry
+
+        reg = registry if registry is not None else get_registry()
+        self.metrics = reg.snapshot()
+        return self.metrics
+
+    def finish(self):
+        self.finished_at = time.time()
+        return self
+
+    # -- summaries --------------------------------------------------------
+
+    def summary(self):
+        ok = [a for a in self.apps if a.status == "ok"]
+        return {
+            "apps": len(self.apps),
+            "completed": len(ok),
+            "failed": len(self.apps) - len(ok),
+            "trace_cache_hits": sum(1 for a in ok
+                                    if a.trace_cache == "hit"),
+            "trace_cache_misses": sum(1 for a in ok
+                                      if a.trace_cache == "miss"),
+            "wall_seconds": (self.finished_at - self.started_at
+                             if self.finished_at is not None else None),
+        }
+
+    # -- serialization ----------------------------------------------------
+
+    def to_json(self):
+        if self.finished_at is None:
+            self.finish()
+        return {
+            "command": self.command,
+            "arguments": self.arguments,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "hostname": self.hostname,
+            "versions": self.versions,
+            "summary": self.summary(),
+            "apps": [a.to_json() for a in self.apps],
+            "failures": self.failures,
+            "metrics": self.metrics,
+        }
+
+    def write(self, path):
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True,
+                      default=str)
+            fh.write("\n")
+        return path
+
+
+def load_manifest(path):
+    """Read a manifest written by :meth:`RunManifest.write` back as a
+    plain dict (no object reconstruction — manifests are artifacts)."""
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,346 @@
+"""Hierarchical metrics registry: counters, gauges and histograms.
+
+Every layer of the pipeline — the emulator, the timing simulator's
+components (coalescer-fed class counters, MSHRs, interconnect, memory
+partitions), the trace cache and the experiment runner — publishes into
+one :class:`MetricsRegistry` under dotted hierarchical names
+(``sim.class.requests``, ``trace_cache.lookups``) with labels such as
+``app``, ``kernel``, ``load_category`` and ``sm``.
+
+Design rules (DESIGN.md section 9):
+
+* hot loops never touch the registry.  Components accumulate into their
+  existing cheap counters (:class:`~repro.sim.stats.SimStats`, the
+  trace-cache module counters) and *publish* aggregates at stage
+  boundaries — per launch, per application, per lookup.  The old stats
+  objects therefore keep working unchanged; the registry is a layer on
+  top of them, not a replacement of their hot paths (the compatibility
+  shim the refactor preserves);
+* metric values must be **deterministic functions of the work done**:
+  counts, never wall-clock durations.  Timing lives in spans
+  (:mod:`repro.obs.tracing`) and in run manifests
+  (:mod:`repro.obs.manifest`), which are allowed to differ between
+  runs.  This is what lets the differential test assert that the scalar
+  and vectorized engines produce *identical registry snapshots*;
+* label sets are closed and low-cardinality (apps, kernels, the three
+  load classes, SM/partition indices), so exports stay small.
+
+A process-global default registry is returned by :func:`get_registry`;
+tests and CLI commands swap in a fresh one with :func:`isolated_registry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "get_registry", "set_registry", "isolated_registry",
+]
+
+#: default histogram bucket upper bounds (generic powers-of-4 scale that
+#: suits both request counts and cycle-ish magnitudes).
+DEFAULT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, float("inf"))
+
+
+def _label_key(labels):
+    """Canonical, deterministic encoding of a label dict."""
+    if not labels:
+        return ""
+    return ",".join("%s=%s" % (k, labels[k]) for k in sorted(labels))
+
+
+def _parse_label_key(key):
+    """Inverse of :func:`_label_key` (used by exporters and tests)."""
+    if not key:
+        return {}
+    out = {}
+    for part in key.split(","):
+        k, _, v = part.partition("=")
+        out[k] = v
+    return out
+
+
+class _Metric:
+    """Common base: one named family of labelled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help="", registry=None):
+        self.name = name
+        self.help = help
+        self._registry = registry
+        self._series: Dict[str, object] = {}
+
+    def _lock(self):
+        return self._registry._lock if self._registry is not None \
+            else threading.Lock()
+
+    def labels(self):
+        """Sorted label-key strings of every series."""
+        return sorted(self._series)
+
+    def series(self):
+        """``{label_key: value}`` snapshot (deterministically ordered)."""
+        return {key: self._series[key] for key in sorted(self._series)}
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount=1, **labels):
+        if amount < 0:
+            raise ValueError("counter %r cannot decrease" % self.name)
+        key = _label_key(labels)
+        with self._lock():
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels):
+        return self._series.get(_label_key(labels), 0)
+
+    def total(self):
+        return sum(self._series.values())
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (set-only in this codebase)."""
+
+    kind = "gauge"
+
+    def set(self, value, **labels):
+        with self._lock():
+            self._series[_label_key(labels)] = value
+
+    def set_max(self, value, **labels):
+        """Keep the running maximum (high-water marks)."""
+        key = _label_key(labels)
+        with self._lock():
+            current = self._series.get(key)
+            if current is None or value > current:
+                self._series[key] = value
+
+    def value(self, **labels):
+        return self._series.get(_label_key(labels))
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", registry=None,
+                 buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help, registry)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets or self.buckets[-1] != float("inf"):
+            self.buckets = self.buckets + (float("inf"),)
+
+    def observe(self, value, **labels):
+        key = _label_key(labels)
+        with self._lock():
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = {
+                    "count": 0, "sum": 0.0,
+                    "buckets": [0] * len(self.buckets)}
+            series["count"] += 1
+            series["sum"] += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series["buckets"][i] += 1
+                    break
+
+    def count(self, **labels):
+        series = self._series.get(_label_key(labels))
+        return series["count"] if series else 0
+
+    def sum(self, **labels):
+        series = self._series.get(_label_key(labels))
+        return series["sum"] if series else 0.0
+
+    def mean(self, **labels):
+        series = self._series.get(_label_key(labels))
+        if not series or not series["count"]:
+            return 0.0
+        return series["sum"] / series["count"]
+
+
+class MetricsRegistry:
+    """Process-wide home of every metric family.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family (so library modules can declare their metrics at the
+    point of use without import-order coupling); re-registering under a
+    different kind is an error.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def _register(self, cls, name, help, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        "metric %r already registered as a %s"
+                        % (name, existing.kind))
+                return existing
+            metric = cls(name, help=help, registry=self, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name, help=""):
+        return self._register(Counter, name, help)
+
+    def gauge(self, name, help=""):
+        return self._register(Gauge, name, help)
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS):
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, name):
+        return self._metrics.get(name)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    def reset(self):
+        with self._lock:
+            self._metrics.clear()
+
+    # -- exports ----------------------------------------------------------
+
+    def snapshot(self):
+        """A plain, deterministic, JSON-serializable dump of every series.
+
+        ``{kind: {name: {label_key: value}}}`` with all keys sorted.
+        Two runs that performed identical work produce identical
+        snapshots — the property the engine-differential suite asserts.
+        """
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if metric.kind == "histogram":
+                    out["histograms"][name] = {
+                        key: {"count": s["count"], "sum": s["sum"],
+                              "buckets": list(s["buckets"])}
+                        for key, s in metric.series().items()}
+                elif metric.kind == "gauge":
+                    out["gauges"][name] = metric.series()
+                else:
+                    out["counters"][name] = metric.series()
+        return out
+
+    def to_prometheus(self, prefix="repro"):
+        """Render every series as a Prometheus text-format exposition.
+
+        Dotted names become underscore-separated (``sim.class.requests``
+        → ``repro_sim_class_requests``); counters get the conventional
+        ``_total`` suffix.
+        """
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                flat = "%s_%s" % (prefix, name.replace(".", "_").
+                                  replace("-", "_"))
+                if metric.kind == "counter" and not flat.endswith("_total"):
+                    flat += "_total"
+                if metric.help:
+                    lines.append("# HELP %s %s" % (flat, metric.help))
+                lines.append("# TYPE %s %s" % (flat, metric.kind))
+                for key, value in metric.series().items():
+                    labels = _parse_label_key(key)
+                    if metric.kind == "histogram":
+                        cumulative = 0
+                        for bound, count in zip(metric.buckets,
+                                                value["buckets"]):
+                            cumulative += count
+                            le = "+Inf" if bound == float("inf") \
+                                else _format_value(bound)
+                            lines.append("%s_bucket%s %s" % (
+                                flat,
+                                _prom_labels(labels, le=le),
+                                cumulative))
+                        lines.append("%s_sum%s %s" % (
+                            flat, _prom_labels(labels),
+                            _format_value(value["sum"])))
+                        lines.append("%s_count%s %s" % (
+                            flat, _prom_labels(labels), value["count"]))
+                    else:
+                        rendered = _format_value(value) \
+                            if value is not None else "NaN"
+                        lines.append("%s%s %s" % (
+                            flat, _prom_labels(labels), rendered))
+        return "\n".join(lines) + "\n"
+
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_labels(labels, **extra):
+    merged = dict(labels)
+    merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join('%s="%s"' % (k, str(v).replace("\\", "\\\\").
+                                  replace('"', '\\"'))
+                     for k, v in sorted(merged.items()))
+    return "{%s}" % inner
+
+
+# ---------------------------------------------------------------------------
+# the process-global default registry
+# ---------------------------------------------------------------------------
+
+_registry = MetricsRegistry()
+
+
+def get_registry():
+    """The current process-global registry (swappable for isolation)."""
+    return _registry
+
+
+def set_registry(registry):
+    """Replace the global registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+@contextmanager
+def isolated_registry(registry=None):
+    """Temporarily swap in a fresh (or provided) registry.
+
+    Used by tests and by CLI commands that want an export scoped to one
+    command invocation rather than the process lifetime.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

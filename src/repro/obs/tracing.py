@@ -1,0 +1,270 @@
+"""Span-based tracing for the parse → emulate → simulate → profile pipeline.
+
+A *span* is one timed region of work with a name, attributes, and
+parent/child nesting; the library emits them from every pipeline stage
+(``repro.workloads.base`` for parse/setup/emulate/verify,
+``repro.emulator.machine`` per kernel launch, ``repro.sim.gpu`` per
+simulated launch, ``repro.experiments.runner`` per application and
+stage).  Instrumentation uses the module-level :func:`span` helper::
+
+    from ..obs import tracing
+
+    with tracing.span("emulate.launch", kernel=kernel.name) as sp:
+        ...
+        sp.set(warp_insts=n)
+
+By default the current tracer is a disabled no-op whose spans cost one
+dict lookup and no allocation, so library callers never pay for tracing
+they did not ask for.  ``repro trace <app>`` (and tests) install a real
+:class:`Tracer` with :func:`use_tracer`, then render the recorded tree
+(:meth:`Tracer.render_tree`) or export Chrome ``trace_event`` JSON
+(:meth:`Tracer.to_chrome_trace`) loadable in Perfetto / ``chrome://tracing``.
+
+Span *timing* is wall-clock (monotonic) and therefore run-dependent;
+anything that must be reproducible belongs in the metrics registry
+(:mod:`repro.obs.metrics`), not in span durations.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Span", "Tracer", "NULL_TRACER",
+    "get_tracer", "set_tracer", "use_tracer", "span", "current_span",
+]
+
+
+class Span:
+    """One timed, attributed region of work."""
+
+    __slots__ = ("name", "attrs", "start_ns", "end_ns", "children",
+                 "thread_id")
+
+    def __init__(self, name, attrs, start_ns, thread_id):
+        self.name = name
+        self.attrs: Dict[str, object] = attrs
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.children: List["Span"] = []
+        self.thread_id = thread_id
+
+    def set(self, **attrs):
+        """Attach (or overwrite) attributes after the span started."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ns(self):
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self):
+        return self.duration_ns / 1e6
+
+    def find(self, name):
+        """Depth-first search for the first descendant named ``name``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self):
+        """Yield ``(depth, span)`` over the subtree, pre-order."""
+        stack = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    def __repr__(self):
+        return "Span(%r, %.3fms, %d children)" % (
+            self.name, self.duration_ms, len(self.children))
+
+
+class _NullSpan:
+    """The span handed out by a disabled tracer: accepts everything,
+    records nothing."""
+
+    __slots__ = ()
+
+    def set(self, **attrs):
+        return self
+
+    name = None
+    attrs: Dict[str, object] = {}
+    children: List[Span] = []
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans with thread-local nesting.
+
+    ``enabled=False`` turns every :meth:`span` into a no-op context;
+    the module-level :data:`NULL_TRACER` is exactly that and serves as
+    the process default.
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        #: epoch base so exported timestamps are small positive offsets.
+        self._epoch_ns = time.perf_counter_ns()
+
+    # -- recording --------------------------------------------------------
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name, **attrs):
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
+        sp = Span(name, dict(attrs), time.perf_counter_ns(),
+                  threading.get_ident())
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(sp)
+        else:
+            with self._lock:
+                self.roots.append(sp)
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.end_ns = time.perf_counter_ns()
+            stack.pop()
+
+    def current(self):
+        """The innermost open span on this thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def find(self, name):
+        """First span named ``name`` anywhere in the forest."""
+        for root in self.roots:
+            if root.name == name:
+                return root
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self):
+        for root in self.roots:
+            yield from root.walk()
+
+    # -- rendering --------------------------------------------------------
+
+    def render_tree(self, attr_limit=4):
+        """ASCII timeline tree: duration, name and leading attributes."""
+        lines = []
+        for depth, sp in self.walk():
+            attrs = ""
+            if sp.attrs:
+                shown = list(sp.attrs.items())[:attr_limit]
+                attrs = "  [%s]" % ", ".join(
+                    "%s=%s" % kv for kv in shown)
+                if len(sp.attrs) > attr_limit:
+                    attrs = attrs[:-1] + ", ...]"
+            lines.append("%10.3f ms  %s%s%s"
+                         % (sp.duration_ms, "  " * depth, sp.name, attrs))
+        return "\n".join(lines)
+
+    # -- Chrome trace_event export ---------------------------------------
+
+    def to_chrome_trace(self, process_name="repro"):
+        """The Chrome ``trace_event`` JSON object (Perfetto-loadable).
+
+        Every span becomes one complete (``"ph": "X"``) event with
+        microsecond timestamps relative to the tracer's creation; span
+        attributes ride along in ``args``.
+        """
+        events = [{
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }]
+        for _depth, sp in self.walk():
+            events.append({
+                "name": sp.name,
+                "cat": sp.name.split(".")[0],
+                "ph": "X",
+                "pid": 0,
+                "tid": sp.thread_id % 100000,
+                "ts": (sp.start_ns - self._epoch_ns) / 1000.0,
+                "dur": sp.duration_ns / 1000.0,
+                "args": {k: _jsonable(v) for k, v in sp.attrs.items()},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path, process_name="repro"):
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(process_name), fh, indent=1)
+            fh.write("\n")
+        return path
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+#: the process default: tracing off, spans are free.
+NULL_TRACER = Tracer(enabled=False)
+
+_tracer = NULL_TRACER
+
+
+def get_tracer():
+    return _tracer
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` as the process-current tracer; returns the
+    previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer=None):
+    """Temporarily install a (fresh by default) enabled tracer."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name, **attrs):
+    """Open a span on the process-current tracer (no-op by default)."""
+    return _tracer.span(name, **attrs)
+
+
+def current_span():
+    return _tracer.current()

@@ -120,14 +120,21 @@ class LocalityAnalyzer:
         :class:`ClassificationResult` (enables the per-class Figure 12
         split); without it all distances land in the combined histogram.
         """
-        for launch in app_trace:
-            pc_classes = {}
-            if classifications is not None:
-                result = classifications.get(launch.kernel_name)
-                if result is not None:
-                    pc_classes = {l.pc: str(l.load_class) for l in result}
-            self.analyze_launch(launch, pc_classes)
-        return self.report()
+        from ..obs import tracing
+
+        with tracing.span("profile.locality", app=app_trace.name) as sp:
+            for launch in app_trace:
+                pc_classes = {}
+                if classifications is not None:
+                    result = classifications.get(launch.kernel_name)
+                    if result is not None:
+                        pc_classes = {l.pc: str(l.load_class)
+                                      for l in result}
+                self.analyze_launch(launch, pc_classes)
+            report = self.report()
+            sp.set(blocks=report.num_blocks,
+                   accesses=report.total_accesses)
+        return report
 
     def analyze_launch(self, launch_trace, pc_classes=None):
         pc_classes = pc_classes or {}

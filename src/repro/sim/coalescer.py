@@ -14,7 +14,8 @@ warp yields up to 32.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
 
 
 def coalesce_addresses(addresses, line_size=128, access_size=4):
@@ -58,3 +59,74 @@ def coalescing_degree(addresses, line_size=128, access_size=4):
         if last != first:
             blocks.add(last)
     return len(blocks), lanes
+
+
+@dataclass
+class CoalescingSummary:
+    """Per-class coalescing aggregates computed directly from a trace.
+
+    The timing simulator accumulates the same quantities into
+    :class:`~repro.sim.stats.ClassStats` while replaying; this summary
+    needs no timing model, so the metrics bridge and the golden-stats
+    fixtures can report coalescing behaviour from emulation alone.
+    """
+
+    warp_loads: Dict[str, int] = field(
+        default_factory=lambda: {"D": 0, "N": 0, "other": 0})
+    requests: Dict[str, int] = field(
+        default_factory=lambda: {"D": 0, "N": 0, "other": 0})
+    active_threads: Dict[str, int] = field(
+        default_factory=lambda: {"D": 0, "N": 0, "other": 0})
+    #: warp loads that produced more than one memory request.
+    uncoalesced: Dict[str, int] = field(
+        default_factory=lambda: {"D": 0, "N": 0, "other": 0})
+
+    def record(self, load_class, n_requests, n_lanes):
+        label = load_class if load_class in ("D", "N") else "other"
+        self.warp_loads[label] += 1
+        self.requests[label] += n_requests
+        self.active_threads[label] += n_lanes
+        if n_requests > 1:
+            self.uncoalesced[label] += 1
+
+    def requests_per_warp(self, label):
+        loads = self.warp_loads[label]
+        return self.requests[label] / loads if loads else 0.0
+
+    def uncoalesced_fraction(self, label):
+        loads = self.warp_loads[label]
+        return self.uncoalesced[label] / loads if loads else 0.0
+
+
+def summarize_trace(app_trace, classifications=None, line_size=128):
+    """Coalesce every global-load warp instruction of an application
+    trace, bucketed by load class.
+
+    ``classifications`` maps kernel name to a
+    :class:`~repro.core.classifier.ClassificationResult` (or a plain
+    ``{pc: class}`` dict); loads without one land in ``"other"``.  The
+    per-thread access width comes from each instruction
+    (``inst.access_bytes``), matching the timing simulator's coalescer
+    invocation exactly.
+    """
+    from ..ptx.isa import Space
+
+    summary = CoalescingSummary()
+    for launch in app_trace:
+        pc_classes = {}
+        if classifications is not None:
+            result = classifications.get(launch.kernel_name)
+            if result is not None:
+                if isinstance(result, dict):
+                    pc_classes = dict(result)
+                else:
+                    pc_classes = {l.pc: str(l.load_class) for l in result}
+        for _warp, op in launch.iter_memory_ops(space=Space.GLOBAL,
+                                                loads_only=True):
+            if not op.addresses:
+                continue
+            n_requests, n_lanes = coalescing_degree(
+                op.addresses, line_size=line_size,
+                access_size=op.inst.access_bytes)
+            summary.record(pc_classes.get(op.pc), n_requests, n_lanes)
+    return summary

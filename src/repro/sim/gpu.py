@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.classifier import ClassificationResult
+from ..obs import tracing
 from .config import GPUConfig, TESLA_C2050
 from .core import SMCore
 from .cta_scheduler import make_scheduler
@@ -156,21 +157,27 @@ class GPU:
         self._scheduler = make_scheduler(
             self.cta_policy, cta_ids, self.config.num_sms)
 
-        # initial fill: deal CTAs round-robin across SMs until the per-SM
-        # slot limit is reached (matching hardware launch behaviour)
-        slots = self._max_ctas_per_sm(launch_trace)
-        for _round in range(slots):
-            for sm in self.sms:
-                if self._scheduler.remaining == 0:
-                    break
-                if sm.resident_ctas >= slots:
-                    continue
-                nxt = self._scheduler.next_for(sm.sm_id)
-                if nxt is None:
-                    break
-                sm.assign_cta(nxt, by_cta[nxt])
+        start_cycle = self.now
+        with tracing.span("simulate.launch",
+                          kernel=launch_trace.kernel_name,
+                          ctas=len(cta_ids)) as sp:
+            # initial fill: deal CTAs round-robin across SMs until the
+            # per-SM slot limit is reached (matching hardware launch
+            # behaviour)
+            slots = self._max_ctas_per_sm(launch_trace)
+            for _round in range(slots):
+                for sm in self.sms:
+                    if self._scheduler.remaining == 0:
+                        break
+                    if sm.resident_ctas >= slots:
+                        continue
+                    nxt = self._scheduler.next_for(sm.sm_id)
+                    if nxt is None:
+                        break
+                    sm.assign_cta(nxt, by_cta[nxt])
 
-        self._run_until_drained()
+            self._run_until_drained()
+            sp.set(cycles=self.now - start_cycle)
         self._scheduler = None
         self._cta_traces = {}
         return self.stats
@@ -233,6 +240,35 @@ class GPU:
             "unassigned_ctas": (self._scheduler.remaining
                                 if self._scheduler is not None else 0),
         }
+
+    def publish_metrics(self, registry=None, include_stats=True, **labels):
+        """Publish the machine's telemetry into a metrics registry.
+
+        Covers the aggregate :class:`SimStats` (via the
+        :mod:`repro.obs.bridge` shim, when an ``app`` label is given)
+        plus per-component series the aggregate cannot express:
+        per-partition L2/DRAM counts, per-direction interconnect
+        telemetry, and per-SM/L2 MSHR high-water marks.
+
+        ``include_stats=False`` publishes only the per-component series
+        — for callers (the experiment runner) that publish the
+        aggregate separately through :func:`~repro.obs.bridge.publish_result`.
+        """
+        from ..obs import bridge
+        from ..obs.metrics import get_registry
+
+        reg = registry if registry is not None else get_registry()
+        app = labels.get("app")
+        if include_stats and app is not None:
+            bridge.publish_sim(app, self.stats, reg)
+        self.req_icnt.publish_metrics(reg, **labels)
+        self.resp_icnt.publish_metrics(reg, **labels)
+        for partition in self.partitions:
+            partition.publish_metrics(reg, **labels)
+        for sm in self.sms:
+            sm.l1.mshr.publish_metrics(reg, level="l1", sm=str(sm.sm_id),
+                                       **labels)
+        return reg
 
     def _idle_jump(self):
         """Nothing happened this cycle: jump the clock to the next event."""

@@ -37,6 +37,7 @@ class Interconnect:
         # statistics
         self.total_injected = 0
         self.total_queue_delay = 0
+        self.max_in_flight = 0
 
     # -- injection ------------------------------------------------------------
 
@@ -56,6 +57,8 @@ class Interconnect:
         self.total_queue_delay += deliver - arrival
         heapq.heappush(self._heap, (deliver, next(self._seq), payload,
                                     src, dst))
+        if len(self._heap) > self.max_in_flight:
+            self.max_in_flight = len(self._heap)
 
     # -- delivery ---------------------------------------------------------------
 
@@ -85,6 +88,22 @@ class Interconnect:
         if not self.total_injected:
             return 0.0
         return self.total_queue_delay / self.total_injected
+
+    def publish_metrics(self, registry, **labels):
+        """Publish this direction's telemetry (labelled by ``direction``
+        via the network's name, plus caller-supplied labels)."""
+        registry.counter(
+            "sim.icnt.injections",
+            "payloads injected per network direction").inc(
+            self.total_injected, direction=self.name, **labels)
+        registry.counter(
+            "sim.icnt.queue_delay_cycles_by_direction",
+            "destination-port serialization delay per direction").inc(
+            self.total_queue_delay, direction=self.name, **labels)
+        registry.gauge(
+            "sim.icnt.max_in_flight",
+            "high-water mark of payloads in the network").set(
+            self.max_in_flight, direction=self.name, **labels)
 
     def debug_state(self):
         """Credit and in-flight state for deadlock reports."""

@@ -60,12 +60,22 @@ class MemoryPartition:
         self._dram_queue: deque = deque()
         self._dram_busy_until = 0
         self._dram_heap: List[Tuple[int, int, MemRequest]] = []
+        # per-partition telemetry (SimStats only keeps GPU-wide sums;
+        # these expose the partition imbalance the paper attributes
+        # turnaround spread to)
+        self.l2_hits = 0
+        self.l2_misses = 0
+        self.stall_cycles = 0
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.requests_received = 0
 
     # -- ingress ---------------------------------------------------------------
 
     def receive(self, request, now):
         """A request was delivered by the request network."""
         ready = now + self.config.rop_latency
+        self.requests_received += 1
         heapq.heappush(self._input, (ready, next(self._seq), request))
 
     # -- per-cycle work ----------------------------------------------------------
@@ -97,19 +107,23 @@ class MemoryPartition:
         if outcome is Outcome.HIT:
             self.l2.commit_hit(req.block_addr)
             self.stats.record_l2_result(True, req.load_class)
+            self.l2_hits += 1
             req.t_l2_out = now + self.config.l2_hit_latency
             heapq.heappush(self._resp_heap,
                            (req.t_l2_out, next(self._seq), req))
         elif outcome is Outcome.HIT_RESERVED:
             self.l2.commit_hit_reserved(req.block_addr, req)
             self.stats.record_l2_result(True, req.load_class)
+            self.l2_hits += 1
         elif outcome is Outcome.MISS:
             self.l2.commit_miss(req.block_addr, req)
             self.stats.record_l2_result(False, req.load_class)
+            self.l2_misses += 1
             self._dram_queue.append(req)
         else:
             # reservation failure at the slice: head-of-line retry
             self.stats.l2_stall_cycles += 1
+            self.stall_cycles += 1
             heapq.heappush(self._input, (now + 1, seq, req))
         return True
 
@@ -125,8 +139,10 @@ class MemoryPartition:
                 + self.config.dram_burst_interval)
         if req.is_write:
             self.stats.dram_writes += 1
+            self.dram_writes += 1
         else:
             self.stats.dram_reads += 1
+            self.dram_reads += 1
         heapq.heappush(self._dram_heap, (done, next(self._seq), req))
         return True
 
@@ -160,6 +176,40 @@ class MemoryPartition:
             resp_icnt.inject(req, self.pid, req.sm_id, now)
             worked = True
         return worked
+
+    # -- observability -----------------------------------------------------------
+
+    def publish_metrics(self, registry, **labels):
+        """Publish this partition's telemetry (labelled ``partition=N``
+        plus caller labels — per-partition attribution SimStats' global
+        sums cannot provide)."""
+        pid = str(self.pid)
+        registry.counter(
+            "sim.partition.requests",
+            "requests delivered to each memory partition").inc(
+            self.requests_received, partition=pid, **labels)
+        registry.counter(
+            "sim.partition.l2_hits",
+            "L2 slice hits (incl. hit-reserved) per partition").inc(
+            self.l2_hits, partition=pid, **labels)
+        registry.counter(
+            "sim.partition.l2_misses",
+            "L2 slice misses per partition").inc(
+            self.l2_misses, partition=pid, **labels)
+        registry.counter(
+            "sim.partition.stall_cycles",
+            "head-of-line retry cycles at the L2 slice").inc(
+            self.stall_cycles, partition=pid, **labels)
+        registry.counter(
+            "sim.partition.dram_reads",
+            "DRAM read bursts per channel").inc(
+            self.dram_reads, partition=pid, **labels)
+        registry.counter(
+            "sim.partition.dram_writes",
+            "DRAM write bursts per channel").inc(
+            self.dram_writes, partition=pid, **labels)
+        self.l2.mshr.publish_metrics(registry, level="l2",
+                                     partition=pid, **labels)
 
     # -- idle-jump support -------------------------------------------------------
 

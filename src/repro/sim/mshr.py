@@ -18,6 +18,11 @@ class MSHRTable:
         self.num_entries = num_entries
         self.max_merge = max_merge
         self._entries: Dict[int, List[object]] = {}
+        # telemetry: lifetime allocation/merge counts and the occupancy
+        # high-water mark, published into the metrics registry per run
+        self.total_allocations = 0
+        self.total_merges = 0
+        self.max_occupancy = 0
 
     # -- probes -----------------------------------------------------------
 
@@ -46,6 +51,9 @@ class MSHRTable:
         if not self.can_allocate():
             raise ValueError("MSHR table full")
         self._entries[block_addr] = [request]
+        self.total_allocations += 1
+        if len(self._entries) > self.max_occupancy:
+            self.max_occupancy = len(self._entries)
 
     def merge(self, block_addr, request):
         """Attach a request to an existing in-flight miss."""
@@ -54,6 +62,7 @@ class MSHRTable:
             raise ValueError("MSHR merge capacity exceeded for %#x"
                              % block_addr)
         entry.append(request)
+        self.total_merges += 1
 
     def fill(self, block_addr):
         """The fill returned: pop and return every waiting request."""
@@ -61,6 +70,28 @@ class MSHRTable:
 
     def waiting(self, block_addr):
         return list(self._entries.get(block_addr, ()))
+
+    # -- observability ------------------------------------------------------
+
+    def publish_metrics(self, registry, **labels):
+        """Publish lifetime telemetry into a metrics registry.
+
+        ``labels`` typically carry ``app`` plus the owning unit
+        (``sm=3`` or ``partition=1``) and ``level`` (``l1``/``l2``).
+        """
+        registry.counter(
+            "sim.mshr.allocations",
+            "MSHR entries allocated (one per tracked miss)").inc(
+            self.total_allocations, **labels)
+        registry.counter(
+            "sim.mshr.merges",
+            "requests merged into an in-flight MSHR entry "
+            "(the paper's hit-reserved path)").inc(
+            self.total_merges, **labels)
+        registry.gauge(
+            "sim.mshr.max_occupancy",
+            "high-water mark of simultaneously tracked misses").set(
+            self.max_occupancy, **labels)
 
     # -- diagnostics --------------------------------------------------------
 

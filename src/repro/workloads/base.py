@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..core import ClassificationResult, classify_kernel
 from ..emulator import ApplicationTrace, Emulator, MemoryImage
+from ..obs import tracing
 from ..ptx import Kernel, Module, parse_module
 from ..testing.faults import check_fault
 
@@ -122,16 +123,25 @@ class Workload(abc.ABC):
         emulator's built-in watchdog budget.
         """
         check_fault(self.name, "emulate")
-        module = parse_module(self.ptx())
-        classifications = {k.name: classify_kernel(k) for k in module}
+        with tracing.span("parse", app=self.name):
+            module = parse_module(self.ptx())
+        with tracing.span("classify", app=self.name,
+                          kernels=len(list(module))):
+            classifications = {k.name: classify_kernel(k) for k in module}
         mem = MemoryImage()
-        self.setup(mem)
+        with tracing.span("setup", app=self.name, scale=self.scale,
+                          seed=self.seed):
+            self.setup(mem)
         emu = Emulator(mem, max_warp_insts=max_warp_insts, engine=engine)
         app = ApplicationTrace(name=self.name)
-        for launch_trace in self.host(emu, module):
-            app.add(launch_trace)
+        with tracing.span("emulate", app=self.name,
+                          engine=emu.engine) as sp:
+            for launch_trace in self.host(emu, module):
+                app.add(launch_trace)
+            sp.set(launches=len(app.launches))
         if verify:
-            self.verify(mem)
+            with tracing.span("verify", app=self.name):
+                self.verify(mem)
         return WorkloadRun(
             workload=self,
             module=module,

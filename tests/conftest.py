@@ -13,6 +13,13 @@ from repro.workloads import get_workload
 #: a small but non-degenerate scale used across the suite.
 TEST_SCALE = 0.25
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden stats fixtures in tests/golden/fixtures "
+             "instead of asserting against them")
+
 #: timing config for tests: tiny caches, 2 SMs — fast and stressful.
 TEST_CONFIG = TINY
 

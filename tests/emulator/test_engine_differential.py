@@ -31,12 +31,54 @@ def _trace_bytes(name, engine, tmp_path):
     return path.read_bytes()
 
 
+def _registry_snapshot(name, engine):
+    """Run ``name`` under ``engine`` inside a fresh registry and return
+    the published snapshot.  Only deterministic counts are published
+    (the determinism contract), so engines must agree byte-for-byte."""
+    from repro.obs.bridge import publish_trace
+    from repro.obs.metrics import MetricsRegistry, isolated_registry
+
+    with isolated_registry():
+        run = get_workload(name, scale=DIFF_SCALE).run(
+            verify=False, engine=engine)
+    reg = MetricsRegistry()
+    publish_trace(name, run, reg)
+    return reg.snapshot()
+
+
 @pytest.mark.parametrize("name", ALL_WORKLOADS)
 def test_engines_produce_identical_traces(name, tmp_path):
     scalar = _trace_bytes(name, "scalar", tmp_path)
     vectorized = _trace_bytes(name, "vectorized", tmp_path)
     assert scalar == vectorized, (
         "engine divergence for %r: serialized traces differ" % name)
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_engines_produce_identical_metrics_snapshots(name):
+    scalar = _registry_snapshot(name, "scalar")
+    vectorized = _registry_snapshot(name, "vectorized")
+    assert scalar == vectorized, (
+        "engine divergence for %r: metrics snapshots differ" % name)
+
+
+def test_emulator_registry_series_engine_invariant():
+    """The counters the emulator itself publishes during launch()
+    (launches / ctas / warp_insts) carry no engine identity and agree
+    across engines — engine identity lives in span attributes only."""
+    from repro.obs.metrics import isolated_registry
+
+    def emulate_counts(engine):
+        with isolated_registry() as reg:
+            get_workload("bfs", scale=DIFF_SCALE).run(
+                verify=False, engine=engine)
+            return reg.snapshot()["counters"]
+
+    scalar = emulate_counts("scalar")
+    vectorized = emulate_counts("vectorized")
+    assert scalar["emulator.warp_insts"] == vectorized["emulator.warp_insts"]
+    assert scalar["emulator.launches"] == vectorized["emulator.launches"]
+    assert scalar == vectorized
 
 
 def test_scalar_engine_selectable_via_run():

@@ -1,0 +1,105 @@
+"""Unit tests for run manifests: recording, summaries, serialization,
+and agreement with the runner's failure records."""
+
+import json
+
+from repro.experiments.runner import AppFailure
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    AppRecord,
+    RunManifest,
+    load_manifest,
+    tool_versions,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class _FakeResult:
+    """Duck-typed AppResult: just the attributes record_result reads."""
+
+    ok = True
+
+    def __init__(self, name, meta=None):
+        self.name = name
+        self.meta = meta or {}
+
+
+class TestToolVersions:
+    def test_contains_the_comparability_facts(self):
+        versions = tool_versions()
+        assert set(versions) == {"python", "emulator", "trace_format",
+                                 "manifest"}
+        assert versions["manifest"] == MANIFEST_VERSION
+
+
+class TestAppRecord:
+    def test_to_json_drops_nones(self):
+        record = AppRecord(name="bfs", status="ok", wall_seconds=1.5)
+        assert record.to_json() == {"name": "bfs", "status": "ok",
+                                    "wall_seconds": 1.5}
+
+
+class TestRunManifest:
+    def test_record_ok_result_reads_meta(self):
+        manifest = RunManifest("figures")
+        record = manifest.record_result(_FakeResult("bfs", {
+            "wall_seconds": 2.0, "trace_cache": "hit",
+            "engine": "vectorized", "seed": 7}))
+        assert record.status == "ok"
+        assert record.trace_cache == "hit"
+        assert record.engine == "vectorized"
+        assert record.seed == 7
+        assert manifest.failures == []
+
+    def test_record_failure_mirrors_failures_json(self):
+        manifest = RunManifest("figures")
+        failure = AppFailure(name="mst", stage="simulate",
+                             error="SimulationError", message="deadlock",
+                             context={"kernel": "k"})
+        manifest.record_result(failure)
+        # byte-for-byte the same record failures.json carries
+        assert manifest.failures == [failure.to_json()]
+        assert manifest.apps[0].status == "failed"
+        assert manifest.apps[0].stage == "simulate"
+
+    def test_summary_counts(self):
+        manifest = RunManifest("figures")
+        manifest.record_result(_FakeResult("a", {"trace_cache": "hit"}))
+        manifest.record_result(_FakeResult("b", {"trace_cache": "miss"}))
+        manifest.record_result(AppFailure(
+            name="c", stage="emulate", error="E", message="m"))
+        summary = manifest.finish().summary()
+        assert summary["apps"] == 3
+        assert summary["completed"] == 2
+        assert summary["failed"] == 1
+        assert summary["trace_cache_hits"] == 1
+        assert summary["trace_cache_misses"] == 1
+        assert summary["wall_seconds"] >= 0
+
+    def test_attach_metrics_snapshots_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("runner.apps").inc(2, status="ok")
+        manifest = RunManifest("figures")
+        manifest.attach_metrics(registry)
+        assert manifest.metrics["counters"]["runner.apps"] == {
+            "status=ok": 2}
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        manifest = RunManifest("figures", {"scale": 0.1})
+        manifest.record_result(_FakeResult("bfs"))
+        path = tmp_path / "manifest.json"
+        manifest.write(str(path))
+        loaded = load_manifest(str(path))
+        assert loaded["command"] == "figures"
+        assert loaded["arguments"] == {"scale": 0.1}
+        assert loaded["versions"]["manifest"] == MANIFEST_VERSION
+        assert loaded["apps"] == [{"name": "bfs", "status": "ok"}]
+        # stable key order on disk (sort_keys)
+        text = path.read_text()
+        assert text.index('"apps"') < text.index('"command"')
+
+    def test_to_json_finishes_automatically(self):
+        manifest = RunManifest("run")
+        doc = manifest.to_json()
+        assert doc["finished_at"] is not None
+        json.dumps(doc)

@@ -1,0 +1,188 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms,
+labels, snapshots and exports)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    isolated_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("test.count", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labelled_series_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("test.count")
+        c.inc(2, app="bfs")
+        c.inc(3, app="spmv")
+        c.inc(1, app="bfs", load_category="D")
+        assert c.value(app="bfs") == 2
+        assert c.value(app="spmv") == 3
+        assert c.value(app="bfs", load_category="D") == 1
+        assert c.total() == 6
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("test.count")
+        c.inc(1, app="bfs", load_category="D")
+        c.inc(1, load_category="D", app="bfs")
+        assert c.value(app="bfs", load_category="D") == 2
+
+    def test_counter_rejects_decrease(self):
+        c = MetricsRegistry().counter("test.count")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_missing_series_reads_zero(self):
+        c = MetricsRegistry().counter("test.count")
+        assert c.value(app="nope") == 0
+
+
+class TestGauge:
+    def test_set_and_value(self):
+        g = MetricsRegistry().gauge("test.gauge")
+        g.set(3.5, app="bfs")
+        g.set(1.0, app="bfs")
+        assert g.value(app="bfs") == 1.0
+        assert g.value(app="other") is None
+
+    def test_set_max_keeps_high_water(self):
+        g = MetricsRegistry().gauge("test.gauge")
+        g.set_max(4)
+        g.set_max(2)
+        g.set_max(9)
+        assert g.value() == 9
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = MetricsRegistry().histogram("test.hist")
+        for v in (1, 2, 100):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == 103
+        assert h.mean() == pytest.approx(103 / 3)
+
+    def test_buckets_are_cumulative_in_prometheus(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("test.hist", buckets=(1, 10, float("inf")))
+        for v in (0.5, 5, 50):
+            h.observe(v)
+        text = reg.to_prometheus()
+        assert 'repro_test_hist_bucket{le="1"} 1' in text
+        assert 'repro_test_hist_bucket{le="10"} 2' in text
+        assert 'repro_test_hist_bucket{le="+Inf"} 3' in text
+        assert "repro_test_hist_count 3" in text
+
+    def test_default_buckets_end_with_inf(self):
+        assert DEFAULT_BUCKETS[-1] == float("inf")
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("same.name", "first")
+        b = reg.counter("same.name", "second ignored")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("test.metric")
+        with pytest.raises(ValueError):
+            reg.gauge("test.metric")
+
+    def test_contains_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b.two")
+        reg.gauge("a.one")
+        assert "b.two" in reg
+        assert reg.names() == ["a.one", "b.two"]
+
+    def test_snapshot_is_sorted_and_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("z.c").inc(1, app="x")
+        reg.counter("a.c").inc(2)
+        reg.gauge("m.g").set(0.5, sm="0")
+        reg.histogram("h.h").observe(3)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.c", "z.c"]
+        json.dumps(snap)  # must not raise
+
+    def test_snapshot_identical_for_identical_work(self):
+        def build():
+            reg = MetricsRegistry()
+            for app in ("spmv", "bfs"):
+                reg.counter("c").inc(3, app=app)
+            reg.gauge("g").set(1, app="bfs")
+            return reg.snapshot()
+
+        assert build() == build()
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.names() == []
+
+    def test_thread_safety_of_concurrent_incs(self):
+        reg = MetricsRegistry()
+        c = reg.counter("test.concurrent")
+
+        def work():
+            for _ in range(1000):
+                c.inc(1, app="bfs")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(app="bfs") == 8000
+
+
+class TestPrometheusExport:
+    def test_counter_gets_total_suffix_and_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.class.requests", "reqs").inc(
+            7, app="bfs", load_category="N")
+        text = reg.to_prometheus()
+        assert "# HELP repro_sim_class_requests_total reqs" in text
+        assert "# TYPE repro_sim_class_requests_total counter" in text
+        assert ('repro_sim_class_requests_total'
+                '{app="bfs",load_category="N"} 7') in text
+
+    def test_gauge_renders_floats(self):
+        reg = MetricsRegistry()
+        reg.gauge("locality.ratio").set(0.25, app="bfs")
+        assert 'repro_locality_ratio{app="bfs"} 0.25' \
+            in reg.to_prometheus()
+
+
+class TestGlobalRegistry:
+    def test_isolated_registry_swaps_and_restores(self):
+        before = get_registry()
+        with isolated_registry() as reg:
+            assert get_registry() is reg
+            assert reg is not before
+        assert get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        fresh = MetricsRegistry()
+        prev = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(prev)

@@ -1,0 +1,181 @@
+"""Unit tests for span tracing: nesting, attributes, rendering and the
+Chrome trace_event export."""
+
+import json
+import threading
+
+from repro.obs import tracing
+from repro.obs.tracing import NULL_TRACER, Tracer, use_tracer
+
+
+class TestSpanNesting:
+    def test_parent_child_structure(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert tr.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.children == []
+
+    def test_siblings_in_order(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("a"):
+                pass
+            with tr.span("b"):
+                pass
+        root = tr.roots[0]
+        assert [c.name for c in root.children] == ["a", "b"]
+
+    def test_durations_are_monotonic_and_nested(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert inner.end_ns is not None
+        assert outer.duration_ns >= inner.duration_ns
+        assert outer.start_ns <= inner.start_ns
+        assert outer.end_ns >= inner.end_ns
+
+    def test_current_tracks_innermost(self):
+        tr = Tracer()
+        assert tr.current() is None
+        with tr.span("outer") as outer:
+            assert tr.current() is outer
+            with tr.span("inner") as inner:
+                assert tr.current() is inner
+            assert tr.current() is outer
+        assert tr.current() is None
+
+    def test_exception_still_closes_span(self):
+        tr = Tracer()
+        try:
+            with tr.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tr.roots[0].end_ns is not None
+        assert tr.current() is None
+
+
+class TestAttributes:
+    def test_initial_and_late_attrs(self):
+        tr = Tracer()
+        with tr.span("work", app="bfs") as sp:
+            sp.set(warp_insts=42)
+        assert sp.attrs == {"app": "bfs", "warp_insts": 42}
+
+    def test_find_walk(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    pass
+        assert tr.find("c").name == "c"
+        assert tr.find("nope") is None
+        assert [(d, s.name) for d, s in tr.walk()] == [
+            (0, "a"), (1, "b"), (2, "c")]
+
+
+class TestDisabledTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("anything", app="x") as sp:
+            sp.set(more="attrs")
+        assert NULL_TRACER.roots == []
+
+    def test_module_default_is_noop(self):
+        # the module-level helper must not record unless a tracer is
+        # installed — this is the zero-cost-by-default contract
+        with tracing.span("library.work") as sp:
+            sp.set(k=1)
+        assert tracing.get_tracer().roots in ([], NULL_TRACER.roots)
+
+    def test_use_tracer_installs_and_restores(self):
+        before = tracing.get_tracer()
+        with use_tracer() as tr:
+            assert tracing.get_tracer() is tr
+            with tracing.span("recorded"):
+                pass
+        assert tracing.get_tracer() is before
+        assert tr.find("recorded") is not None
+
+
+class TestThreading:
+    def test_threads_get_independent_stacks(self):
+        tr = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tr.span("thread-root"):
+                done.wait(timeout=5)
+
+        t = threading.Thread(target=worker)
+        with tr.span("main-root"):
+            t.start()
+            # the worker's open span must not become our child
+            done.set()
+            t.join()
+        names = sorted(root.name for root in tr.roots)
+        assert names == ["main-root", "thread-root"]
+
+
+class TestRenderTree:
+    def test_render_contains_names_and_attrs(self):
+        tr = Tracer()
+        with tr.span("pipeline", app="bfs"):
+            with tr.span("parse"):
+                pass
+        text = tr.render_tree()
+        assert "pipeline" in text
+        assert "app=bfs" in text
+        assert "parse" in text
+        # child indented deeper than parent
+        lines = text.splitlines()
+        assert lines[1].index("parse") > lines[0].index("pipeline")
+
+
+class TestChromeTrace:
+    def test_export_shape(self):
+        tr = Tracer()
+        with tr.span("outer", app="bfs"):
+            with tr.span("inner"):
+                pass
+        doc = tr.to_chrome_trace()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert meta and meta[0]["name"] == "process_name"
+        assert [e["name"] for e in spans] == ["outer", "inner"]
+        outer, inner = spans
+        assert outer["args"] == {"app": "bfs"}
+        # nesting holds in timestamps: inner fully inside outer
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+        for e in spans:
+            assert e["ts"] >= 0
+            assert e["dur"] >= 0
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        tr = Tracer()
+        with tr.span("work", n=3):
+            pass
+        path = tmp_path / "trace.json"
+        tr.write_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"][1]["name"] == "work"
+        assert loaded["traceEvents"][1]["args"] == {"n": 3}
+
+    def test_non_jsonable_attrs_become_strings(self):
+        tr = Tracer()
+
+        class Weird:
+            def __str__(self):
+                return "weird!"
+
+        with tr.span("work", obj=Weird()):
+            pass
+        doc = tr.to_chrome_trace()
+        assert doc["traceEvents"][1]["args"]["obj"] == "weird!"
+        json.dumps(doc)  # fully serializable

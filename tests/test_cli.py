@@ -121,6 +121,99 @@ class TestVerify:
         assert code == 2
 
 
+class TestTrace:
+    def test_trace_renders_pipeline_timeline(self):
+        code, text = run_cli("trace", "bfs", "--scale", "0.1")
+        assert code == 0
+        for stage in ("pipeline", "parse", "emulate", "simulate",
+                      "profile"):
+            assert stage in text
+        assert "app=bfs" in text
+        assert "ms" in text
+
+    def test_trace_out_writes_chrome_trace_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        code, text = run_cli("trace", "bfs", "--scale", "0.1",
+                             "--trace-out", str(path))
+        assert code == 0
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        # the acceptance criterion: nested parse/emulate/simulate/
+        # profile spans inside the pipeline span
+        for name in ("pipeline", "parse", "emulate", "simulate",
+                     "profile"):
+            assert name in spans, "missing span %r" % name
+        pipeline = spans["pipeline"]
+        for name in ("parse", "emulate", "simulate", "profile"):
+            inner = spans[name]
+            assert pipeline["ts"] <= inner["ts"]
+            assert (inner["ts"] + inner["dur"]
+                    <= pipeline["ts"] + pipeline["dur"] + 1e-6)
+        # Chrome/Perfetto essentials present on every event
+        for e in events:
+            if e["ph"] == "X":
+                assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+
+    def test_trace_no_simulate_skips_sim_span(self):
+        code, text = run_cli("trace", "bfs", "--scale", "0.1",
+                             "--no-simulate")
+        assert code == 0
+        assert "emulate" in text
+        assert "simulate" not in text
+
+
+class TestMetrics:
+    def test_export_json_matches_figures_inputs(self):
+        import json
+
+        from repro.experiments.figures import fig1_data
+        from repro.experiments.runner import ExperimentRunner
+
+        code, text = run_cli("metrics", "export", "--apps", "bfs",
+                             "--scale", "0.1")
+        assert code == 0
+        snap = json.loads(text)
+        counter = snap["counters"]["app.loads.dynamic"]
+        det = counter["app=bfs,load_category=D"]
+        nondet = counter["app=bfs,load_category=N"]
+        result = ExperimentRunner(scale=0.1).result("bfs")
+        assert (det, nondet) == result.run.dynamic_class_split()
+        total = det + nondet
+        assert (det / total, nondet / total) == fig1_data([result])["bfs"]
+
+    def test_export_prometheus_format(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, text = run_cli("metrics", "export", "--apps", "bfs",
+                             "--scale", "0.1", "--format", "prom",
+                             "--out", str(path))
+        assert code == 0
+        prom = path.read_text()
+        assert "# TYPE repro_app_loads_dynamic_total counter" in prom
+        assert 'app="bfs"' in prom
+
+
+class TestFiguresManifest:
+    def test_figures_writes_run_manifest(self, tmp_path):
+        import json
+
+        code, text = run_cli("figures", "--apps", "2mm", "--scale",
+                             "0.25", "--out", str(tmp_path / "res"))
+        assert code == 0
+        manifest = json.loads(
+            (tmp_path / "res" / "manifest.json").read_text())
+        assert manifest["command"] == "figures"
+        assert manifest["arguments"]["apps"] == ["2mm"]
+        [record] = manifest["apps"]
+        assert record["name"] == "2mm"
+        assert record["status"] == "ok"
+        assert record["wall_seconds"] > 0
+        assert manifest["summary"]["completed"] == 1
+        assert "app.loads.dynamic" in manifest["metrics"]["counters"]
+
+
 @pytest.mark.faults
 class TestFiguresDegraded:
     def test_injected_fault_degrades_and_writes_manifest(self, tmp_path):
@@ -143,6 +236,16 @@ class TestFiguresDegraded:
         assert failure["name"] == "2mm"
         assert failure["stage"] == "emulate"
         assert failure["error"] == "InjectedFault"
+        # the run manifest carries the *same* failure records —
+        # failures.json and manifest.json must never disagree
+        run_manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert run_manifest["failures"] == manifest["failures"]
+        failed = [a for a in run_manifest["apps"]
+                  if a["status"] == "failed"]
+        assert [a["name"] for a in failed] == ["2mm"]
+        counters = run_manifest["metrics"]["counters"]
+        assert counters["runner.apps"]["status=failed"] == 1
+        assert counters["runner.apps"]["status=ok"] == 1
 
     def test_strict_exits_nonzero(self, tmp_path):
         from repro.testing.faults import injected
