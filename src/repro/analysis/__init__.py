@@ -1,0 +1,26 @@
+"""Trace-based correctness analyses.
+
+The paper's load classification and locality statistics are only as
+trustworthy as the emulator traces beneath them; this package checks
+those traces for the synchronization bugs GPU kernels actually harbor —
+shared-memory data races, inter-CTA write conflicts and barrier misuse
+— using the barrier-interval happens-before model (DESIGN.md §10).
+"""
+
+from .races import (
+    RaceFinding,
+    RaceKind,
+    RaceReport,
+    analyze_launch,
+    analyze_trace,
+    analyze_workload,
+)
+
+__all__ = [
+    "RaceFinding",
+    "RaceKind",
+    "RaceReport",
+    "analyze_launch",
+    "analyze_trace",
+    "analyze_workload",
+]

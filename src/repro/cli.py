@@ -28,6 +28,11 @@ Commands
     snapshot as JSON or Prometheus text exposition.
 ``cache info|clear``
     Inspect or empty the content-addressed trace cache.
+``races <app> | --all``
+    Trace-based correctness analysis: shared-memory data races
+    (barrier-interval happens-before), inter-CTA global write
+    conflicts, divergent/mismatched barriers and uninitialized
+    shared-memory reads.  Exits 1 when findings are reported.
 """
 
 from __future__ import annotations
@@ -158,6 +163,24 @@ def _build_parser():
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk trace cache")
     p_cache.add_argument("action", choices=("info", "clear"))
+
+    p_races = sub.add_parser(
+        "races", help="trace-based race/sync-bug detection "
+                      "(barrier-interval happens-before); exits 1 when "
+                      "findings are reported")
+    p_races.add_argument("app", nargs="?",
+                         choices=workload_names(include_extended=True),
+                         help="workload name (or use --all)")
+    p_races.add_argument("--all", action="store_true", dest="all_apps",
+                         help="analyze every registered workload")
+    p_races.add_argument("--scale", type=float, default=0.25)
+    p_races.add_argument("--seed", type=int, default=7)
+    p_races.add_argument("--engine", choices=("vectorized", "scalar"),
+                         default=None,
+                         help="warp-execution engine (default: vectorized)")
+    p_races.add_argument("--json", default=None, metavar="PATH",
+                         dest="json_out",
+                         help="write the structured reports as JSON")
     return parser
 
 
@@ -410,6 +433,40 @@ def _cmd_cache(args, out):
     return 0
 
 
+def _cmd_races(args, out):
+    import json
+
+    from .analysis import analyze_workload
+
+    if args.all_apps:
+        names = workload_names(include_extended=True)
+    elif args.app:
+        names = [args.app]
+    else:
+        out.write("error: provide a workload name or --all\n")
+        return 2
+    reports = []
+    for name in names:
+        report = analyze_workload(name, scale=args.scale, seed=args.seed,
+                                  engine=args.engine)
+        reports.append(report)
+        out.write(report.format() + "\n")
+    findings = sum(len(r.findings) for r in reports)
+    if args.json_out:
+        payload = {"scale": args.scale, "seed": args.seed,
+                   "clean": findings == 0,
+                   "reports": [r.to_json() for r in reports]}
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write("wrote %s\n" % args.json_out)
+    if findings:
+        out.write("%d finding(s) across %d application(s)\n"
+                  % (findings, len(reports)))
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "classify": _cmd_classify,
@@ -420,6 +477,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "cache": _cmd_cache,
+    "races": _cmd_races,
 }
 
 

@@ -34,7 +34,7 @@ from .trace import KernelLaunchTrace, TraceOp, WarpTrace
 #: Bumped whenever emulation semantics change in a way that can alter
 #: produced traces; part of the trace-cache key (see
 #: :mod:`repro.emulator.trace_cache`).
-EMULATOR_VERSION = 2
+EMULATOR_VERSION = 3
 
 #: Engine used when ``Emulator(engine=None)``: the NumPy
 #: structure-of-arrays fast path by default, overridable for debugging
@@ -453,9 +453,9 @@ class Emulator:
                 self._engine.exec_alu(self, warp, inst, exec_mask)
             stack[-1][1] = pc + 1
 
-    def _trace(self, warp, inst, exec_mask, addresses=None):
+    def _trace(self, warp, inst, exec_mask, addresses=None, values=None):
         if self.record_trace:
-            warp.trace.ops.append(TraceOp(inst, exec_mask, addresses))
+            warp.trace.ops.append(TraceOp(inst, exec_mask, addresses, values))
 
     # ------------------------------------------------------------------ memory
 
@@ -486,19 +486,21 @@ class Emulator:
             return
 
         addresses = []
+        values = []
         width = dtype.nbytes
         try:
             self._exec_memory_lanes(warp, inst, exec_mask, shared, addresses,
-                                    width)
+                                    width, values)
         except MemoryError_ as exc:
             # the address was appended just before the faulting access
             if exc.lane is None and addresses:
                 exc.lane = addresses[-1][0]
             raise
-        self._trace(warp, inst, exec_mask, tuple(addresses))
+        self._trace(warp, inst, exec_mask, tuple(addresses),
+                    tuple(values) if inst.is_store else None)
 
     def _exec_memory_lanes(self, warp, inst, exec_mask, shared, addresses,
-                           width):
+                           width, values):
         space = inst.space
         memref = inst.memref
         dtype = inst.dtype
@@ -521,6 +523,7 @@ class Emulator:
                 for k, value_op in enumerate(value_ops):
                     value = _coerce_store(
                         self._value(warp, lane, value_op), dtype)
+                    values.append(value)
                     target.store(addr + k * width, dtype, value)
         elif inst.is_atomic:
             dest = inst.dests[0].name
@@ -772,10 +775,13 @@ def _evaluate_int(inst, op, dtype, srcs):
     if op == "not":
         return _wrap(~ints[0], bits)
     if op == "shl":
-        shift = min(ints[1], bits)
+        # PTX reads the shift amount as unsigned and clamps at the
+        # register width; wrapping first keeps a negative register
+        # value (a huge unsigned) from reaching Python's `<<`.
+        shift = min(_wrap(ints[1], 64), bits)
         return _wrap(ints[0] << shift, bits)
     if op == "shr":
-        shift = min(ints[1], bits)
+        shift = min(_wrap(ints[1], 64), bits)
         if signed:
             return _wrap(_sx(ints[0], bits) >> shift, bits)
         return _wrap(ints[0], bits) >> shift

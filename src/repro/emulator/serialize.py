@@ -23,7 +23,33 @@ from ..ptx import Module, parse_module, print_module
 from .grid import Dim3, LaunchConfig
 from .trace import ApplicationTrace, KernelLaunchTrace, TraceOp, WarpTrace
 
-FORMAT_VERSION = 1
+#: Schema v2 adds, for every memory op, an access-``kind`` code
+#: (load/store/atomic + address space) and, for stores, the stored
+#: values (lane-major, element-minor) — the inputs the correctness
+#: analyzer (:mod:`repro.analysis`) needs to tell benign same-value
+#: write sharing apart from real conflicts.  The kind code is fully
+#: determined by the instruction, which makes it a cheap integrity
+#: check on load and keeps the two engines byte-identical for free.
+FORMAT_VERSION = 2
+
+_KIND_LOAD, _KIND_STORE, _KIND_ATOMIC = 0, 1, 2
+
+#: stable wire codes for address spaces (enum order is not wire format)
+_SPACE_CODES = {"global": 0, "shared": 1, "local": 2, "param": 3,
+                "const": 4, "tex": 5}
+_SPACE_NAMES = {code: name for name, code in _SPACE_CODES.items()}
+
+
+def _op_kind(inst):
+    """The schema-v2 access-kind code for a memory instruction."""
+    if inst.is_store:
+        k = _KIND_STORE
+    elif inst.is_atomic:
+        k = _KIND_ATOMIC
+    else:
+        k = _KIND_LOAD
+    space = inst.space.value if inst.space is not None else "global"
+    return k | (_SPACE_CODES[space] << 2)
 
 
 def _encode_op(op):
@@ -33,7 +59,10 @@ def _encode_op(op):
     for lane, addr in op.addresses:
         flat.append(lane)
         flat.append(addr)
-    return [op.pc, op.active_mask, flat]
+    encoded = [op.pc, op.active_mask, flat, _op_kind(op.inst)]
+    if op.inst.is_store:
+        encoded.append(list(op.values if op.values is not None else ()))
+    return encoded
 
 
 def _encode_launch(launch):
@@ -105,14 +134,27 @@ def load_run(path):
             for encoded in warp_data["ops"]:
                 pc, mask = encoded[0], encoded[1]
                 inst = kernel.instruction_at(pc)
+                addresses = values = None
                 if len(encoded) > 2:
                     flat = encoded[2]
                     addresses = tuple(
                         (flat[i], flat[i + 1])
                         for i in range(0, len(flat), 2))
-                else:
-                    addresses = None
-                warp.ops.append(TraceOp(inst, mask, addresses))
+                    # integrity check: the kind code is redundant with
+                    # the instruction, so a mismatch means corruption.
+                    if len(encoded) < 4 or encoded[3] != _op_kind(inst):
+                        raise ValueError(
+                            "corrupt trace: access kind %r at pc %#x does "
+                            "not match instruction %s"
+                            % (encoded[3] if len(encoded) > 3 else None,
+                               pc, inst.mnemonic()))
+                    if inst.is_store:
+                        if len(encoded) < 5:
+                            raise ValueError(
+                                "corrupt trace: store at pc %#x carries "
+                                "no values" % pc)
+                        values = tuple(encoded[4])
+                warp.ops.append(TraceOp(inst, mask, addresses, values))
             launch.warps.append(warp)
         app.add(launch)
     return LoadedRun(name=payload["name"], module=module,

@@ -25,14 +25,22 @@ class TraceOp:
     ``addresses`` is ``None`` for non-memory instructions; for memory
     instructions it is a tuple of ``(lane, byte_address)`` pairs covering
     the lanes that actually issued an access.
+
+    ``values`` (schema v2) is ``None`` except for stores, where it holds
+    the stored values flattened lane-major (for ``st.v2``/``st.v4`` each
+    lane contributes ``vector`` consecutive elements).  Store events are
+    part of the serialized format so the correctness analyzer
+    (:mod:`repro.analysis`) can distinguish benign same-value write
+    sharing from genuinely conflicting inter-CTA writes.
     """
 
-    __slots__ = ("inst", "active_mask", "addresses")
+    __slots__ = ("inst", "active_mask", "addresses", "values")
 
-    def __init__(self, inst, active_mask, addresses=None):
+    def __init__(self, inst, active_mask, addresses=None, values=None):
         self.inst: Instruction = inst
         self.active_mask: int = active_mask
         self.addresses: Optional[Tuple[Tuple[int, int], ...]] = addresses
+        self.values: Optional[Tuple[object, ...]] = values
 
     @property
     def pc(self):

@@ -57,6 +57,14 @@ def _count(result):
         "trace-cache lookups/stores by result").inc(1, result=result)
 
 
+def _count_corrupt():
+    """Tally one evicted corrupt/truncated entry (e.g. a killed worker's
+    partial write) — distinct from transient I/O errors."""
+    get_registry().counter(
+        "trace_cache.corrupt",
+        "corrupt or truncated cache entries evicted on lookup").inc(1)
+
+
 def cache_enabled():
     """False when the user set ``REPRO_TRACE_CACHE=0`` (or empty)."""
     value = os.environ.get(_ENV_SWITCH)
@@ -132,6 +140,7 @@ def lookup(key):
                     path.unlink()
                 except OSError:
                     pass
+                _count_corrupt()
             _count("error")
             return None
         except Exception:
@@ -140,6 +149,7 @@ def lookup(key):
                 path.unlink()
             except OSError:
                 pass
+            _count_corrupt()
             _count("error")
             return None
     return None

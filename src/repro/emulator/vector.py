@@ -358,18 +358,20 @@ class VectorEngine:
         width = dtype.nbytes
         target = shared if space is Space.SHARED else emu.memory
 
+        stored = []
         try:
             self._exec_memory_lanes(warp, inst, addresses, width, target,
-                                    active, exec_mask)
+                                    active, exec_mask, stored)
         except MemoryError_ as exc:
             if exc.lane is None:
                 count = max(len(inst.dests), len(inst.srcs) - 1, 1)
                 exc.lane = _fault_lane(addresses, exc.addr, width, count)
             raise
-        emu._trace(warp, inst, exec_mask, tuple(addresses))
+        emu._trace(warp, inst, exec_mask, tuple(addresses),
+                   tuple(stored) if inst.is_store else None)
 
     def _exec_memory_lanes(self, warp, inst, addresses, width, target,
-                           active, exec_mask):
+                           active, exec_mask, stored):
         dtype = inst.dtype
         if inst.is_load:
             is_float = dtype.is_float
@@ -384,8 +386,9 @@ class VectorEngine:
                 for k, varr in enumerate(value_arrays):
                     value = (varr if not isinstance(varr, np.ndarray)
                              else varr[lane].item())
-                    target.store(addr + k * width, dtype,
-                                 _coerce_store(value, dtype))
+                    value = _coerce_store(value, dtype)
+                    stored.append(value)
+                    target.store(addr + k * width, dtype, value)
         elif inst.is_atomic:
             dest = inst.dests[0].name
             op1 = inst.srcs[1]
@@ -577,26 +580,31 @@ def _evaluate_int_vec(inst, op, dtype, srcs):
         return _unsigned(u[0] ^ u[1], bits)
     if op == "not":
         return _unsigned(~u[0], bits)
-    if op == "shl":
-        # shifting a uint64 by >= 64 is undefined in C (and NumPy); the
-        # scalar engine's min(shift, bits)-then-wrap semantics give 0
-        shift = np.minimum(u[1], np.uint64(bits))
-        shifted = u[0] << (shift & np.uint64(63))
-        return _unsigned(np.where(shift >= np.uint64(64),
-                                  np.uint64(0), shifted), bits)
-    if op == "shr":
-        shift = np.minimum(u[1], np.uint64(bits))
-        if signed:
-            sv = _signed(u[0], bits)
-            sh = shift.astype(np.int64) if isinstance(shift, np.ndarray) \
-                else np.int64(shift)
-            res = np.where(sh >= np.int64(64), sv >> np.int64(63),
-                           sv >> np.minimum(sh, np.int64(63)))
-            return _int_result(np.asarray(res), bits)
-        res = np.where(shift >= np.uint64(64), np.uint64(0),
-                       _unsigned(u[0], bits) >> (shift & np.uint64(63)))
-        return np.asarray(res)
+    if op == "shl" or op == "shr":
+        return _shift_vec(op, bits, signed, u)
     raise EmulationError("unsupported integer op %r" % op)
+
+
+def _shift_vec(op, bits, signed, u):
+    """PTX ``shl``/``shr``: the shift amount is read as unsigned and
+    clamped at the register width.  Shifting a uint64 by >= 64 is
+    undefined in C (and platform-dependent in NumPy), so the amount is
+    clamped to the defined < 64 range *before* any NumPy shift — no lane
+    ever evaluates an undefined shift, even on a discarded branch."""
+    shift = np.minimum(u[1], np.uint64(bits))
+    if op == "shr" and signed:
+        # arithmetic shift saturates at the sign bit, so clamping the
+        # (already width-clamped) amount to 63 preserves semantics
+        sh = np.minimum(shift, np.uint64(63)).astype(np.int64)
+        return _int_result(np.asarray(_signed(u[0], bits) >> sh), bits)
+    # a full-width shift (only reachable when bits == 64) yields 0; for
+    # narrower types the wrap below zeroes the result without help
+    full = shift >= np.uint64(64)
+    safe = np.where(full, np.uint64(0), shift)
+    if op == "shl":
+        return _unsigned(np.where(full, np.uint64(0), u[0] << safe), bits)
+    return np.asarray(np.where(full, np.uint64(0),
+                               _unsigned(u[0], bits) >> safe))
 
 
 def _mul_vec(inst, op, bits, signed, u):
@@ -634,6 +642,11 @@ def _div_vec(op, bits, signed, u):
         a, b = _signed(u[0], bits), _signed(u[1], bits)
         if np.any(b == 0):
             return None  # scalar fallback raises like the oracle
+        if bits == 64 and (np.any(a == np.int64(-2**63))
+                           or np.any(b == np.int64(-2**63))):
+            # np.abs(INT64_MIN) overflows (stays negative); the per-lane
+            # big-int fallback wraps INT_MIN/-1 the way PTX requires
+            return None
         q = np.abs(a) // np.abs(b)
         q = np.where((a < 0) != (b < 0), -q, q)
         if op == "rem":

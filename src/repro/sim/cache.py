@@ -177,4 +177,6 @@ class Cache:
                 line.tag = -1
                 line.state = _State.INVALID
                 line.last_use = 0
-        self.mshr = MSHRTable(self.mshr.num_entries, self.mshr.max_merge)
+        # reset in place: obs instrumentation holds a reference to this
+        # table, so rebinding would silently detach its metrics
+        self.mshr.reset()

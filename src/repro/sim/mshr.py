@@ -71,6 +71,15 @@ class MSHRTable:
     def waiting(self, block_addr):
         return list(self._entries.get(block_addr, ()))
 
+    def reset(self):
+        """Drop all in-flight entries, keeping lifetime telemetry.
+
+        Callers (``Cache.reset``) must reset *in place*: obs
+        instrumentation publishes per-instance gauges, so rebinding to a
+        fresh table would leave those holders reading a dead object.
+        """
+        self._entries.clear()
+
     # -- observability ------------------------------------------------------
 
     def publish_metrics(self, registry, **labels):

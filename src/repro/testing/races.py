@@ -1,0 +1,284 @@
+"""Seeded fault-injection kernels with *planted* synchronization bugs.
+
+The race detector (:mod:`repro.analysis`) claims zero findings across
+the stock workload registry; that claim is only credible if the
+detector demonstrably finds bugs when they exist.  Each
+:class:`PlantedCase` here is a small PTX kernel with one deliberate,
+precisely-located bug (or, for the control case, none), plus the exact
+``(kind, pc)`` findings the detector must produce — recall is tested
+pc-exact, not just "something was flagged".
+
+These kernels are *not* part of the workload registry: they exist only
+for the detector's recall tests (``pytest -m races``) and are emulated
+directly via :class:`~repro.emulator.Emulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..analysis import RaceKind, analyze_trace
+from ..core import classify_kernel
+from ..emulator import ApplicationTrace, Emulator, MemoryImage
+from ..ptx import parse_module
+
+_WW_SHARED = """
+.entry race_ww_shared ( .param .u64 out )
+{
+    .reg .u32 %r<8>;
+    .shared .u32 s_flag[1];
+    mov.u32        %r1, %tid.x;
+    mov.u32        %r2, s_flag;
+    st.shared.u32  [%r2], %r1;      // BUG: all 64 threads write element 0
+    bar.sync       0;
+    ld.shared.u32  %r3, [%r2];
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r1;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r3;
+    exit;
+}
+"""
+
+_RW_MISSING_BAR = """
+.entry race_rw_missing_bar ( .param .u64 out )
+{
+    .reg .u32 %r<12>;
+    .shared .u32 s_data[64];
+    mov.u32        %r1, %tid.x;
+    mov.u32        %r2, s_data;
+    shl.b32        %r3, %r1, 2;
+    add.u32        %r4, %r2, %r3;
+    st.shared.u32  [%r4], %r1;      // each thread its own element
+    // BUG: missing bar.sync before reading the other warp's element
+    add.u32        %r5, %r1, 32;
+    and.b32        %r6, %r5, 63;
+    shl.b32        %r7, %r6, 2;
+    add.u32        %r8, %r2, %r7;
+    ld.shared.u32  %r9, [%r8];
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r1;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r9;
+    exit;
+}
+"""
+
+_DIVERGENT_BAR = """
+.entry race_divergent_bar ( .param .u64 out )
+{
+    .reg .u32 %r<8>;
+    mov.u32        %r1, %tid.x;
+    and.b32        %r2, %r1, 1;
+    setp.eq.u32    %p1, %r2, 1;
+    @%p1 bra       SKIP;
+    bar.sync       0;               // BUG: odd lanes branch around this
+SKIP:
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r1;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r1;
+    exit;
+}
+"""
+
+_BAR_MISMATCH = """
+.entry race_bar_mismatch ( .param .u64 out )
+{
+    .reg .u32 %r<8>;
+    mov.u32        %r1, %tid.x;
+    bar.sync       0;               // both warps
+    shr.u32        %r2, %r1, 5;
+    setp.ne.u32    %p1, %r2, 0;
+    @%p1 bra       DONE;
+    bar.sync       0;               // BUG: warp 0 only
+DONE:
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r1;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r1;
+    exit;
+}
+"""
+
+_UNINIT_READ = """
+.entry race_uninit_read ( .param .u64 out )
+{
+    .reg .u32 %r<8>;
+    .shared .u32 s_buf[32];
+    mov.u32        %r1, %tid.x;
+    mov.u32        %r2, s_buf;
+    shl.b32        %r3, %r1, 2;
+    add.u32        %r4, %r2, %r3;
+    ld.shared.u32  %r5, [%r4];      // BUG: never written by anyone
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r1;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r5;
+    exit;
+}
+"""
+
+_INTERCTA_WW = """
+.entry race_intercta_ww ( .param .u64 out )
+{
+    .reg .u32 %r<4>;
+    mov.u32        %r1, %ctaid.x;
+    ld.param.u64   %rd1, [out];
+    st.global.u32  [%rd1], %r1;     // BUG: CTA 0 writes 0, CTA 1 writes 1
+    exit;
+}
+"""
+
+_CLEAN_CONTROL = """
+.entry clean_reduction ( .param .u64 out, .param .u64 flag )
+{
+    .reg .u32 %r<16>;
+    .shared .u32 s_buf[64];
+    mov.u32        %r1, %tid.x;
+    mov.u32        %r2, s_buf;
+    shl.b32        %r3, %r1, 2;
+    add.u32        %r4, %r2, %r3;
+    st.shared.u32  [%r4], %r1;      // distinct elements per thread
+    bar.sync       0;
+    add.u32        %r5, %r1, 1;
+    and.b32        %r6, %r5, 63;
+    shl.b32        %r7, %r6, 2;
+    add.u32        %r8, %r2, %r7;
+    ld.shared.u32  %r9, [%r8];      // neighbour read, after the barrier
+    mov.u32        %r10, %ctaid.x;
+    shl.b32        %r11, %r10, 6;
+    add.u32        %r12, %r11, %r1;
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r12;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r9;     // unique element per thread
+    ld.param.u64   %rd5, [flag];
+    st.global.u32  [%rd5], 1;       // same value from every CTA: benign
+    atom.add.global.u32 %r13, [%rd5], 1;  // atomics never conflict
+    exit;
+}
+"""
+
+
+@dataclass(frozen=True)
+class PlantedCase:
+    """One planted-bug kernel plus the findings the detector must emit.
+
+    ``expected`` lists ``(kind, mnemonic_prefix, nth)`` locators: the
+    detector must report ``kind`` at exactly the pc of the ``nth``
+    instruction whose mnemonic starts with ``mnemonic_prefix`` (and
+    nothing else).  The control case has an empty ``expected``.
+    """
+
+    name: str
+    description: str
+    ptx: str
+    grid: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+    buffers: Dict[str, int] = field(default_factory=dict)
+    expected: Tuple[Tuple[str, str, int], ...] = ()
+
+    def build(self):
+        """Parse the PTX; returns ``(module, kernel)``."""
+        module = parse_module(self.ptx)
+        return module, module[self.name.replace("-", "_")]
+
+    def expected_findings(self, kernel):
+        """Resolve the locators against assigned pcs: ``{(kind, pc)}``."""
+        resolved = set()
+        for kind, prefix, nth in self.expected:
+            matches = [inst for inst in kernel.instructions
+                       if inst.mnemonic().startswith(prefix)]
+            resolved.add((kind, matches[nth].pc))
+        return resolved
+
+    def run(self, engine=None):
+        """Emulate the kernel and analyze it; returns the report."""
+        module, kernel = self.build()
+        mem = MemoryImage()
+        params = {name: mem.alloc(name, size)
+                  for name, size in self.buffers.items()}
+        emu = Emulator(mem, engine=engine)
+        app = ApplicationTrace(name=self.name)
+        app.add(emu.launch(kernel, self.grid, self.block, params))
+        classifications = {k.name: classify_kernel(k) for k in module}
+        return analyze_trace(app, classifications, app=self.name)
+
+
+PLANTED_CASES = (
+    PlantedCase(
+        name="race_ww_shared",
+        description="64 threads store their tid to one shared element "
+                    "in the same barrier interval",
+        ptx=_WW_SHARED, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"out": 64 * 4},
+        expected=((RaceKind.SHARED_RACE, "st.shared", 0),),
+    ),
+    PlantedCase(
+        name="race_rw_missing_bar",
+        description="cross-warp shared read of another thread's element "
+                    "with the bar.sync omitted",
+        ptx=_RW_MISSING_BAR, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"out": 64 * 4},
+        expected=((RaceKind.SHARED_RACE, "ld.shared", 0),
+                  (RaceKind.UNINIT_SHARED_READ, "ld.shared", 0)),
+    ),
+    PlantedCase(
+        name="race_divergent_bar",
+        description="odd lanes branch around a bar.sync their siblings "
+                    "execute",
+        ptx=_DIVERGENT_BAR, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"out": 64 * 4},
+        expected=((RaceKind.DIVERGENT_BARRIER, "bar", 0),),
+    ),
+    PlantedCase(
+        name="race_bar_mismatch",
+        description="warp 0 executes two barriers, warp 1 only one",
+        ptx=_BAR_MISMATCH, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"out": 64 * 4},
+        expected=((RaceKind.BARRIER_MISMATCH, "bar", 1),),
+    ),
+    PlantedCase(
+        name="race_uninit_read",
+        description="shared element read with no write anywhere in the "
+                    "kernel",
+        ptx=_UNINIT_READ, grid=(1, 1, 1), block=(32, 1, 1),
+        buffers={"out": 32 * 4},
+        expected=((RaceKind.UNINIT_SHARED_READ, "ld.shared", 0),),
+    ),
+    PlantedCase(
+        name="race_intercta_ww",
+        description="two CTAs store their (different) ctaid to the same "
+                    "global element",
+        ptx=_INTERCTA_WW, grid=(2, 1, 1), block=(32, 1, 1),
+        buffers={"out": 4},
+        expected=((RaceKind.GLOBAL_WRITE_CONFLICT, "st.global", 0),),
+    ),
+    PlantedCase(
+        name="clean_reduction",
+        description="control: barriered neighbour exchange, unique "
+                    "global elements, same-value flag, atomics — no bug",
+        ptx=_CLEAN_CONTROL, grid=(2, 1, 1), block=(64, 1, 1),
+        buffers={"out": 2 * 64 * 4, "flag": 8},
+        expected=(),
+    ),
+)
+
+
+def planted_names():
+    return [case.name for case in PLANTED_CASES]
+
+
+def get_planted(name):
+    for case in PLANTED_CASES:
+        if case.name == name:
+            return case
+    raise KeyError("unknown planted case %r" % name)

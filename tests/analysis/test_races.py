@@ -1,0 +1,134 @@
+"""Recall, precision and attribution tests for the race detector.
+
+Recall: every planted-bug kernel in :mod:`repro.testing.races` must be
+flagged at exactly the expected ``(kind, pc)`` set — no misses, no
+extra findings.  Precision: every stock workload in the registry must
+analyze clean.  Attribution: findings carry the kernel, pc, CTA and
+lanes of the first dynamic occurrence.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import RaceKind, analyze_workload
+from repro.obs.metrics import isolated_registry
+from repro.testing.races import PLANTED_CASES, get_planted, planted_names
+from repro.workloads import workload_names
+
+pytestmark = pytest.mark.races
+
+PRECISION_SCALE = 0.1
+
+
+class TestPlantedRecall:
+    @pytest.mark.parametrize("name", planted_names())
+    def test_findings_match_expected_pc_exact(self, name):
+        case = get_planted(name)
+        _module, kernel = case.build()
+        report = case.run()
+        got = {(f.kind, f.pc) for f in report.findings}
+        assert got == case.expected_findings(kernel), (
+            "detector output for %r diverges from the planted bug set"
+            % name)
+
+    @pytest.mark.parametrize("name", planted_names())
+    def test_engines_agree_on_findings(self, name):
+        case = get_planted(name)
+        scalar = case.run(engine="scalar")
+        vectorized = case.run(engine="vectorized")
+        assert scalar.to_json() == vectorized.to_json()
+
+    def test_control_case_is_clean(self):
+        report = get_planted("clean_reduction").run()
+        assert report.clean
+        assert report.ops_checked > 0
+        assert "clean" in report.format()
+
+
+class TestAttribution:
+    def test_ww_shared_names_the_colliding_threads(self):
+        case = get_planted("race_ww_shared")
+        report = case.run()
+        (finding,) = report.by_kind(RaceKind.SHARED_RACE)
+        assert finding.kernel == "race_ww_shared"
+        assert finding.cta == 0
+        assert finding.interval == 0
+        assert len(finding.lanes) == 2
+        assert len({pair for pair in finding.lanes}) == 2
+        assert finding.count == 1  # one element, one barrier interval
+
+    def test_intercta_conflict_reports_both_values(self):
+        report = get_planted("race_intercta_ww").run()
+        (finding,) = report.by_kind(RaceKind.GLOBAL_WRITE_CONFLICT)
+        assert finding.cta == 1  # the second writer is the reported CTA
+        assert "0x00000000 vs 0x00000001" in finding.detail
+        assert len(finding.lanes) == 2
+
+    def test_divergent_barrier_reports_bypassing_lanes(self):
+        report = get_planted("race_divergent_bar").run()
+        (finding,) = report.by_kind(RaceKind.DIVERGENT_BARRIER)
+        # odd lanes bypass: every reported lane index is odd
+        assert finding.lanes
+        assert all(lane % 2 == 1 for _warp, lane in finding.lanes)
+
+    def test_bar_mismatch_names_both_warps(self):
+        report = get_planted("race_bar_mismatch").run()
+        (finding,) = report.by_kind(RaceKind.BARRIER_MISMATCH)
+        assert "warp 0 executed 2 barrier(s)" in finding.detail
+        assert "warp 1 executed 1" in finding.detail
+
+    def test_report_json_roundtrips(self):
+        report = get_planted("race_uninit_read").run()
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["app"] == "race_uninit_read"
+        assert payload["clean"] is False
+        (finding,) = payload["findings"]
+        assert finding["kind"] == RaceKind.UNINIT_SHARED_READ
+        assert set(finding) >= {"kind", "kernel", "pc", "cta", "lanes",
+                                "address", "detail", "class", "count"}
+
+    def test_write_json(self, tmp_path):
+        report = get_planted("clean_reduction").run()
+        path = report.write_json(str(tmp_path / "report.json"))
+        assert json.loads(open(path).read())["clean"] is True
+
+
+class TestStockPrecision:
+    @pytest.mark.parametrize(
+        "name", workload_names(include_extended=True))
+    def test_stock_workload_is_clean(self, name):
+        report = analyze_workload(name, scale=PRECISION_SCALE)
+        assert report.clean, (
+            "false positive on stock workload %r:\n%s"
+            % (name, report.format()))
+        assert report.launches > 0
+        assert report.ops_checked > 0
+
+
+class TestObservability:
+    def test_analysis_publishes_counters(self):
+        with isolated_registry() as reg:
+            get_planted("race_ww_shared").run()
+            counters = reg.snapshot()["counters"]
+        assert counters["analysis.races.launches"]
+        assert counters["analysis.races.ops_checked"]
+        findings = counters["analysis.races.findings"]
+        assert any(RaceKind.SHARED_RACE in key for key in findings)
+
+    def test_clean_run_publishes_no_finding_series(self):
+        with isolated_registry() as reg:
+            get_planted("clean_reduction").run()
+            counters = reg.snapshot()["counters"]
+        assert "analysis.races.findings" not in counters
+
+
+def test_every_planted_case_has_unique_name():
+    names = planted_names()
+    assert len(names) == len(set(names))
+    assert len(PLANTED_CASES) >= 6  # >=5 buggy kernels + a clean control
+
+
+def test_unknown_planted_name_raises():
+    with pytest.raises(KeyError):
+        get_planted("nope")

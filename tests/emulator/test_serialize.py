@@ -57,6 +57,22 @@ class TestRoundtrip:
         assert (original.classes["N"].turnaround_sum
                 == replayed.classes["N"].turnaround_sum)
 
+    def test_store_values_preserved(self, bfs_run, tmp_path):
+        """Schema v2: stored values survive the roundtrip exactly."""
+        path = str(tmp_path / "bfs.trace.gz")
+        save_run(bfs_run, path)
+        loaded = load_run(path)
+        orig = [(op.pc, op.values)
+                for l in bfs_run.trace for w in l for op in w.ops
+                if op.inst.is_store and op.addresses is not None]
+        new = [(op.pc, op.values)
+               for l in loaded.trace for w in l for op in w.ops
+               if op.inst.is_store and op.addresses is not None]
+        assert orig and orig == new
+        # every store that recorded addresses also carries its values
+        for _pc, values in orig:
+            assert values is not None
+
     def test_version_check(self, bfs_run, tmp_path):
         import gzip
         import json
@@ -65,3 +81,53 @@ class TestRoundtrip:
             json.dump({"version": 99}, fh)
         with pytest.raises(ValueError, match="version"):
             load_run(path)
+
+
+class TestSchemaV2Integrity:
+    """The v2 access-kind code is redundant with the instruction, so a
+    mismatch (or a store without values) means the file is corrupt."""
+
+    def _payload(self, run, tmp_path):
+        import gzip
+        import json
+        path = str(tmp_path / "bfs.trace.gz")
+        save_run(run, path)
+        with gzip.open(path, "rt") as fh:
+            return json.load(fh)
+
+    def _write(self, payload, tmp_path):
+        import gzip
+        import json
+        path = str(tmp_path / "tampered.trace.gz")
+        with gzip.open(path, "wt") as fh:
+            json.dump(payload, fh)
+        return path
+
+    def _memory_ops(self, payload):
+        for launch in payload["launches"]:
+            for warp in launch["warps"]:
+                for op in warp["ops"]:
+                    if len(op) > 2:
+                        yield op
+
+    def test_tampered_kind_rejected(self, bfs_run, tmp_path):
+        payload = self._payload(bfs_run, tmp_path)
+        op = next(self._memory_ops(payload))
+        op[3] ^= 1  # flip load<->store in the kind code
+        with pytest.raises(ValueError, match="access kind"):
+            load_run(self._write(payload, tmp_path))
+
+    def test_missing_kind_rejected(self, bfs_run, tmp_path):
+        payload = self._payload(bfs_run, tmp_path)
+        op = next(self._memory_ops(payload))
+        del op[3:]
+        with pytest.raises(ValueError, match="access kind"):
+            load_run(self._write(payload, tmp_path))
+
+    def test_store_without_values_rejected(self, bfs_run, tmp_path):
+        payload = self._payload(bfs_run, tmp_path)
+        store_op = next(op for op in self._memory_ops(payload)
+                        if len(op) > 4)
+        del store_op[4:]
+        with pytest.raises(ValueError, match="carries no values"):
+            load_run(self._write(payload, tmp_path))

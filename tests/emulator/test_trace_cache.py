@@ -112,6 +112,25 @@ class TestRobustness:
             fh.write("this is not a trace payload")
         assert trace_cache.lookup(key) is None
 
+    def test_truncated_entry_counts_as_corrupt(self, bfs_small):
+        from repro.obs.metrics import isolated_registry
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+        path = trace_cache.entry_path(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with isolated_registry() as reg:
+            assert trace_cache.lookup(key) is None
+            corrupt = reg.get("trace_cache.corrupt")
+            assert corrupt is not None and corrupt.total() == 1
+
+    def test_plain_miss_does_not_count_as_corrupt(self, bfs_small):
+        from repro.obs.metrics import isolated_registry
+        workload, _, ptx = bfs_small
+        with isolated_registry() as reg:
+            assert trace_cache.lookup(_key(workload, ptx)) is None
+            assert reg.get("trace_cache.corrupt") is None
+
     def test_store_is_byte_deterministic(self, bfs_small):
         workload, run, ptx = bfs_small
         key = _key(workload, ptx)

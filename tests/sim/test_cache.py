@@ -114,6 +114,28 @@ class TestMaintenance:
         assert cache.lookup(a) is Outcome.MISS
         assert cache.reserved_count() == 0
 
+    def test_reset_clears_mshr_in_place(self):
+        """reset() must clear the MSHR *in place*: rebinding a fresh
+        MSHR would orphan any external reference (the memory pipeline
+        holds one) and leave the old, still-populated table live."""
+        cache = make_cache(sets=4, assoc=2, mshr=2)
+        mshr = cache.mshr
+        cache.commit_miss(addr(0, 1, sets=4), "r0")
+        cache.commit_miss(addr(1, 1, sets=4), "r1")
+        assert cache.lookup(addr(2, 1, sets=4)) is Outcome.RSRV_FAIL_MSHR
+        cache.reset()
+        assert cache.mshr is mshr
+        # the table really drained: new misses allocate from scratch
+        assert cache.lookup(addr(2, 1, sets=4)) is Outcome.MISS
+        cache.commit_miss(addr(2, 1, sets=4), "r2")
+        assert cache.fill(addr(2, 1, sets=4)) == ["r2"]
+        # metrics keep flowing through the pre-reset reference: the
+        # post-reset allocation lands in the same lifetime counters
+        from repro.obs.metrics import MetricsRegistry
+        reg = MetricsRegistry()
+        mshr.publish_metrics(reg, level="l1")
+        assert reg.get("sim.mshr.allocations").value(level="l1") == 3
+
     def test_fill_unknown_block_returns_empty(self):
         cache = make_cache()
         assert cache.fill(addr(0, 9)) == []

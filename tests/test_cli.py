@@ -256,3 +256,35 @@ class TestFiguresDegraded:
                                  str(tmp_path / "res"))
         assert code == 1
         assert "InjectedFault" in text
+
+
+class TestRaces:
+    def test_clean_workload_exits_zero(self):
+        code, text = run_cli("races", "bfs", "--scale", "0.1")
+        assert code == 0
+        assert "bfs" in text
+        assert "clean" in text
+
+    def test_requires_app_or_all(self):
+        code, text = run_cli("races")
+        assert code == 2
+        assert "--all" in text
+
+    def test_json_report(self, tmp_path):
+        import json
+        path = tmp_path / "races.json"
+        code, _text = run_cli("races", "spmv", "--scale", "0.1",
+                              "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["clean"] is True
+        assert payload["scale"] == 0.1
+        [report] = payload["reports"]
+        assert report["app"] == "spmv"
+        assert report["findings"] == []
+
+    def test_engine_selectable(self):
+        code, text = run_cli("races", "bfs", "--scale", "0.1",
+                             "--engine", "scalar")
+        assert code == 0
+        assert "clean" in text
