@@ -1,55 +1,53 @@
-"""Cache-size sensitivity sweep.
+"""Cache-size sensitivity sweep (thin wrapper over ``sweeps/cache_size.json``).
 
 Xu et al. (IISWC 2014), whose findings the paper builds on, report that
 for graph applications "cache size is not correlated to the performance
-improvement".  This sweep quadruples the L1 on a dense app (2mm) and a
-graph app (bfs): the dense app's miss ratio should collapse, the graph
-app's barely move — its misses come from non-deterministic scatter, not
-capacity.
+improvement".  The committed sweep spec quadruples the L1 on a dense app
+(2mm) and a graph app (bfs): the dense app's miss ratio should collapse,
+the graph app's barely move — its misses come from non-deterministic
+scatter, not capacity.
+
+The grid itself now lives in the declarative sweep spec; this benchmark
+executes it through the sweep engine (reusing the session's emulated
+runs) and asserts on the aggregated report — the same numbers
+``repro sweep run sweeps/cache_size.json`` produces from the CLI.
 """
 
-from repro.experiments.render import format_table
-from repro.sim.gpu import GPU
+import os
 
-SIZES_KB = (1, 2, 4, 8)
-APPS = ("2mm", "bfs")
+from repro.sweep import (
+    SweepEngine,
+    SweepSpec,
+    build_report,
+    render_report,
+    scan_points,
+)
+
+SPEC_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "sweeps", "cache_size.json")
 
 
-def _miss_ratio(stats):
-    hits = sum(c.l1_hit + c.l1_hit_reserved for c in stats.classes.values())
-    misses = sum(c.l1_miss for c in stats.classes.values())
-    return misses / (hits + misses) if hits + misses else 0.0
+def test_cache_size_sweep(benchmark, runner, by_name, emit, tmp_path):
+    spec = SweepSpec.load(SPEC_PATH)
+    assert spec.scales == [runner.scale]  # reuse of session runs is sound
+    runs = {(name, runner.scale): by_name[name].run for name in spec.apps}
+    engine = SweepEngine(spec, tmp_path / "out", runs=runs,
+                         use_trace_cache=False, strict=True)
 
+    benchmark.pedantic(engine.run, rounds=1, iterations=1)
 
-def test_cache_size_sweep(benchmark, runner, by_name, emit):
-    def run_all():
-        out = {}
-        for name in APPS:
-            run = by_name[name].run
-            for kb in SIZES_KB:
-                config = runner.config.scaled(l1_size=kb * 1024)
-                gpu = GPU(config)
-                for launch in run.trace:
-                    gpu.run_launch(
-                        launch, run.classifications[launch.kernel_name])
-                out[(name, kb)] = gpu.stats
-        return out
+    report = build_report(spec, scan_points([tmp_path / "out"]))
+    assert not report["missing"]
+    emit("ablation_cache_size", render_report(spec, report))
 
-    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
-
-    rows = []
-    for name in APPS:
-        for kb in SIZES_KB:
-            stats = outcomes[(name, kb)]
-            rows.append([name, "%dKB" % kb, _miss_ratio(stats),
-                         stats.cycles])
-    emit("ablation_cache_size", format_table(
-        ["app", "L1 size", "L1 miss ratio", "cycles"],
-        rows, title="Cache-size sensitivity (Xu et al.'s observation)"))
+    sizes = spec.axes["l1_size"]
+    ratios = {(r["app"], r["knobs"]["l1_size"]): r["metrics"]["l1_miss_ratio"]
+              for r in report["rows"]}
 
     def improvement(name):
-        small = _miss_ratio(outcomes[(name, SIZES_KB[0])])
-        large = _miss_ratio(outcomes[(name, SIZES_KB[-1])])
+        small = ratios[(name, sizes[0])]
+        large = ratios[(name, sizes[-1])]
         return (small - large) / small if small else 0.0
 
     dense_gain = improvement("2mm")

@@ -1,42 +1,55 @@
-"""Section X.C ablation: semi-global L2 caches.
+"""Section X.C ablation: semi-global L2 caches (wrapper over
+``sweeps/semi_l2.json``).
 
 The paper proposes L2 slices shared by small SM clusters instead of all
 SMs, trading slice capacity for locality and shorter interconnect paths.
-This benchmark compares both organizations on data-sharing applications.
+The committed sweep spec compares both organizations (``l2_clusters``
+0 = global, 2 = clusters of two) on data-sharing applications; this
+benchmark runs it through the sweep engine and asserts on the report —
+the same numbers ``repro sweep run sweeps/semi_l2.json`` produces.
 """
 
-from repro.experiments.render import format_table
-from repro.optim.semi_global_l2 import compare_l2_organizations
+import os
 
-APPS = ("2mm", "srad", "bfs")
+from repro.sweep import (
+    SweepEngine,
+    SweepSpec,
+    build_report,
+    render_report,
+    scan_points,
+)
+
+SPEC_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "sweeps", "semi_l2.json")
 
 
-def test_semi_global_l2_ablation(benchmark, runner, by_name, emit):
-    def run_all():
-        return {name: compare_l2_organizations(by_name[name].run,
-                                               runner.config,
-                                               cluster_size=2)
-                for name in APPS}
+def test_semi_global_l2_ablation(benchmark, runner, by_name, emit, tmp_path):
+    spec = SweepSpec.load(SPEC_PATH)
+    assert spec.scales == [runner.scale]  # reuse of session runs is sound
+    runs = {(name, runner.scale): by_name[name].run for name in spec.apps}
+    engine = SweepEngine(spec, tmp_path / "out", runs=runs,
+                         use_trace_cache=False, strict=True)
 
-    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark.pedantic(engine.run, rounds=1, iterations=1)
 
-    rows = []
-    for name, per_org in outcomes.items():
-        g = per_org["global"]
-        s = per_org["semi_global"]
-        rows.append([name, g.l2_miss_ratio, s.l2_miss_ratio,
-                     g.mean_d_turnaround, s.mean_d_turnaround,
-                     g.cycles, s.cycles])
-        assert s.cycles > 0 and g.cycles > 0
-        assert 0.0 <= s.l2_miss_ratio <= 1.0
-    emit("ablation_semi_l2", format_table(
-        ["app", "global L2 miss", "semi L2 miss", "global D turn",
-         "semi D turn", "global cycles", "semi cycles"],
-        rows, title="Section X.C ablation: semi-global L2 (clusters of 2)"))
+    report = build_report(spec, scan_points([tmp_path / "out"]))
+    assert not report["missing"]
+    emit("ablation_semi_l2", render_report(spec, report))
+
+    outcomes = {}
+    for row in report["rows"]:
+        label = "semi_global" if row["knobs"]["l2_clusters"] else "global"
+        outcomes.setdefault(row["app"], {})[label] = row["metrics"]
+
+    for per_org in outcomes.values():
+        assert per_org["global"]["cycles"] > 0
+        assert per_org["semi_global"]["cycles"] > 0
+        assert 0.0 <= per_org["semi_global"]["l2_miss_ratio"] <= 1.0
 
     # the shorter cluster interconnect reduces deterministic-load
     # turnaround for at least one data-sharing app
     wins = sum(1 for per_org in outcomes.values()
-               if per_org["semi_global"].mean_d_turnaround
-               <= per_org["global"].mean_d_turnaround)
+               if per_org["semi_global"]["d_turnaround"]
+               <= per_org["global"]["d_turnaround"])
     assert wins >= 1

@@ -7,7 +7,6 @@ Section IV: linear algebra has the highest global-load fraction, graph
 the lowest.
 """
 
-from conftest import category_mean
 
 from repro.experiments.tables import render_table1, table1_rows
 

@@ -33,6 +33,14 @@ Commands
     (barrier-interval happens-before), inter-CTA global write
     conflicts, divergent/mismatched barriers and uninitialized
     shared-memory reads.  Exits 1 when findings are reported.
+``sweep run|status|report|compare``
+    The declarative parameter-sweep engine (DESIGN.md section 11):
+    ``run`` executes (a shard of) a committed spec resumably, writing
+    content-addressed per-point results; ``status`` summarizes
+    completion; ``report`` merges shard outputs into a
+    byte-deterministic aggregate; ``compare`` diffs two metric JSON
+    files with per-metric tolerances, exiting 1 on regression (the CI
+    perf gate).
 """
 
 from __future__ import annotations
@@ -181,6 +189,83 @@ def _build_parser():
     p_races.add_argument("--json", default=None, metavar="PATH",
                          dest="json_out",
                          help="write the structured reports as JSON")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="declarative parameter sweeps: sharded resumable "
+                      "runs, aggregate reports, tolerance-gated compare")
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    ps_run = sweep_sub.add_parser(
+        "run", help="execute (a shard of) a sweep spec into --out; "
+                    "completed points are skipped on rerun")
+    ps_run.add_argument("spec", help="sweep spec JSON file (see sweeps/)")
+    ps_run.add_argument("--out", default="sweep-results",
+                        help="output directory (point files land in "
+                             "<out>/points)")
+    ps_run.add_argument("--shard", default="1/1", metavar="K/N",
+                        help="run the K-th of N deterministic shards")
+    ps_run.add_argument("--jobs", type=int, default=1,
+                        help="worker processes across (app, scale) groups")
+    ps_run.add_argument("--engine", choices=("vectorized", "scalar"),
+                        default=None,
+                        help="warp-execution engine for cold emulations")
+    ps_run.add_argument("--no-trace-cache", action="store_true",
+                        help="skip the on-disk trace cache")
+    ps_run.add_argument("--strict", action="store_true",
+                        help="abort on the first failing point instead "
+                             "of recording and continuing")
+
+    ps_status = sweep_sub.add_parser(
+        "status", help="completion summary for a sweep's output dir(s)")
+    ps_status.add_argument("dirs", nargs="+",
+                           help="sweep output directories")
+    ps_status.add_argument("--spec", default=None,
+                           help="spec file (default: sweep.json found in "
+                                "the directories)")
+    ps_status.add_argument("--shard-count", type=int, default=1,
+                           help="also break completion down over N shards")
+
+    ps_report = sweep_sub.add_parser(
+        "report", help="merge point files from one or more output dirs "
+                       "into an aggregate report (byte-deterministic)")
+    ps_report.add_argument("dirs", nargs="+",
+                           help="sweep output directories (e.g. the four "
+                                "shard artifacts)")
+    ps_report.add_argument("--spec", default=None,
+                           help="spec file (default: sweep.json found in "
+                                "the directories)")
+    ps_report.add_argument("--out", default=None,
+                           help="write report.json + report.txt here "
+                                "instead of printing")
+    ps_report.add_argument("--strict", action="store_true",
+                           help="exit 1 when any grid point is missing")
+
+    ps_cmp = sweep_sub.add_parser(
+        "compare", help="diff two metric JSON files with per-metric "
+                        "relative tolerances; exits 1 on regression")
+    ps_cmp.add_argument("old", help="baseline JSON (e.g. the committed "
+                                    "BENCH_emulator.json or a report.json)")
+    ps_cmp.add_argument("new", help="candidate JSON")
+    ps_cmp.add_argument("--key", action="append", default=[],
+                        metavar="GLOB=TOL[:up|:down]",
+                        help="tolerance rule for matching dotted paths; "
+                             "first match wins (e.g. "
+                             "'totals.*_speedup=0.8:down')")
+    ps_cmp.add_argument("--default-tolerance", type=float, default=0.0,
+                        help="relative tolerance for unmatched paths "
+                             "(default 0: exact)")
+    ps_cmp.add_argument("--only", action="append", default=[],
+                        metavar="GLOB",
+                        help="compare only paths matching these globs")
+    ps_cmp.add_argument("--ignore", action="append", default=[],
+                        metavar="GLOB",
+                        help="skip paths matching these globs")
+    ps_cmp.add_argument("--json", default=None, metavar="PATH",
+                        dest="json_out",
+                        help="write the structured comparison as JSON")
+    ps_cmp.add_argument("--verbose", action="store_true",
+                        help="print every compared value, not just "
+                             "failures")
     return parser
 
 
@@ -467,6 +552,129 @@ def _cmd_races(args, out):
     return 0
 
 
+def _cmd_sweep_run(args, out):
+    from .obs.metrics import isolated_registry
+    from .sweep import (SpecError, SweepEngine, SweepError, SweepSpec,
+                        parse_shard)
+
+    try:
+        spec = SweepSpec.load(args.spec)
+        shard_index, shard_count = parse_shard(args.shard)
+    except SpecError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    engine = SweepEngine(
+        spec, args.out, jobs=args.jobs, engine=args.engine,
+        use_trace_cache=not args.no_trace_cache, strict=args.strict)
+    with isolated_registry():
+        try:
+            summary = engine.run(shard_index, shard_count)
+        except SweepError as exc:
+            out.write("error: %s\n" % exc)
+            return 1
+    out.write("sweep %s: shard %d/%d -> %s\n"
+              % (spec.name, shard_index, shard_count, args.out))
+    out.write("  points:   %d selected of %d total\n"
+              % (summary["selected"], summary["total"]))
+    out.write("  computed: %d\n  cached:   %d\n  failed:   %d\n"
+              % (summary["computed"], summary["cached"],
+                 summary["failed"]))
+    for outcome in summary["outcomes"]:
+        if outcome.status == "failed":
+            out.write("FAILED %s: %s\n"
+                      % (outcome.params, outcome.error))
+    return 1 if summary["failed"] else 0
+
+
+def _cmd_sweep_status(args, out):
+    from .sweep import ReportError, SpecError, load_sweep_spec, sweep_status
+
+    try:
+        spec = load_sweep_spec(args.dirs, args.spec)
+    except (ReportError, SpecError) as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    status = sweep_status(spec, args.dirs, shard_count=args.shard_count)
+    out.write("sweep %s: %d/%d point(s) done (%d missing)\n"
+              % (spec.name, status["done"], status["total"],
+                 status["missing"]))
+    if args.shard_count > 1:
+        for entry in status["shards"]:
+            out.write("  shard %d/%d: %d/%d done\n"
+                      % (entry["shard"], args.shard_count,
+                         entry["done"], entry["points"]))
+    return 0
+
+
+def _cmd_sweep_report(args, out):
+    from .sweep import (
+        ReportError,
+        SpecError,
+        build_report,
+        load_sweep_spec,
+        render_report,
+        scan_points,
+        write_report,
+    )
+
+    try:
+        spec = load_sweep_spec(args.dirs, args.spec)
+    except (ReportError, SpecError) as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    report = build_report(spec, scan_points(args.dirs))
+    if args.out:
+        json_path, txt_path = write_report(spec, report, args.out)
+        out.write("wrote %s\nwrote %s\n" % (json_path, txt_path))
+    else:
+        out.write(render_report(spec, report) + "\n")
+    if report["missing"]:
+        out.write("missing %d of %d point(s)\n"
+                  % (len(report["missing"]), report["points_total"]))
+        if args.strict:
+            return 1
+    return 0
+
+
+def _cmd_sweep_compare(args, out):
+    import json
+
+    from .sweep import compare_files, parse_rule
+
+    try:
+        rules = [parse_rule(text) for text in args.key]
+    except ValueError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    try:
+        result = compare_files(
+            args.old, args.new, rules=rules,
+            default_tolerance=args.default_tolerance,
+            only=args.only, ignore=args.ignore)
+    except (OSError, ValueError) as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    out.write(result.format(verbose=args.verbose) + "\n")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write("wrote %s\n" % args.json_out)
+    return 0 if result.ok else 1
+
+
+_SWEEP_COMMANDS = {
+    "run": _cmd_sweep_run,
+    "status": _cmd_sweep_status,
+    "report": _cmd_sweep_report,
+    "compare": _cmd_sweep_compare,
+}
+
+
+def _cmd_sweep(args, out):
+    return _SWEEP_COMMANDS[args.sweep_command](args, out)
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "classify": _cmd_classify,
@@ -478,6 +686,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "cache": _cmd_cache,
     "races": _cmd_races,
+    "sweep": _cmd_sweep,
 }
 
 

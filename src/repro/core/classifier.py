@@ -22,10 +22,10 @@ paper derives by hand for its Code 1 example.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Tuple
 
 from ..ptx.cfg import CFG
-from ..ptx.isa import Imm, Instruction, MemRef, Reg, Space, SReg, Sym
+from ..ptx.isa import Imm, Instruction, MemRef, Space, SReg, Sym
 from ..ptx.module import Kernel
 from .defuse import ENTRY, ReachingDefs
 from .provenance import LoadClass, Provenance
@@ -76,11 +76,11 @@ class ClassificationResult:
 
     @property
     def deterministic(self):
-        return [l for l in self.loads if l.is_deterministic]
+        return [ld for ld in self.loads if ld.is_deterministic]
 
     @property
     def nondeterministic(self):
-        return [l for l in self.loads if not l.is_deterministic]
+        return [ld for ld in self.loads if not ld.is_deterministic]
 
     def static_fraction_deterministic(self):
         """Fraction of *static* global loads classified deterministic."""

@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
 
-from .classifier import ClassificationResult
-from .provenance import LoadClass
 
 
 def format_kernel_report(result, dynamic_counts=None):

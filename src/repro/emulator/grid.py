@@ -8,7 +8,6 @@ warps of :data:`WARP_SIZE` threads that execute in lockstep on an SM.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
 
 #: Threads per warp (32 on all NVIDIA architectures, incl. the paper's M2050).
 WARP_SIZE = 32

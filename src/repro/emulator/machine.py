@@ -19,16 +19,15 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .._bits import lanes_of as _lanes_of
 from ..obs import tracing
 from ..obs.metrics import get_registry
 from ..ptx.cfg import CFG
-from ..ptx.isa import DType, Imm, Instruction, MemRef, Reg, Space, SReg, Sym
-from ..ptx.module import Kernel
+from ..ptx.isa import Imm, Reg, Space, SReg
 from .grid import FULL_MASK, WARP_SIZE, LaunchConfig, as_dim3
-from .memory import MemoryError_, MemoryImage, SharedMemory
+from .memory import MemoryError_, SharedMemory
 from .trace import KernelLaunchTrace, TraceOp, WarpTrace
 
 #: Bumped whenever emulation semantics change in a way that can alter

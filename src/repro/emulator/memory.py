@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import bisect
 import struct
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

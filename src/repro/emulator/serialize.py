@@ -16,7 +16,7 @@ from __future__ import annotations
 import gzip
 import json
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from ..core import ClassificationResult, classify_kernel
 from ..ptx import Module, parse_module, print_module
@@ -90,7 +90,7 @@ def save_run(run, path):
         "version": FORMAT_VERSION,
         "name": run.trace.name,
         "ptx": print_module(run.module),
-        "launches": [_encode_launch(l) for l in run.trace],
+        "launches": [_encode_launch(launch) for launch in run.trace],
     }
     data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     with open(path, "wb") as fh:

@@ -12,11 +12,11 @@ the interface between the functional emulator and both:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .._bits import popcount
-from ..ptx.isa import Instruction, Space
-from .grid import WARP_SIZE, LaunchConfig
+from ..ptx.isa import Instruction
+from .grid import LaunchConfig
 
 
 class TraceOp:
@@ -152,16 +152,17 @@ class ApplicationTrace:
         return launch_trace
 
     def total_warp_instructions(self):
-        return sum(l.total_warp_instructions() for l in self.launches)
+        return sum(launch.total_warp_instructions()
+                   for launch in self.launches)
 
     def count_ops(self, predicate):
-        return sum(l.count_ops(predicate) for l in self.launches)
+        return sum(launch.count_ops(predicate) for launch in self.launches)
 
     def global_load_warp_count(self):
-        return sum(l.global_load_warp_count() for l in self.launches)
+        return sum(launch.global_load_warp_count() for launch in self.launches)
 
     def shared_load_warp_count(self):
-        return sum(l.shared_load_warp_count() for l in self.launches)
+        return sum(launch.shared_load_warp_count() for launch in self.launches)
 
     def dynamic_counts_by_pc(self, kernel_name):
         """Summed per-PC global-load counts for one kernel across launches."""

@@ -34,11 +34,10 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Optional
 
 from ..obs.metrics import get_registry
 from .machine import EMULATOR_VERSION
-from .serialize import FORMAT_VERSION, LoadedRun, load_run, save_run
+from .serialize import FORMAT_VERSION, load_run, save_run
 
 _ENV_DIR = "REPRO_TRACE_CACHE_DIR"
 _ENV_SWITCH = "REPRO_TRACE_CACHE"

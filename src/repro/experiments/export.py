@@ -9,7 +9,6 @@ can consume the reproduction without importing the library.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
 
 from ..profiling.irregularity import measure_irregularity
 from . import figures

@@ -8,7 +8,6 @@ plot.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
 
 from ..profiling.counters import shared_per_global_ratio
 from ..profiling.turnaround import (
@@ -160,8 +159,8 @@ def classified_pcs(result, kernel_name, load_class):
     classification = result.run.classifications.get(kernel_name)
     if classification is None:
         return []
-    return [l.pc for l in classification
-            if str(l.load_class) == load_class]
+    return [ld.pc for ld in classification
+            if str(ld.load_class) == load_class]
 
 
 def fig6_data(result, max_pcs=2):
@@ -242,15 +241,37 @@ def fig8_data(results):
     return out
 
 
+#: Figure 8 table shape, shared with the sweep-report rendering below.
+_FIG8_HEADERS = ["app", "N L1 miss", "N L2 miss", "D L1 miss", "D L2 miss"]
+_FIG8_TITLE = "Figure 8: cache miss ratios per load class"
+
+
 def render_fig8(results):
     data = fig8_data(results)
     rows = []
     for r in results:
         n, d = data[r.name]["N"], data[r.name]["D"]
         rows.append([r.name, n[0], n[1], d[0], d[1]])
-    return format_table(
-        ["app", "N L1 miss", "N L2 miss", "D L1 miss", "D L2 miss"],
-        rows, title="Figure 8: cache miss ratios per load class")
+    return format_table(_FIG8_HEADERS, rows, title=_FIG8_TITLE)
+
+
+def render_fig8_from_sweep(rows):
+    """Figure 8 rendered from sweep-report rows (``repro sweep report``
+    over the committed ``sweeps/fig8.json`` spec) instead of live
+    :class:`AppResult` objects.
+
+    The sweep metrics ``n_l1_miss_ratio``/... are defined to be exactly
+    the :func:`fig8_data` series, so for identical apps/scale/config
+    this renders byte-identically to :func:`render_fig8` — asserted in
+    ``tests/sweep/test_figures_integration.py``.
+    """
+    table_rows = []
+    for row in rows:
+        m = row["metrics"]
+        table_rows.append(
+            [row["app"], m["n_l1_miss_ratio"], m["n_l2_miss_ratio"],
+             m["d_l1_miss_ratio"], m["d_l2_miss_ratio"]])
+    return format_table(_FIG8_HEADERS, table_rows, title=_FIG8_TITLE)
 
 
 # ---------------------------------------------------------------------------

@@ -8,7 +8,6 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
 
 
 def format_table(headers, rows, title=None, floatfmt="%.3f"):

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, List, Optional
 
 from ..emulator import MemoryImage, trace_cache
 from ..emulator.machine import DEFAULT_ENGINE
@@ -200,6 +200,20 @@ class ExperimentRunner:
         if key is not None:
             trace_cache.store(key, run)
         return workload, run, cache_status
+
+    def workload_run(self, name):
+        """Emulate one application (trace cache permitting) without
+        simulating or profiling it.
+
+        This is the sweep engine's entry point: a parameter sweep
+        re-simulates one trace under many configurations, so it wants
+        the :class:`WorkloadRun` alone — classification, trace and
+        kernels — and performs the timing runs itself.  Shares the
+        trace-cache/fault-injection path of the full pipeline.
+        """
+        with tracing.span("emulate", app=name, scale=self.scale):
+            _workload, run, _cache_status = self._emulate(name)
+        return run
 
     def _compute(self, name):
         """The fail-fast pipeline for one application.  ``self._stage``

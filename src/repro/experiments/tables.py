@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
 
-from ..profiling.counters import COUNTER_DESCRIPTIONS, collect_counters
+from ..profiling.counters import collect_counters
 from .render import format_table
 
 
@@ -14,7 +13,7 @@ def table1_rows(results):
     for result in results:
         trace = result.trace
         launches = list(trace)
-        num_ctas = sum(l.config.num_ctas for l in launches)
+        num_ctas = sum(launch.config.num_ctas for launch in launches)
         threads_per_cta = launches[0].config.threads_per_cta if launches else 0
         total = trace.total_warp_instructions()
         gld = trace.global_load_warp_count()

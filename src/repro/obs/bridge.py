@@ -18,7 +18,6 @@ on different emulator engines) produce identical series.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 from ..sim.stats import CLASS_LABELS
 from .metrics import get_registry

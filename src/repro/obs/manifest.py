@@ -18,9 +18,8 @@ from __future__ import annotations
 
 import json
 import platform
-import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 #: manifest schema version, bumped on incompatible layout changes.
@@ -76,6 +75,10 @@ class RunManifest:
         self.apps: List[AppRecord] = []
         self.failures: List[Dict[str, object]] = []
         self.metrics: Optional[Dict[str, object]] = None
+        #: free-form JSON-serializable sections stamped into the
+        #: manifest by the producing command (e.g. the sweep engine's
+        #: per-shard point statuses).  Empty sections are omitted.
+        self.extras: Dict[str, object] = {}
 
     # -- recording --------------------------------------------------------
 
@@ -132,7 +135,7 @@ class RunManifest:
     def to_json(self):
         if self.finished_at is None:
             self.finish()
-        return {
+        out = {
             "command": self.command,
             "arguments": self.arguments,
             "started_at": self.started_at,
@@ -144,6 +147,9 @@ class RunManifest:
             "failures": self.failures,
             "metrics": self.metrics,
         }
+        if self.extras:
+            out["extras"] = dict(self.extras)
+        return out
 
     def write(self, path):
         with open(path, "w") as fh:

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",

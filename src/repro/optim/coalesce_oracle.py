@@ -14,7 +14,6 @@ touched data) is unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from ..emulator.trace import KernelLaunchTrace, TraceOp, WarpTrace
 from ..sim.gpu import GPU
@@ -40,7 +39,8 @@ def coalesced_launch(launch_trace, classification):
     """Transformed copy of a launch with N loads perfectly coalesced."""
     nondet_pcs = set()
     if classification is not None:
-        nondet_pcs = {l.pc for l in classification if not l.is_deterministic}
+        nondet_pcs = {ld.pc for ld in classification
+                      if not ld.is_deterministic}
     new_launch = KernelLaunchTrace(
         kernel_name=launch_trace.kernel_name,
         config=launch_trace.config,

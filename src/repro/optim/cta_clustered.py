@@ -9,9 +9,7 @@ under both policies and reports the L1 behaviour delta.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
-from ..sim.config import GPUConfig
 from ..sim.gpu import GPU
 
 

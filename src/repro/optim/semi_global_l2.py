@@ -14,9 +14,7 @@ capacity trade the paper hypothesizes about.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
-from ..sim.config import GPUConfig
 from ..sim.gpu import GPU
 
 

@@ -16,7 +16,6 @@ assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from ..emulator.trace import KernelLaunchTrace, TraceOp, WarpTrace
 from ..sim.gpu import GPU
@@ -58,7 +57,8 @@ def split_launch(launch_trace, classification, max_requests=4):
     """Transformed copy of a launch trace with N loads sub-warp split."""
     nondet_pcs = set()
     if classification is not None:
-        nondet_pcs = {l.pc for l in classification if not l.is_deterministic}
+        nondet_pcs = {ld.pc for ld in classification
+                      if not ld.is_deterministic}
     new_launch = KernelLaunchTrace(
         kernel_name=launch_trace.kernel_name,
         config=launch_trace.config,

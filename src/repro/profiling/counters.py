@@ -10,7 +10,6 @@ odd to slice 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 #: descriptions straight out of Table III.

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..sim.stats import SimStats
 
 
 @dataclass(frozen=True)
@@ -101,7 +100,7 @@ def rank_critical_loads(stats, config, classifications=None, top=None):
             total_stall_cycles=stall,
             stall_share=stall / total_stalls if total_stalls else 0.0,
         ))
-    loads.sort(key=lambda l: -l.total_stall_cycles)
+    loads.sort(key=lambda ld: -ld.total_stall_cycles)
     if top is not None:
         loads = loads[:top]
     return loads

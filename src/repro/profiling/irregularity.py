@@ -22,10 +22,8 @@ irregular (spmv) and vice versa.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..emulator.grid import WARP_SIZE
-from ..emulator.trace import ApplicationTrace
 from ..ptx.isa import Space
 from ..sim.coalescer import coalescing_degree
 

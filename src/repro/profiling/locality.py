@@ -23,9 +23,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict
 
-from ..emulator.trace import ApplicationTrace
 from ..ptx.isa import Space
 
 BLOCK_SIZE = 128
@@ -128,8 +127,8 @@ class LocalityAnalyzer:
                 if classifications is not None:
                     result = classifications.get(launch.kernel_name)
                     if result is not None:
-                        pc_classes = {l.pc: str(l.load_class)
-                                      for l in result}
+                        pc_classes = {ld.pc: str(ld.load_class)
+                                      for ld in result}
                 self.analyze_launch(launch, pc_classes)
             report = self.report()
             sp.set(blocks=report.num_blocks,

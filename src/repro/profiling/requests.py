@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from ..ptx.isa import Space
 from ..sim.coalescer import coalescing_degree
@@ -65,7 +65,7 @@ def request_histogram(app_trace, classifications=None, access_size=4,
         if classifications is not None:
             result = classifications.get(launch.kernel_name)
             if result is not None:
-                pc_classes = {l.pc: str(l.load_class) for l in result}
+                pc_classes = {ld.pc: str(ld.load_class) for ld in result}
         for _warp, op in launch.iter_memory_ops(space=Space.GLOBAL,
                                                 loads_only=True):
             if not op.addresses:

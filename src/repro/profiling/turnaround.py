@@ -22,7 +22,7 @@ Gap at L1D, Gap at icnt-L2 and Gap at L2-icnt.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ validation) as the parser because both funnel into
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List
 
 from .errors import PTXValidationError
 from .isa import (
@@ -31,7 +31,6 @@ from .isa import (
     Instruction,
     MemRef,
     Reg,
-    Space,
     SReg,
     Sym,
     dtype_from_name,

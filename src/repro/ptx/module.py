@@ -9,10 +9,10 @@ dataflow classifier (:mod:`repro.core`) and the functional emulator
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .errors import PTXValidationError
-from .isa import PC_STRIDE, DType, Instruction, MemRef, Reg, Space, Sym
+from .isa import PC_STRIDE, DType, Instruction, Sym
 
 
 @dataclass(frozen=True)

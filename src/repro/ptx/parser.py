@@ -30,7 +30,7 @@ byte offsets in the CTA's shared space).
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from .errors import PTXSyntaxError, PTXValidationError
 from .isa import (
@@ -45,7 +45,6 @@ from .isa import (
     Instruction,
     MemRef,
     Reg,
-    Space,
     SReg,
     Sym,
     dtype_from_name,

@@ -11,10 +11,8 @@ resolved originals did.
 
 from __future__ import annotations
 
-from typing import List
 
-from .isa import DType, Imm, Instruction, MemRef, Reg, SReg, Sym
-from .module import Kernel, Module
+from .isa import DType, Imm, MemRef
 
 
 def _format_operand(op):

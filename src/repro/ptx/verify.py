@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import List, Set
 
 from .cfg import CFG, EXIT_BLOCK
 from .errors import PTXVerificationError

@@ -26,7 +26,7 @@ write-evict on a write hit.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from .mshr import MSHRTable
 
@@ -168,8 +168,8 @@ class Cache:
         return line is not None and line.state is _State.VALID
 
     def reserved_count(self):
-        return sum(1 for s in self._sets for l in s
-                   if l.state is _State.RESERVED)
+        return sum(1 for s in self._sets for line in s
+                   if line.state is _State.RESERVED)
 
     def reset(self):
         for s in self._sets:

@@ -15,7 +15,7 @@ warp yields up to 32.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict
 
 
 def coalesce_addresses(addresses, line_size=128, access_size=4):
@@ -120,7 +120,7 @@ def summarize_trace(app_trace, classifications=None, line_size=128):
                 if isinstance(result, dict):
                     pc_classes = dict(result)
                 else:
-                    pc_classes = {l.pc: str(l.load_class) for l in result}
+                    pc_classes = {ld.pc: str(ld.load_class) for ld in result}
         for _warp, op in launch.iter_memory_ops(space=Space.GLOBAL,
                                                 loads_only=True):
             if not op.addresses:

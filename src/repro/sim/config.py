@@ -12,7 +12,7 @@ All latencies are in SM core cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass(frozen=True)
@@ -145,6 +145,46 @@ class GPUConfig:
             raise ValueError(
                 "prefetcher must be 'none', 'stride' or 'indirect_oracle'")
         return self
+
+
+def knob_names():
+    """Every sweepable :class:`GPUConfig` field name, declaration order.
+
+    This is the authoritative knob enumeration consumed by the sweep
+    engine (:mod:`repro.sweep`): a sweep axis or fixed override must
+    name one of these fields (or one of the engine's structural knobs,
+    which are not config fields — see ``repro.sweep.spec``).
+    """
+    return tuple(f.name for f in fields(GPUConfig))
+
+
+def check_knobs(overrides):
+    """Validate sweep/ablation overrides against :class:`GPUConfig`.
+
+    Checks that every name is a real config field and that every value
+    has the field's type (bools are rejected for int fields — JSON
+    ``true`` silently coercing to ``1`` would be a confusing sweep
+    axis).  Returns the overrides as a plain dict; raises
+    :class:`ValueError` with the offending name otherwise.  Structural
+    consistency (set counts, divisibility) is still checked by
+    :meth:`GPUConfig.validate` once a full config is assembled.
+    """
+    defaults = GPUConfig()
+    valid = set(knob_names())
+    checked = {}
+    for name in sorted(overrides):
+        value = overrides[name]
+        if name not in valid:
+            raise ValueError(
+                "unknown sim-config knob %r (valid knobs: %s)"
+                % (name, ", ".join(knob_names())))
+        expected = type(getattr(defaults, name))
+        if isinstance(value, bool) or not isinstance(value, expected):
+            raise ValueError(
+                "knob %r expects %s, got %r"
+                % (name, expected.__name__, value))
+        checked[name] = value
+    return checked
 
 
 #: The paper's simulated configuration (Tesla C2050).

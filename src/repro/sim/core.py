@@ -26,12 +26,10 @@ from collections import deque
 from itertools import count
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..ptx.isa import Reg, Space, Unit
+from ..ptx.isa import Space, Unit
 from .cache import Cache, Outcome
 from .coalescer import coalesce_addresses
-from .config import GPUConfig
 from .request import MemRequest
-from .stats import SimStats
 
 
 class InflightMemInst:

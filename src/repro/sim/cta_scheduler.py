@@ -11,7 +11,7 @@ compares them.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional
+from typing import List
 
 
 class RoundRobinScheduler:

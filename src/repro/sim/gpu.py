@@ -14,11 +14,11 @@ unaffected.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.classifier import ClassificationResult
 from ..obs import tracing
-from .config import GPUConfig, TESLA_C2050
+from .config import TESLA_C2050
 from .core import SMCore
 from .cta_scheduler import make_scheduler
 from .icnt import Interconnect

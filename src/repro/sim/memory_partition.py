@@ -26,12 +26,10 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from itertools import count
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .cache import Cache, Outcome
-from .config import GPUConfig
 from .request import MemRequest
-from .stats import SimStats
 
 
 class MemoryPartition:

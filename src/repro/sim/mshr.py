@@ -8,7 +8,7 @@ produces the paper's *reservation fail by MSHRs*.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 class MSHRTable:

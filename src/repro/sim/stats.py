@@ -15,9 +15,8 @@ atomics or loads with no classification available).
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from .cache import Outcome
 

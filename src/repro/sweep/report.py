@@ -1,0 +1,247 @@
+"""Aggregating sweep points into tidy reports, and shard/run status.
+
+A report walks the spec's canonical point order, picks each point's
+result file out of one or more output directories (merging CI shard
+artifacts is just "pass several directories"), and produces:
+
+* ``report.json`` — the machine-readable aggregate: one row per
+  completed point (app, scale, knobs, metrics) plus the parameters of
+  any missing points.  Serialized canonically (sorted keys, fixed
+  indentation), so reports are byte-identical across executions,
+  shardings and resumes of the same sweep — the property the
+  regression gate and the determinism tests assert.
+* a rendered text report — the full per-point table followed by one
+  tidy table per swept knob (metric means over every point sharing
+  that knob value), which is the shape the paper's ablation figures
+  take.
+
+``sweep_status`` summarizes completion per shard without running
+anything — CI and humans use it to see how far a sweep has come.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..experiments.render import format_table
+from .metrics import METRIC_NAMES
+from .spec import (
+    SWEEP_SCHEMA_VERSION,
+    SweepSpec,
+    expand,
+    point_key,
+    shard,
+    spec_hash,
+    versions,
+)
+
+
+class ReportError(ValueError):
+    """Report inputs were inconsistent (no spec, mismatched sweeps)."""
+
+
+def load_sweep_spec(dirs, spec_path=None):
+    """The spec governing ``dirs``: from ``spec_path`` if given, else
+    from the ``sweep.json`` each run stamped into its output directory
+    (all directories must agree)."""
+    if spec_path is not None:
+        return SweepSpec.load(spec_path)
+    found = None
+    found_in = None
+    for directory in dirs:
+        path = Path(directory) / "sweep.json"
+        if not path.is_file():
+            continue
+        with open(path) as fh:
+            data = json.load(fh)
+        if found is not None and data.get("spec_hash") != found["spec_hash"]:
+            raise ReportError(
+                "sweep mismatch: %s and %s hold different sweeps"
+                % (found_in, path)
+            )
+        if found is None:
+            found = data
+            found_in = path
+    if found is None:
+        raise ReportError(
+            "no sweep.json under %s; pass --spec explicitly"
+            % ", ".join(str(d) for d in dirs)
+        )
+    return SweepSpec.from_json(found["spec"])
+
+
+def scan_points(dirs):
+    """Index every readable point file under ``dirs`` by its key.
+
+    Each directory may be a sweep output directory (holding a
+    ``points/`` subdirectory) or a bare points directory.  Unreadable
+    files are skipped — a half-written point is simply "missing".
+    """
+    by_key = {}
+    for directory in dirs:
+        directory = Path(directory)
+        points_dir = directory / "points"
+        if not points_dir.is_dir():
+            points_dir = directory
+        if not points_dir.is_dir():
+            continue
+        for path in sorted(points_dir.glob("*.json")):
+            try:
+                with open(path) as fh:
+                    data = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            key = data.get("key")
+            if key:
+                by_key.setdefault(key, data)
+    return by_key
+
+
+def build_report(spec, points_by_key):
+    """The canonical aggregate dict for ``spec`` over scanned points."""
+    rows = []
+    missing = []
+    for point in expand(spec):
+        key = point_key(spec, point)
+        data = points_by_key.get(key)
+        if data is None or data.get("versions") != versions():
+            missing.append(point.params)
+            continue
+        rows.append(
+            {
+                "app": point.app,
+                "scale": point.scale,
+                "knobs": dict(point.knobs),
+                "metrics": data["metrics"],
+                "key": key,
+            }
+        )
+    return {
+        "schema": SWEEP_SCHEMA_VERSION,
+        "sweep": spec.name,
+        "spec_hash": spec_hash(spec),
+        "versions": versions(),
+        "points_total": len(rows) + len(missing),
+        "points_present": len(rows),
+        "missing": missing,
+        "rows": rows,
+    }
+
+
+def report_bytes(report):
+    """The canonical serialized form (what ``report.json`` contains)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def _metric_columns(spec, rows):
+    if spec.metrics is not None:
+        return list(spec.metrics)
+    present = set()
+    for row in rows:
+        present.update(row["metrics"])
+    return [name for name in METRIC_NAMES if name in present]
+
+
+def render_report(spec, report):
+    """Human-readable report text: per-point table + per-knob tables."""
+    rows = report["rows"]
+    metric_names = _metric_columns(spec, rows)
+    axis_names = list(spec.axes)
+    sections = []
+
+    headers = ["app", "scale"] + axis_names + metric_names
+    table_rows = []
+    for row in rows:
+        cells = [row["app"], "%g" % row["scale"]]
+        cells += [str(row["knobs"].get(a, "")) for a in axis_names]
+        cells += [row["metrics"].get(m, "") for m in metric_names]
+        table_rows.append(cells)
+    title = "Sweep %s: per-point metrics" % spec.name
+    sections.append(format_table(headers, table_rows, title=title))
+
+    for axis in axis_names:
+        if len(spec.axes[axis]) < 2:
+            continue
+        agg_rows = []
+        for value in spec.axes[axis]:
+            selected = [r for r in rows if r["knobs"].get(axis) == value]
+            cells = [str(value), len(selected)]
+            for metric in metric_names:
+                values = [
+                    r["metrics"][metric]
+                    for r in selected
+                    if metric in r["metrics"]
+                ]
+                if values:
+                    cells.append(sum(values) / len(values))
+                else:
+                    cells.append("")
+            agg_rows.append(cells)
+        sections.append(
+            format_table(
+                [axis, "points"] + ["mean %s" % m for m in metric_names],
+                agg_rows,
+                title="Sweep %s: means by %s" % (spec.name, axis),
+            )
+        )
+
+    if report["missing"]:
+        sections.append(
+            "missing %d of %d point(s)"
+            % (len(report["missing"]), report["points_total"])
+        )
+    return "\n\n".join(sections)
+
+
+def write_report(spec, report, out_dir):
+    """Write ``report.json`` and ``report.txt`` under ``out_dir``;
+    returns their paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / "report.json"
+    with open(json_path, "w") as fh:
+        fh.write(report_bytes(report))
+    txt_path = out_dir / "report.txt"
+    with open(txt_path, "w") as fh:
+        fh.write(render_report(spec, report) + "\n")
+    return json_path, txt_path
+
+
+def sweep_status(spec, dirs, shard_count=1):
+    """Completion summary: overall and per shard of ``shard_count``.
+
+    Returns ``{"total", "done", "missing", "shards": [...]}`` where
+    each shard entry holds its index, point count and done count.
+    """
+    points_by_key = scan_points(dirs)
+    points = expand(spec)
+    done_keys = set()
+    for point in points:
+        key = point_key(spec, point)
+        data = points_by_key.get(key)
+        if data is not None and data.get("versions") == versions():
+            done_keys.add(key)
+    shards = []
+    for index in range(1, shard_count + 1):
+        selected = shard(points, index, shard_count)
+        done = sum(1 for p in selected if point_key(spec, p) in done_keys)
+        shards.append({"shard": index, "points": len(selected), "done": done})
+    return {
+        "total": len(points),
+        "done": len(done_keys),
+        "missing": len(points) - len(done_keys),
+        "shards": shards,
+    }
+
+
+__all__ = [
+    "ReportError",
+    "build_report",
+    "load_sweep_spec",
+    "render_report",
+    "report_bytes",
+    "scan_points",
+    "sweep_status",
+    "write_report",
+]

@@ -17,13 +17,13 @@ memory image — everything the profiling and simulation layers consume.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from ..core import ClassificationResult, classify_kernel
 from ..emulator import ApplicationTrace, Emulator, MemoryImage
 from ..obs import tracing
-from ..ptx import Kernel, Module, parse_module
+from ..ptx import Module, parse_module
 from ..testing.faults import check_fault
 
 

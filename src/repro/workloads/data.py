@@ -20,7 +20,6 @@ Everything is seeded and deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

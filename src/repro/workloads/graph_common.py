@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .data import CSRGraph, rmat_graph
+from .data import rmat_graph
 
 #: "infinite" distance marker for sssp (fits comfortably in i32).
 INF = 1 << 30

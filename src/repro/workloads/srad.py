@@ -231,9 +231,9 @@ def srad_reference(img, num_iters, lam):
         dw = j[:, cw] - j
         de = j[:, ce] - j
         g2 = (dn**2 + ds**2 + dw**2 + de**2) / (j * j)
-        l = (dn + ds + dw + de) / j
-        num = 0.5 * g2 - 0.0625 * (l * l)
-        den = (1 + 0.25 * l) ** 2
+        lap = (dn + ds + dw + de) / j
+        num = 0.5 * g2 - 0.0625 * (lap * lap)
+        den = (1 + 0.25 * lap) ** 2
         qsqr = num / den
         c = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1 + q0sqr)))
         c = np.clip(c, 0.0, 1.0)

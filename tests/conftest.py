@@ -7,7 +7,7 @@ of the suite; tests must treat them as read-only.
 import pytest
 
 from repro.experiments.runner import ExperimentRunner
-from repro.sim.config import TESLA_C2050, TINY
+from repro.sim.config import TINY
 from repro.workloads import get_workload
 
 #: a small but non-degenerate scale used across the suite.

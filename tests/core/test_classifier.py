@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.classifier import classify_kernel, classify_module
-from repro.core.provenance import LoadClass, Provenance
+from repro.core.provenance import Provenance
 from repro.ptx.parser import parse_kernel, parse_module
 
 
@@ -236,7 +236,7 @@ class TestPaperExample:
 
     def test_matches_paper_classification(self):
         result = classify(self.PTX)
-        classes = [str(l.load_class) for l in result]
+        classes = [str(ld.load_class) for ld in result]
         # mask[tid], nodes[tid].starting, nodes[tid].no_of_edges -> D
         # edges[i], visited[id] -> N
         assert classes == ["D", "D", "D", "N", "N"]

@@ -1,6 +1,5 @@
 """Unit tests for reaching-definitions analysis."""
 
-import pytest
 
 from repro.core.defuse import ENTRY, ReachingDefs
 from repro.ptx.parser import parse_kernel

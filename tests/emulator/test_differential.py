@@ -9,12 +9,11 @@ nobody hand-wrote.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.emulator import Emulator, MemoryImage
 from repro.ptx import KernelBuilder
-from repro.ptx.isa import Imm, MemRef, Reg, Sym
+from repro.ptx.isa import Imm, Reg, Sym
 
 N_LANES = 32
 

@@ -7,7 +7,6 @@ mismatch.
 """
 
 import numpy as np
-import pytest
 
 from repro.emulator import Emulator, MemoryImage
 from repro.ptx import parse_kernel

@@ -11,9 +11,15 @@ dynamic warp instruction of every registered workload.
 no gzip mtime — which is what makes file-level comparison valid.)
 """
 
+import random
+
+import numpy as np
 import pytest
 
+from repro.emulator import ApplicationTrace, Emulator, MemoryImage
 from repro.emulator.serialize import save_run
+from repro.ptx import Module
+from repro.ptx.builder import KernelBuilder
 from repro.workloads import get_workload, workload_names
 
 #: small enough to keep the whole matrix fast, large enough that every
@@ -115,14 +121,6 @@ def test_save_run_is_deterministic(tmp_path):
 # tests generate seeded kernels whose operands are drawn exclusively
 # from that adversarial set and require byte-identical traces and
 # identical final memory from both engines.
-
-import random
-
-import numpy as np
-
-from repro.emulator import ApplicationTrace, Emulator, MemoryImage
-from repro.ptx import Module
-from repro.ptx.builder import KernelBuilder
 
 _ADV_INT32 = (0, 1, 2, 7, -1, -7, 12345, -12345, 2**31 - 1, -2**31)
 _ADV_INT64 = _ADV_INT32 + (2**63 - 1, -2**63)

@@ -1,13 +1,11 @@
 """Unit and property tests for launch geometry."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.emulator.grid import (
     FULL_MASK,
     WARP_SIZE,
     Dim3,
-    LaunchConfig,
     as_dim3,
     make_launch,
 )

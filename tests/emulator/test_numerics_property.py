@@ -8,7 +8,6 @@ fixed-width integer types on randomized operands.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.emulator.machine import (

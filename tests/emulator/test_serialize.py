@@ -30,9 +30,11 @@ class TestRoundtrip:
         save_run(bfs_run, path)
         loaded = load_run(path)
         orig_ops = [(op.pc, op.active_mask, op.addresses)
-                    for l in bfs_run.trace for w in l for op in w.ops]
+                    for launch in bfs_run.trace
+                    for w in launch for op in w.ops]
         new_ops = [(op.pc, op.active_mask, op.addresses)
-                   for l in loaded.trace for w in l for op in w.ops]
+                   for launch in loaded.trace
+                   for w in launch for op in w.ops]
         assert orig_ops == new_ops
 
     def test_classifications_recomputed_identically(self, bfs_run,
@@ -42,8 +44,8 @@ class TestRoundtrip:
         loaded = load_run(path)
         for name, original in bfs_run.classifications.items():
             reloaded = loaded.classifications[name]
-            assert [(l.pc, str(l.load_class)) for l in original] == \
-                [(l.pc, str(l.load_class)) for l in reloaded]
+            assert [(ld.pc, str(ld.load_class)) for ld in original] == \
+                [(ld.pc, str(ld.load_class)) for ld in reloaded]
 
     def test_simulation_equivalence(self, spmv_run, tmp_path):
         """A loaded trace must simulate to the exact same statistics."""
@@ -63,10 +65,10 @@ class TestRoundtrip:
         save_run(bfs_run, path)
         loaded = load_run(path)
         orig = [(op.pc, op.values)
-                for l in bfs_run.trace for w in l for op in w.ops
+                for launch in bfs_run.trace for w in launch for op in w.ops
                 if op.inst.is_store and op.addresses is not None]
         new = [(op.pc, op.values)
-               for l in loaded.trace for w in l for op in w.ops
+               for launch in loaded.trace for w in launch for op in w.ops
                if op.inst.is_store and op.addresses is not None]
         assert orig and orig == new
         # every store that recorded addresses also carries its values

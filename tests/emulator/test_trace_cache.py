@@ -52,9 +52,10 @@ class TestKeying:
         assert (loaded.trace.total_warp_instructions()
                 == run.trace.total_warp_instructions())
         ops = [(op.pc, op.active_mask, op.addresses)
-               for l in run.trace for w in l for op in w.ops]
+               for launch in run.trace for w in launch for op in w.ops]
         loaded_ops = [(op.pc, op.active_mask, op.addresses)
-                      for l in loaded.trace for w in l for op in w.ops]
+                      for launch in loaded.trace
+                      for w in launch for op in w.ops]
         assert ops == loaded_ops
 
     def test_key_is_stable(self, bfs_small):

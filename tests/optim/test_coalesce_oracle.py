@@ -35,8 +35,8 @@ class TestCoalesceOp:
     def test_lane_set_preserved(self):
         op = load_op([(lane, lane * 512) for lane in range(7)])
         new = coalesce_op(op)
-        assert [l for l, _a in new.addresses] == \
-            [l for l, _a in op.addresses]
+        assert [lane for lane, _a in new.addresses] == \
+            [lane for lane, _a in op.addresses]
         assert new.active_mask == op.active_mask
 
     def test_blocks_drawn_from_original_footprint(self):

@@ -1,6 +1,5 @@
 """Tests for the Section X.A sub-warp-splitting ablation."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.emulator.trace import TraceOp
@@ -74,7 +73,7 @@ class TestSplitLaunch:
         assert new.total_warp_instructions() >= \
             launch.total_warp_instructions()
         # deterministic loads keep their op count
-        det_pcs = {l.pc for l in classification.deterministic}
+        det_pcs = {ld.pc for ld in classification.deterministic}
         for old_w, new_w in zip(launch.warps, new.warps):
             old_det = sum(1 for op in old_w.ops if op.pc in det_pcs)
             new_det = sum(1 for op in new_w.ops if op.pc in det_pcs)

@@ -1,6 +1,5 @@
 """Unit tests for the Table III counter derivation."""
 
-import pytest
 
 from repro.profiling.counters import (
     COUNTER_DESCRIPTIONS,

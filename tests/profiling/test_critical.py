@@ -22,12 +22,12 @@ def bfs_stats(bfs_run):
 class TestRanking:
     def test_sorted_by_stall_cycles(self, bfs_stats):
         loads = rank_critical_loads(bfs_stats, TINY)
-        stalls = [l.total_stall_cycles for l in loads]
+        stalls = [ld.total_stall_cycles for ld in loads]
         assert stalls == sorted(stalls, reverse=True)
 
     def test_shares_sum_to_one(self, bfs_stats):
         loads = rank_critical_loads(bfs_stats, TINY)
-        assert sum(l.stall_share for l in loads) == pytest.approx(1.0)
+        assert sum(ld.stall_share for ld in loads) == pytest.approx(1.0)
 
     def test_top_limits(self, bfs_stats):
         assert len(rank_critical_loads(bfs_stats, TINY, top=3)) == 3
@@ -35,12 +35,12 @@ class TestRanking:
     def test_classes_attached(self, bfs_stats, bfs_run):
         loads = rank_critical_loads(bfs_stats, TINY,
                                     bfs_run.classifications)
-        assert all(l.load_class in ("D", "N") for l in loads)
+        assert all(ld.load_class in ("D", "N") for ld in loads)
 
     def test_every_profiled_pc_present(self, bfs_stats):
         loads = rank_critical_loads(bfs_stats, TINY)
         profiled = {(k, pc) for k, pc, _n in bfs_stats.pc_buckets}
-        assert {(l.kernel, l.pc) for l in loads} == profiled
+        assert {(ld.kernel, ld.pc) for ld in loads} == profiled
 
     def test_empty_stats(self):
         assert rank_critical_loads(SimStats(), TINY) == []

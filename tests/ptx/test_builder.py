@@ -5,7 +5,7 @@ import pytest
 from repro.core import classify_kernel
 from repro.ptx.builder import KernelBuilder
 from repro.ptx.errors import PTXValidationError
-from repro.ptx.isa import DType, Imm, MemRef, Reg, Space
+from repro.ptx.isa import DType, Imm, Reg, Space
 
 
 def build_saxpy():

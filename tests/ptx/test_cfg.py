@@ -1,6 +1,5 @@
 """Unit tests for CFG construction and post-dominator analysis."""
 
-import pytest
 
 from repro.ptx.cfg import CFG, EXIT_BLOCK
 from repro.ptx.parser import parse_kernel

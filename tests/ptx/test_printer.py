@@ -125,8 +125,8 @@ class TestRoundtripWorkloads:
         module = parse_module(workload.ptx())
         roundtrip = parse_module(print_module(module))
         for kernel in module:
-            original = [(l.pc, str(l.load_class))
-                        for l in classify_kernel(kernel)]
-            reparsed = [(l.pc, str(l.load_class))
-                        for l in classify_kernel(roundtrip[kernel.name])]
+            original = [(ld.pc, str(ld.load_class))
+                        for ld in classify_kernel(kernel)]
+            reparsed = [(ld.pc, str(ld.load_class))
+                        for ld in classify_kernel(roundtrip[kernel.name])]
             assert original == reparsed

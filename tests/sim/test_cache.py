@@ -1,6 +1,5 @@
 """Unit tests for the reservation-aware cache model."""
 
-import pytest
 
 from repro.sim.cache import Cache, Outcome
 

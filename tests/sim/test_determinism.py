@@ -8,7 +8,6 @@ could silently break.
 import pytest
 
 from repro.sim import GPU, TINY
-from repro.sim.cache import Outcome
 from repro.workloads import get_workload
 
 

@@ -1,14 +1,12 @@
 """Tests for the simulator extensions: GTO scheduling, shared-memory
 bank conflicts, and the Section X.A prefetchers."""
 
-import numpy as np
 import pytest
 
 from repro.core import classify_kernel
 from repro.emulator import Emulator, MemoryImage
 from repro.ptx import parse_kernel
 from repro.sim import GPU, TINY
-from repro.sim.config import GPUConfig
 
 
 class TestConfigValidation:

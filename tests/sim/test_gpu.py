@@ -6,7 +6,7 @@ import pytest
 from repro.core import classify_kernel
 from repro.emulator import Emulator, MemoryImage
 from repro.ptx import parse_kernel
-from repro.sim import GPU, TINY, Outcome
+from repro.sim import GPU, TINY
 from repro.sim.gpu import SimulationError, _pc_class_map
 
 STREAM = """

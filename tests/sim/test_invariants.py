@@ -9,7 +9,6 @@ import pytest
 
 from repro.profiling.requests import request_histogram
 from repro.sim import GPU, TINY
-from repro.sim.cache import Outcome
 from repro.workloads import get_workload
 
 

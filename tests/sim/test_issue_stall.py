@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim import GPU, TINY
-from repro.workloads import get_workload
 
 
 def run_app(run, config=TINY):

@@ -1,6 +1,5 @@
 """Unit tests for the L2-slice + DRAM-channel partition model."""
 
-import pytest
 
 from repro.sim.config import TINY
 from repro.sim.icnt import Interconnect

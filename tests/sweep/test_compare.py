@@ -1,0 +1,121 @@
+"""The tolerance-compare primitive behind the CI perf gate."""
+
+import math
+
+import pytest
+
+from repro.sweep import Rule, compare, compare_files, flatten, parse_rule
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        doc = {"a": {"b": 1, "c": [2.5, {"d": 3}]}, "e": 4}
+        assert flatten(doc) == {"a.b": 1, "a.c.0": 2.5, "a.c.1.d": 3,
+                                "e": 4}
+
+    def test_non_numeric_leaves_skipped(self):
+        assert flatten({"s": "text", "b": True, "n": None, "x": 1}) == {
+            "x": 1}
+
+
+class TestParseRule:
+    def test_plain_tolerance(self):
+        assert parse_rule("totals.*=0.1") == Rule("totals.*", 0.1, "both")
+
+    def test_directional(self):
+        assert parse_rule("a=0:up") == Rule("a", 0.0, "up")
+        assert parse_rule("*_speedup=0.8:down") == Rule(
+            "*_speedup", 0.8, "down")
+
+    @pytest.mark.parametrize("text", [
+        "no-equals", "a=notanum", "a=0.1:sideways", "a=-0.5"])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_rule(text)
+
+
+class TestCompare:
+    def test_identical_documents_pass(self):
+        doc = {"a": 1, "b": {"c": 2.0}}
+        result = compare(doc, doc)
+        assert result.ok
+        assert result.summary()["compared"] == 2
+
+    def test_default_tolerance_is_exact(self):
+        result = compare({"a": 100}, {"a": 101})
+        assert not result.ok
+        assert [d.path for d in result.regressions] == ["a"]
+
+    def test_within_tolerance_passes(self):
+        result = compare({"a": 100}, {"a": 104},
+                         rules=[parse_rule("a=0.05")])
+        assert result.ok
+
+    def test_beyond_tolerance_fails(self):
+        result = compare({"a": 100}, {"a": 106},
+                         rules=[parse_rule("a=0.05")])
+        assert not result.ok
+
+    def test_direction_up_ignores_improvement(self):
+        # lower-is-better metric: a large drop is fine, a rise is not
+        rules = [parse_rule("cycles=0.02:up")]
+        assert compare({"cycles": 100}, {"cycles": 50}, rules=rules).ok
+        assert not compare({"cycles": 100}, {"cycles": 103},
+                           rules=rules).ok
+
+    def test_direction_down_ignores_improvement(self):
+        # higher-is-better metric: faster is fine, slower fails
+        rules = [parse_rule("speedup=0.1:down")]
+        assert compare({"speedup": 2.0}, {"speedup": 3.0}, rules=rules).ok
+        assert not compare({"speedup": 2.0}, {"speedup": 1.5},
+                           rules=rules).ok
+
+    def test_first_matching_rule_wins(self):
+        rules = [parse_rule("a.b=0.5"), parse_rule("a.*=0")]
+        assert compare({"a": {"b": 10}}, {"a": {"b": 13}}, rules=rules).ok
+
+    def test_missing_path_fails(self):
+        result = compare({"a": 1, "b": 2}, {"a": 1})
+        assert not result.ok
+        assert [d.path for d in result.missing] == ["b"]
+
+    def test_added_path_reported_but_passes(self):
+        result = compare({"a": 1}, {"a": 1, "b": 2})
+        assert result.ok
+        assert [d.path for d in result.by_status("added")] == ["b"]
+
+    def test_zero_baseline_fails_any_finite_tolerance(self):
+        result = compare({"a": 0}, {"a": 1}, default_tolerance=1e9)
+        assert not result.ok
+        assert result.regressions[0].rel == math.inf
+
+    def test_only_filter(self):
+        result = compare({"a": 1, "b": 2}, {"a": 9, "b": 2},
+                         only=["b*"])
+        assert result.ok
+        assert result.summary()["compared"] == 1
+
+    def test_ignore_filter(self):
+        result = compare({"a": 1, "t_s": 5.0}, {"a": 1, "t_s": 50.0},
+                         ignore=["*_s"])
+        assert result.ok
+
+    def test_format_mentions_failures(self):
+        result = compare({"a": 1}, {"a": 2})
+        text = result.format()
+        assert "FAIL" in text and "a" in text
+        assert "1 regression(s)" in text
+
+    def test_to_json_shape(self):
+        data = compare({"a": 1}, {"a": 1}).to_json()
+        assert data["summary"]["ok"] is True
+        assert data["deltas"][0]["path"] == "a"
+
+
+class TestCompareFiles:
+    def test_round_trip(self, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text('{"totals": {"cycles": 100}}')
+        new.write_text('{"totals": {"cycles": 100}}')
+        assert compare_files(old, new).ok

@@ -1,0 +1,47 @@
+"""A sweep over the fig8 metrics renders byte-identically to the live
+Figure 8 path — the contract that lets ``sweeps/fig8.json`` replace
+ad-hoc figure runs."""
+
+import pytest
+
+from repro.experiments.figures import render_fig8, render_fig8_from_sweep
+from repro.sweep import (
+    SweepEngine,
+    SweepSpec,
+    build_report,
+    scan_points,
+)
+
+from ..conftest import TEST_SCALE
+
+APPS = ["2mm", "bfs"]
+
+
+@pytest.fixture(scope="module")
+def spec():
+    # mirrors the test_runner fixture's machine: TINY.scaled(num_sms=2)
+    return SweepSpec(
+        name="fig8-test",
+        apps=APPS,
+        scales=[TEST_SCALE],
+        base_config="tiny",
+        fixed={"num_sms": 2},
+        metrics=["n_l1_miss_ratio", "n_l2_miss_ratio",
+                 "d_l1_miss_ratio", "d_l2_miss_ratio"],
+    ).validate()
+
+
+def test_sweep_rows_render_identically_to_live_results(
+        spec, test_runner, tmp_path):
+    results = test_runner.results(APPS)
+    live = render_fig8(results)
+
+    runs = {(r.name, TEST_SCALE): r.run for r in results}
+    engine = SweepEngine(spec, tmp_path / "out", runs=runs,
+                         use_trace_cache=False, strict=True)
+    summary = engine.run()
+    assert summary["failed"] == 0
+    report = build_report(spec, scan_points([tmp_path / "out"]))
+    assert not report["missing"]
+
+    assert render_fig8_from_sweep(report["rows"]) == live

@@ -1,0 +1,157 @@
+"""Report aggregation over fabricated point files (no simulation)."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    ReportError,
+    SweepSpec,
+    build_report,
+    expand,
+    load_sweep_spec,
+    point_key,
+    render_report,
+    report_bytes,
+    scan_points,
+    spec_hash,
+    sweep_status,
+    versions,
+    write_report,
+)
+
+
+@pytest.fixture
+def spec():
+    return SweepSpec(
+        name="report-test",
+        apps=["2mm", "bfs"],
+        scales=[0.1],
+        base_config="tiny",
+        axes={"l1_size": [1024, 2048]},
+        metrics=["cycles", "l1_miss_ratio"],
+    ).validate()
+
+
+def fake_points(spec, skip=()):
+    """{key: point-file payload} with recognizable fabricated metrics."""
+    out = {}
+    for index, point in enumerate(expand(spec)):
+        if index in skip:
+            continue
+        key = point_key(spec, point)
+        out[key] = {
+            "key": key,
+            "app": point.app,
+            "scale": point.scale,
+            "knobs": dict(point.knobs),
+            "metrics": {"cycles": 100 + index,
+                        "l1_miss_ratio": index / 10.0},
+            "versions": versions(),
+        }
+    return out
+
+
+class TestBuildReport:
+    def test_rows_follow_canonical_order(self, spec):
+        report = build_report(spec, fake_points(spec))
+        assert report["points_present"] == 4
+        assert not report["missing"]
+        assert [r["metrics"]["cycles"] for r in report["rows"]] == [
+            100, 101, 102, 103]
+        assert report["spec_hash"] == spec_hash(spec)
+
+    def test_missing_points_listed_with_params(self, spec):
+        report = build_report(spec, fake_points(spec, skip=(2,)))
+        assert report["points_present"] == 3
+        assert report["missing"] == [expand(spec)[2].params]
+
+    def test_stale_versions_count_as_missing(self, spec):
+        points = fake_points(spec)
+        key = next(iter(points))
+        points[key]["versions"] = dict(points[key]["versions"],
+                                       emulator=-1)
+        report = build_report(spec, points)
+        assert len(report["missing"]) == 1
+
+    def test_report_bytes_are_deterministic(self, spec):
+        points = fake_points(spec)
+        assert (report_bytes(build_report(spec, points))
+                == report_bytes(build_report(spec, dict(points))))
+
+
+class TestRender:
+    def test_contains_point_and_axis_tables(self, spec):
+        report = build_report(spec, fake_points(spec))
+        text = render_report(spec, report)
+        assert "per-point metrics" in text
+        assert "means by l1_size" in text
+        assert "missing" not in text
+
+    def test_mentions_missing_points(self, spec):
+        report = build_report(spec, fake_points(spec, skip=(0,)))
+        text = render_report(spec, report)
+        assert "missing 1 of 4 point(s)" in text
+
+
+class TestScanAndWrite:
+    def write_points(self, spec, directory, skip=()):
+        points_dir = directory / "points"
+        points_dir.mkdir(parents=True)
+        for key, payload in fake_points(spec, skip=skip).items():
+            (points_dir / (key + ".json")).write_text(
+                json.dumps(payload))
+
+    def test_scan_merges_directories(self, spec, tmp_path):
+        self.write_points(spec, tmp_path / "a", skip=(1, 3))
+        self.write_points(spec, tmp_path / "b", skip=(0, 2))
+        merged = scan_points([tmp_path / "a", tmp_path / "b"])
+        assert len(merged) == 4
+
+    def test_scan_skips_unreadable_files(self, spec, tmp_path):
+        self.write_points(spec, tmp_path / "a")
+        (tmp_path / "a" / "points" / "junk.json").write_text("{nope")
+        assert len(scan_points([tmp_path / "a"])) == 4
+
+    def test_write_report_emits_json_and_text(self, spec, tmp_path):
+        report = build_report(spec, fake_points(spec))
+        json_path, txt_path = write_report(spec, report, tmp_path / "agg")
+        assert json.loads(json_path.read_text()) == report
+        assert "per-point metrics" in txt_path.read_text()
+
+
+class TestStatusAndSpecDiscovery:
+    def test_sweep_status_per_shard(self, spec, tmp_path):
+        points_dir = tmp_path / "points"
+        points_dir.mkdir()
+        for key, payload in fake_points(spec, skip=(3,)).items():
+            (points_dir / (key + ".json")).write_text(
+                json.dumps(payload))
+        status = sweep_status(spec, [tmp_path], shard_count=2)
+        assert status == {
+            "total": 4, "done": 3, "missing": 1,
+            "shards": [{"shard": 1, "points": 2, "done": 2},
+                       {"shard": 2, "points": 2, "done": 1}],
+        }
+
+    def sweep_json(self, spec):
+        return json.dumps({"spec": spec.to_json(),
+                           "spec_hash": spec_hash(spec)})
+
+    def test_load_spec_from_sweep_json(self, spec, tmp_path):
+        (tmp_path / "sweep.json").write_text(self.sweep_json(spec))
+        assert load_sweep_spec([tmp_path]) == spec
+
+    def test_load_spec_rejects_mismatched_dirs(self, spec, tmp_path):
+        other = SweepSpec(name="other", apps=["2mm"], scales=[0.2],
+                          base_config="tiny").validate()
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        (tmp_path / "a" / "sweep.json").write_text(self.sweep_json(spec))
+        (tmp_path / "b" / "sweep.json").write_text(self.sweep_json(other))
+        with pytest.raises(ReportError, match="different sweeps"):
+            load_sweep_spec([tmp_path / "a", tmp_path / "b"])
+
+    def test_load_spec_requires_some_sweep_json(self, tmp_path):
+        with pytest.raises(ReportError, match="no sweep.json"):
+            load_sweep_spec([tmp_path])

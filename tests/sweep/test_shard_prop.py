@@ -1,0 +1,67 @@
+"""Property tests for sharding: disjoint, exhaustive, order-preserving.
+
+These are the invariants CI's 4-way matrix fan-out relies on: however a
+grid is split, every point runs exactly once, and merging shard outputs
+reconstructs the full sweep.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.sweep import SweepSpec, expand, point_key, shard
+
+APPS = ["2mm", "bfs", "spmv", "srad", "lu", "mst"]
+
+specs = st.builds(
+    SweepSpec,
+    name=st.just("prop"),
+    apps=st.lists(st.sampled_from(APPS), min_size=1, max_size=4,
+                  unique=True),
+    scales=st.lists(
+        st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        min_size=1, max_size=3, unique=True),
+    base_config=st.just("tiny"),
+    axes=st.fixed_dictionaries(
+        {},
+        optional={
+            "l1_size": st.lists(st.sampled_from([512, 1024, 2048, 4096]),
+                                min_size=1, max_size=3, unique=True),
+            "l2_clusters": st.lists(st.sampled_from([0, 2, 4]),
+                                    min_size=1, max_size=3, unique=True),
+            "cta_policy": st.lists(
+                st.sampled_from(["round_robin", "clustered"]),
+                min_size=1, max_size=2, unique=True),
+        }),
+)
+
+
+@given(spec=specs, count=st.integers(min_value=1, max_value=8))
+def test_shards_partition_the_grid(spec, count):
+    spec.validate()
+    points = expand(spec)
+    shards = [shard(points, k, count) for k in range(1, count + 1)]
+
+    # pairwise disjoint, union == full grid
+    seen = []
+    for part in shards:
+        seen.extend(part)
+    assert sorted(map(id, seen)) == sorted(map(id, points))
+    keys = [point_key(spec, p) for p in points]
+    assert len(set(keys)) == len(points)  # keys distinguish all points
+
+    # balanced to within one point
+    sizes = [len(part) for part in shards]
+    assert max(sizes) - min(sizes) <= 1
+
+    # each shard preserves canonical order
+    index_of = {id(p): i for i, p in enumerate(points)}
+    for part in shards:
+        indices = [index_of[id(p)] for p in part]
+        assert indices == sorted(indices)
+
+
+@given(spec=specs)
+def test_expansion_is_deterministic(spec):
+    spec.validate()
+    first = [(p.app, p.scale, p.knobs) for p in expand(spec)]
+    second = [(p.app, p.scale, p.knobs) for p in expand(spec)]
+    assert first == second

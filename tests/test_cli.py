@@ -288,3 +288,159 @@ class TestRaces:
                              "--engine", "scalar")
         assert code == 0
         assert "clean" in text
+
+
+class TestSweep:
+    SPEC = {
+        "name": "cli-test",
+        "apps": ["2mm"],
+        "scales": [0.1],
+        "base_config": "tiny",
+        "axes": {"l1_size": [1024, 2048]},
+        "metrics": ["cycles", "l1_miss_ratio"],
+    }
+
+    def write_spec(self, tmp_path, **overrides):
+        import json
+        spec = dict(self.SPEC, **overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_run_status_report_round_trip(self, tmp_path):
+        spec = self.write_spec(tmp_path)
+        out = str(tmp_path / "out")
+
+        code, text = run_cli("sweep", "run", spec, "--out", out,
+                             "--no-trace-cache")
+        assert code == 0
+        assert "computed: 2" in text
+
+        code, text = run_cli("sweep", "run", spec, "--out", out,
+                             "--no-trace-cache")
+        assert code == 0
+        assert "cached:   2" in text
+
+        code, text = run_cli("sweep", "status", out)
+        assert code == 0
+        assert "2/2 point(s) done" in text
+
+        code, text = run_cli("sweep", "report", out, "--out",
+                             str(tmp_path / "agg"))
+        assert code == 0
+        assert (tmp_path / "agg" / "report.json").is_file()
+        assert (tmp_path / "agg" / "report.txt").is_file()
+
+        code, text = run_cli("sweep", "report", out)
+        assert code == 0
+        assert "per-point metrics" in text
+
+    def test_sharded_runs_merge_in_report(self, tmp_path):
+        spec = self.write_spec(tmp_path)
+        dirs = []
+        for index in (1, 2):
+            out = str(tmp_path / ("shard-%d" % index))
+            code, _text = run_cli("sweep", "run", spec, "--out", out,
+                                  "--shard", "%d/2" % index,
+                                  "--no-trace-cache")
+            assert code == 0
+            dirs.append(out)
+        code, text = run_cli("sweep", "status", *dirs,
+                             "--shard-count", "2")
+        assert code == 0
+        assert "shard 1/2: 1/1 done" in text
+        code, text = run_cli("sweep", "report", *dirs, "--strict")
+        assert code == 0
+        assert "missing" not in text
+
+    def test_report_strict_fails_on_missing_points(self, tmp_path):
+        spec = self.write_spec(tmp_path)
+        out = str(tmp_path / "out")
+        code, _text = run_cli("sweep", "run", spec, "--out", out,
+                              "--shard", "1/2", "--no-trace-cache")
+        assert code == 0
+        code, text = run_cli("sweep", "report", out, "--strict")
+        assert code == 1
+        assert "missing 1 of 2" in text
+
+    def test_run_rejects_bad_spec(self, tmp_path):
+        spec = self.write_spec(tmp_path, apps=["nope"])
+        code, text = run_cli("sweep", "run", spec)
+        assert code == 2
+        assert "unknown app" in text
+
+    def test_run_rejects_bad_shard(self, tmp_path):
+        spec = self.write_spec(tmp_path)
+        code, text = run_cli("sweep", "run", spec, "--shard", "9/4")
+        assert code == 2
+        assert "out of range" in text
+
+
+class TestSweepCompare:
+    def write(self, path, payload):
+        import json
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_identical_files_pass(self, tmp_path):
+        old = self.write(tmp_path / "old.json",
+                         {"totals": {"cycles": 100}})
+        code, text = run_cli("sweep", "compare", old, old)
+        assert code == 0
+        assert "PASS" in text
+
+    def test_injected_regression_fails(self, tmp_path):
+        old = self.write(tmp_path / "old.json",
+                         {"totals": {"cycles": 100, "speedup": 2.0}})
+        new = self.write(tmp_path / "new.json",
+                         {"totals": {"cycles": 100, "speedup": 1.0}})
+        code, text = run_cli(
+            "sweep", "compare", old, new,
+            "--key", "totals.speedup=0.2:down")
+        assert code == 1
+        assert "FAIL" in text
+        assert "totals.speedup" in text
+
+    def test_tolerances_and_json_artifact(self, tmp_path):
+        import json
+        old = self.write(tmp_path / "old.json", {"a": 100, "t_s": 1.0})
+        new = self.write(tmp_path / "new.json", {"a": 104, "t_s": 9.0})
+        artifact = tmp_path / "cmp.json"
+        code, text = run_cli(
+            "sweep", "compare", old, new, "--key", "a=0.05",
+            "--ignore", "*_s", "--json", str(artifact), "--verbose")
+        assert code == 0
+        assert "ok" in text
+        payload = json.loads(artifact.read_text())
+        assert payload["summary"]["ok"] is True
+
+    def test_bad_rule_is_usage_error(self, tmp_path):
+        old = self.write(tmp_path / "old.json", {"a": 1})
+        code, text = run_cli("sweep", "compare", old, old,
+                             "--key", "a=wat")
+        assert code == 2
+        assert "not a number" in text
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        old = self.write(tmp_path / "old.json", {"a": 1})
+        code, text = run_cli("sweep", "compare", old,
+                             str(tmp_path / "absent.json"))
+        assert code == 2
+
+
+class TestCommittedSweepSpecs:
+    def test_all_specs_load_and_validate(self):
+        import glob
+        import os
+
+        from repro.sweep import SweepSpec
+
+        root = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "sweeps")
+        paths = sorted(glob.glob(os.path.join(root, "*.json")))
+        assert len(paths) >= 4
+        names = set()
+        for path in paths:
+            spec = SweepSpec.load(path)
+            names.add(spec.name)
+        assert {"cache-size", "semi-l2", "fig8", "full-matrix"} <= names

@@ -1,11 +1,9 @@
 """Unit and property tests for the synthetic input generators."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.workloads.data import (
-    CSRGraph,
     diagonally_dominant_matrix,
     mri_trajectory,
     random_csr,
