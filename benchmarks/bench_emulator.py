@@ -1,16 +1,27 @@
 """Emulator engine + trace-cache benchmark: ``python benchmarks/bench_emulator.py``.
 
-Times the emulation step of every Table I workload three ways:
+Times the emulation step of every Table I workload four ways:
 
 * ``scalar_cold``     — the per-lane reference interpreter,
-* ``vectorized_cold`` — the NumPy structure-of-arrays engine, and
+* ``vectorized_cold`` — the NumPy structure-of-arrays engine,
+* ``compiled_cold``   — the per-kernel generated-Python engine
+  (including its code generation; every repeat is a cold process-state
+  run), and
 * ``cache_warm``      — the content-addressed trace cache hit path
   (input setup + trace deserialization, no emulation at all),
 
 and writes the per-app and whole-suite numbers to ``BENCH_emulator.json``
-(repo root).  The headline number is ``totals.warm_vs_scalar_speedup`` —
+(repo root).  Engine times are the ``emulate`` phase only (via
+``WorkloadRun.timings``), so input generation does not dilute engine
+ratios.  The headline numbers are ``totals.warm_vs_scalar_speedup`` —
 what a figure-regeneration run gains over re-interpreting every kernel
-when nothing changed.
+when nothing changed — and ``totals.compiled_speedup``, the compiled
+engine's gain over the vectorized one.
+
+A ``large`` tier then runs a 100x-scale input (relative to ``--scale``)
+through the compiled engine and fails the run if it misses the
+``--large-timeout`` budget: the CI perf gate both pins its (exactly
+deterministic) instruction count and bounds its wall time.
 
 Unlike the pytest-benchmark figure harness in this directory, this is a
 plain script: it measures the pipeline's *infrastructure* (engine +
@@ -27,6 +38,10 @@ import sys
 import tempfile
 import time
 
+#: apps of the ``large`` tier: branchy enough to showcase the compiled
+#: engine, with near-linear input scaling so 100x stays CI-sized.
+LARGE_APPS = ("bfs",)
+
 
 def _time(fn):
     t0 = time.perf_counter()
@@ -34,21 +49,27 @@ def _time(fn):
     return time.perf_counter() - t0, result
 
 
+def _emulate_s(name, scale, engine, repeats):
+    """Best-of-``repeats`` emulate-phase seconds (and the last run)."""
+    from repro.workloads import get_workload
+
+    best, run = None, None
+    for _ in range(repeats):
+        run = get_workload(name, scale=scale).run(
+            verify=False, engine=engine)
+        t = run.timings["emulate"]
+        best = t if best is None else min(best, t)
+    return best, run
+
+
 def bench_app(name, scale, repeats):
     from repro.emulator import MemoryImage, trace_cache
     from repro.ptx import parse_module, print_module
     from repro.workloads import get_workload
 
-    def scalar_cold():
-        return get_workload(name, scale=scale).run(
-            verify=False, engine="scalar")
-
-    def vectorized_cold():
-        return get_workload(name, scale=scale).run(
-            verify=False, engine="vectorized")
-
-    scalar_s, run = _time(scalar_cold)
-    vector_s, run = _time(vectorized_cold)
+    scalar_s, _ = _emulate_s(name, scale, "scalar", 1)
+    vector_s, run = _emulate_s(name, scale, "vectorized", repeats)
+    compiled_s, _ = _emulate_s(name, scale, "compiled", repeats)
 
     workload = get_workload(name, scale=scale)
     key = trace_cache.trace_key(
@@ -70,11 +91,33 @@ def bench_app(name, scale, repeats):
     return {
         "scalar_cold_s": round(scalar_s, 4),
         "vectorized_cold_s": round(vector_s, 4),
+        "compiled_cold_s": round(compiled_s, 4),
         "cache_warm_s": round(warm_s, 4),
         "vectorized_speedup": round(scalar_s / vector_s, 2),
+        "compiled_speedup": round(vector_s / compiled_s, 2),
         "warm_vs_scalar_speedup": round(scalar_s / warm_s, 2),
         "warp_insts": run.trace.total_warp_instructions(),
     }
+
+
+def bench_large(scale, timeout_s):
+    """The 100x-scale tier: compiled engine only, budget-checked."""
+    large = {"scale": round(scale, 4), "timeout_s": timeout_s, "apps": {}}
+    ok = True
+    for name in LARGE_APPS:
+        t, run = _emulate_s(name, scale, "compiled", 1)
+        insts = run.trace.total_warp_instructions()
+        within = t <= timeout_s
+        ok = ok and within
+        large["apps"][name] = {
+            "compiled_s": round(t, 4),
+            "warp_insts": insts,
+            "within_budget": within,
+        }
+        print("large  %-6s compiled %7.2fs  %9d warp-insts  [%s]"
+              % (name, t, insts,
+                 "ok" if within else "OVER %.0fs BUDGET" % timeout_s))
+    return large, ok
 
 
 def main(argv=None):
@@ -82,7 +125,12 @@ def main(argv=None):
     parser.add_argument("--scale", type=float, default=0.25,
                         help="workload input scale (default 0.25)")
     parser.add_argument("--repeats", type=int, default=3,
-                        help="cache-warm repetitions (min is reported)")
+                        help="repetitions per timed engine (min is reported)")
+    parser.add_argument("--skip-large", action="store_true",
+                        help="skip the 100x-scale compiled-engine tier")
+    parser.add_argument("--large-timeout", type=float, default=300.0,
+                        help="seconds the large tier may spend per app "
+                             "(default 300)")
     parser.add_argument("--out", default=os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         "BENCH_emulator.json"))
@@ -103,9 +151,10 @@ def main(argv=None):
         apps[name] = bench_app(name, args.scale, args.repeats)
         row = apps[name]
         print("%-6s scalar %7.3fs  vectorized %7.3fs (%5.2fx)  "
-              "warm %7.4fs (%6.1fx)"
+              "compiled %7.3fs (%5.2fx)  warm %7.4fs (%6.1fx)"
               % (name, row["scalar_cold_s"], row["vectorized_cold_s"],
-                 row["vectorized_speedup"], row["cache_warm_s"],
+                 row["vectorized_speedup"], row["compiled_cold_s"],
+                 row["compiled_speedup"], row["cache_warm_s"],
                  row["warm_vs_scalar_speedup"]))
 
     totals = {
@@ -113,12 +162,16 @@ def main(argv=None):
             sum(a["scalar_cold_s"] for a in apps.values()), 4),
         "vectorized_cold_s": round(
             sum(a["vectorized_cold_s"] for a in apps.values()), 4),
+        "compiled_cold_s": round(
+            sum(a["compiled_cold_s"] for a in apps.values()), 4),
         "cache_warm_s": round(
             sum(a["cache_warm_s"] for a in apps.values()), 4),
         "warp_insts": sum(a["warp_insts"] for a in apps.values()),
     }
     totals["vectorized_speedup"] = round(
         totals["scalar_cold_s"] / totals["vectorized_cold_s"], 2)
+    totals["compiled_speedup"] = round(
+        totals["vectorized_cold_s"] / totals["compiled_cold_s"], 2)
     totals["warm_vs_scalar_speedup"] = round(
         totals["scalar_cold_s"] / totals["cache_warm_s"], 2)
 
@@ -135,16 +188,30 @@ def main(argv=None):
         "apps": apps,
         "totals": totals,
     }
+
+    large_ok = True
+    if not args.skip_large:
+        large, large_ok = bench_large(args.scale * 100, args.large_timeout)
+        payload["large"] = large
+        totals["large_warp_insts"] = sum(
+            a["warp_insts"] for a in large["apps"].values())
+
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
     print("\nsuite: scalar %.2fs | vectorized %.2fs (%.2fx) | "
-          "cache-warm %.2fs (%.1fx vs scalar)"
+          "compiled %.2fs (%.2fx vs vectorized) | cache-warm %.2fs "
+          "(%.1fx vs scalar)"
           % (totals["scalar_cold_s"], totals["vectorized_cold_s"],
-             totals["vectorized_speedup"], totals["cache_warm_s"],
+             totals["vectorized_speedup"], totals["compiled_cold_s"],
+             totals["compiled_speedup"], totals["cache_warm_s"],
              totals["warm_vs_scalar_speedup"]))
     print("wrote %s" % args.out)
+    if not large_ok:
+        print("FAIL: large tier exceeded its %.0fs budget"
+              % args.large_timeout, file=sys.stderr)
+        return 1
     return 0
 
 

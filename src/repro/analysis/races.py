@@ -42,7 +42,15 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from .._bits import lanes_of
+from ..emulator.columnar import (
+    _PC_SHIFT,
+    KIND_NONE,
+    SPACE_CODES,
+    decode_value,
+)
 from ..obs import tracing
 from ..obs.metrics import get_registry
 from ..ptx.isa import Space
@@ -310,6 +318,97 @@ def _mask_lanes(warp_id, mask, limit=4):
     return tuple((warp_id, lane) for lane in lanes_of(mask)[:limit])
 
 
+_SHARED_CODE = SPACE_CODES["shared"]
+_GLOBAL_CODE = SPACE_CODES["global"]
+_KIND_ST = 1
+
+
+def _replay_warp_columns(warp, sink, kernel_name, launch_index,
+                         shared_accesses, global_stores, insts):
+    """Column-based :func:`_replay_warp`: identical findings and access
+    streams, computed from the warp's arrays.  Barrier intervals, the
+    live mask, and the interesting-row selections are vectorized; Python
+    touches only shared accesses, global stores, and flagged barriers —
+    never the (dominant) compute ops.
+    """
+    warp.seal()
+    masks = warp.mask
+    n = len(masks)
+    if not n:
+        return 0, None, 0
+    idx = warp.pc >> _PC_SHIFT
+    is_exit = np.asarray([i.is_exit for i in insts], dtype=np.bool_)[idx]
+    is_bar = np.asarray([i.is_barrier for i in insts], dtype=np.bool_)[idx]
+    live0 = np.bitwise_or.reduce(masks)
+    # lanes exited strictly before each row; live-at-row follows
+    exited = np.where(is_exit, masks, np.uint32(0))
+    np.bitwise_or.accumulate(exited, out=exited)
+    exited_before = np.empty_like(exited)
+    exited_before[0] = 0
+    exited_before[1:] = exited[:-1]
+    live_at = live0 & ~exited_before
+    # interval = number of barriers strictly before the row
+    interval_of = np.cumsum(is_bar) - is_bar
+    bar_rows = np.flatnonzero(is_bar)
+    bars = len(bar_rows)
+    last_bar_pc = int(warp.pc[bar_rows[-1]]) if bars else None
+    for i in np.flatnonzero(is_bar & (masks != live_at)).tolist():
+        live = int(live_at[i])
+        mask = int(masks[i])
+        sink.add(
+            RaceKind.DIVERGENT_BARRIER, kernel_name, int(warp.pc[i]), None,
+            launch_index, warp.cta_id,
+            None, _mask_lanes(warp.warp_id, live & ~mask),
+            int(interval_of[i]),
+            "bar.sync mask %#010x but %d live lane(s) (%#010x) "
+            "bypassed it" % (mask, bin(live & ~mask).count("1"), live))
+
+    kinds = warp.kind
+    mem_ops = int((kinds != KIND_NONE).sum())
+    space_of = kinds >> 2  # KIND_NONE lands at 0x3f, outside every code
+    astart = warp.astart
+    warp_id = warp.warp_id
+    for i in np.flatnonzero(space_of == _SHARED_CODE).tolist():
+        inst = insts[int(idx[i])]
+        kind = ("st" if inst.is_store
+                else "at" if inst.is_atomic else "ld")
+        width = inst.dtype.nbytes
+        elems = _elements_per_lane(inst)
+        interval = int(interval_of[i])
+        pc = int(warp.pc[i])
+        lo, hi = int(astart[i]), int(astart[i + 1])
+        lanes = warp.lanes[lo:hi].tolist()
+        addrs = warp.addrs[lo:hi].tolist()
+        for lane, addr in zip(lanes, addrs):
+            for k in range(elems):
+                shared_accesses.append(_Access(
+                    addr + k * width, interval, warp_id, lane,
+                    pc, kind, i, None))
+    store_rows = np.flatnonzero((space_of == _GLOBAL_CODE)
+                                & ((kinds & 3) == _KIND_ST))
+    vstart = warp.vstart
+    for i in store_rows.tolist():
+        inst = insts[int(idx[i])]
+        dtype = inst.dtype
+        width = dtype.nbytes
+        elems = _elements_per_lane(inst)
+        interval = int(interval_of[i])
+        pc = int(warp.pc[i])
+        lo, hi = int(astart[i]), int(astart[i + 1])
+        lanes = warp.lanes[lo:hi].tolist()
+        addrs = warp.addrs[lo:hi].tolist()
+        bits = warp.vals[int(vstart[i]):int(vstart[i + 1])].tolist()
+        for j, (lane, addr) in enumerate(zip(lanes, addrs)):
+            for k in range(elems):
+                vidx = j * elems + k
+                vkey = (_value_key(decode_value(bits[vidx], dtype), dtype)
+                        if vidx < len(bits) else None)
+                global_stores.append(_Access(
+                    addr + k * width, interval, warp_id, lane,
+                    pc, "st", i, vkey))
+    return bars, last_bar_pc, mem_ops
+
+
 def _check_shared_races(kernel_name, launch_index, cta_id, accesses, sink):
     """Same element + same interval + different threads + >=1 plain
     store, with atomics excluded from conflicting pairs."""
@@ -445,9 +544,14 @@ def analyze_launch(launch, launch_index, sink):
         bar_counts: Dict[int, tuple] = {}
         for warp in sorted(warps, key=lambda w: w.warp_id):
             global_stores: List[_Access] = []
-            bars, last_bar_pc, mem_ops = _replay_warp(
-                warp, sink, kernel_name, launch_index, shared_accesses,
-                global_stores)
+            if hasattr(warp, "iter_chunks"):
+                bars, last_bar_pc, mem_ops = _replay_warp_columns(
+                    warp, sink, kernel_name, launch_index, shared_accesses,
+                    global_stores, launch.instructions)
+            else:
+                bars, last_bar_pc, mem_ops = _replay_warp(
+                    warp, sink, kernel_name, launch_index, shared_accesses,
+                    global_stores)
             bar_counts[warp.warp_id] = (bars, last_bar_pc)
             ops_checked += mem_ops
             launch_stores.extend((cta_id, acc) for acc in global_stores)

@@ -86,7 +86,7 @@ def _build_parser():
     p_run.add_argument("app", choices=workload_names())
     p_run.add_argument("--scale", type=float, default=0.25)
     p_run.add_argument("--seed", type=int, default=7)
-    p_run.add_argument("--engine", choices=("vectorized", "scalar"),
+    p_run.add_argument("--engine", choices=("vectorized", "scalar", "compiled"),
                        default=None,
                        help="warp-execution engine (default: vectorized)")
 
@@ -109,7 +109,7 @@ def _build_parser():
                        default="round_robin")
     p_sim.add_argument("--top", type=int, default=8,
                        help="critical loads to list")
-    p_sim.add_argument("--engine", choices=("vectorized", "scalar"),
+    p_sim.add_argument("--engine", choices=("vectorized", "scalar", "compiled"),
                        default=None,
                        help="warp-execution engine (default: vectorized)")
 
@@ -124,7 +124,7 @@ def _build_parser():
                        help="output directory")
     p_fig.add_argument("--jobs", type=int, default=1,
                        help="worker processes for emulation+simulation")
-    p_fig.add_argument("--engine", choices=("vectorized", "scalar"),
+    p_fig.add_argument("--engine", choices=("vectorized", "scalar", "compiled"),
                        default=None,
                        help="warp-execution engine (default: vectorized)")
     p_fig.add_argument("--trace-cache", action="store_true",
@@ -141,7 +141,7 @@ def _build_parser():
                       "the timing tree")
     p_trace.add_argument("app", choices=workload_names())
     p_trace.add_argument("--scale", type=float, default=0.25)
-    p_trace.add_argument("--engine", choices=("vectorized", "scalar"),
+    p_trace.add_argument("--engine", choices=("vectorized", "scalar", "compiled"),
                          default=None,
                          help="warp-execution engine (default: vectorized)")
     p_trace.add_argument("--no-simulate", action="store_true",
@@ -183,7 +183,7 @@ def _build_parser():
                          help="analyze every registered workload")
     p_races.add_argument("--scale", type=float, default=0.25)
     p_races.add_argument("--seed", type=int, default=7)
-    p_races.add_argument("--engine", choices=("vectorized", "scalar"),
+    p_races.add_argument("--engine", choices=("vectorized", "scalar", "compiled"),
                          default=None,
                          help="warp-execution engine (default: vectorized)")
     p_races.add_argument("--json", default=None, metavar="PATH",
@@ -206,7 +206,7 @@ def _build_parser():
                         help="run the K-th of N deterministic shards")
     ps_run.add_argument("--jobs", type=int, default=1,
                         help="worker processes across (app, scale) groups")
-    ps_run.add_argument("--engine", choices=("vectorized", "scalar"),
+    ps_run.add_argument("--engine", choices=("vectorized", "scalar", "compiled"),
                         default=None,
                         help="warp-execution engine for cold emulations")
     ps_run.add_argument("--no-trace-cache", action="store_true",

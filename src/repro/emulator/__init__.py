@@ -27,6 +27,12 @@ from .memory import (
     SharedMemory,
     np_dtype_for,
 )
+from .columnar import (
+    ColumnarLaunchTrace,
+    ColumnarWarpTrace,
+    to_columnar,
+    to_records,
+)
 from .serialize import LoadedRun, load_run, save_run
 from .trace import ApplicationTrace, KernelLaunchTrace, TraceOp, WarpTrace
 from . import trace_cache
@@ -58,7 +64,11 @@ __all__ = [
     "load_run",
     "save_run",
     "ApplicationTrace",
+    "ColumnarLaunchTrace",
+    "ColumnarWarpTrace",
     "KernelLaunchTrace",
     "TraceOp",
     "WarpTrace",
+    "to_columnar",
+    "to_records",
 ]

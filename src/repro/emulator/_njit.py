@@ -1,0 +1,42 @@
+"""Optional Numba acceleration gate.
+
+Numba is an *optional* dependency: when it is importable, selected
+numeric helpers are ``@njit``-compiled; when it is not, the same
+functions run as plain Python/NumPy — semantics are identical either
+way (the engine differential suites run in both configurations in CI).
+
+Import :func:`maybe_njit` rather than ``numba.njit`` so call sites stay
+import-safe on minimal installs::
+
+    from ._njit import maybe_njit
+
+    @maybe_njit(cache=True)
+    def hot(values): ...
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised by the with-numba CI job
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except ImportError:  # the supported baseline: pure NumPy fallback
+    _njit = None
+    HAVE_NUMBA = False
+
+
+def maybe_njit(*args, **kwargs):
+    """``numba.njit`` when available, identity decorator otherwise.
+
+    Supports both the bare (``@maybe_njit``) and parameterized
+    (``@maybe_njit(cache=True)``) forms.
+    """
+    if args and callable(args[0]) and len(args) == 1 and not kwargs:
+        fn = args[0]
+        return _njit(fn) if HAVE_NUMBA else fn
+    if HAVE_NUMBA:
+        return _njit(*args, **kwargs)
+
+    def identity(fn):
+        return fn
+    return identity

@@ -26,9 +26,9 @@ from ..obs import tracing
 from ..obs.metrics import get_registry
 from ..ptx.cfg import CFG
 from ..ptx.isa import Imm, Reg, Space, SReg
+from .columnar import ColumnarLaunchTrace
 from .grid import FULL_MASK, WARP_SIZE, LaunchConfig, as_dim3
 from .memory import MemoryError_, SharedMemory
-from .trace import KernelLaunchTrace, TraceOp, WarpTrace
 
 #: Bumped whenever emulation semantics change in a way that can alter
 #: produced traces; part of the trace-cache key (see
@@ -36,9 +36,11 @@ from .trace import KernelLaunchTrace, TraceOp, WarpTrace
 EMULATOR_VERSION = 3
 
 #: Engine used when ``Emulator(engine=None)``: the NumPy
-#: structure-of-arrays fast path by default, overridable for debugging
-#: via the ``REPRO_EMULATOR_ENGINE`` environment variable.
-DEFAULT_ENGINE = os.environ.get("REPRO_EMULATOR_ENGINE", "vectorized")
+#: structure-of-arrays fast path by default, overridable via the
+#: ``REPRO_ENGINE`` environment variable (or its older spelling
+#: ``REPRO_EMULATOR_ENGINE``).
+DEFAULT_ENGINE = (os.environ.get("REPRO_ENGINE")
+                  or os.environ.get("REPRO_EMULATOR_ENGINE", "vectorized"))
 
 #: Per-launch warp-instruction watchdog budget used when neither the
 #: ``Emulator(max_warp_insts=...)`` argument nor the
@@ -239,8 +241,11 @@ def _make_engine(name):
     if name == "vectorized":
         from .vector import VectorEngine
         return VectorEngine()
+    if name == "compiled":
+        from .compiled import CompiledEngine
+        return CompiledEngine()
     raise ValueError("unknown emulator engine %r "
-                     "(choices: vectorized, scalar)" % (name,))
+                     "(choices: vectorized, scalar, compiled)" % (name,))
 
 
 class Emulator:
@@ -284,8 +289,10 @@ class Emulator:
             raise EmulationError("launch of %r missing params: %s"
                                  % (kernel.name, ", ".join(missing)))
         cfg = CFG(kernel)
-        launch_trace = KernelLaunchTrace(kernel_name=kernel.name, config=config,
-                                         shared_size=kernel.shared_size)
+        launch_trace = ColumnarLaunchTrace(
+            kernel_name=kernel.name, config=config,
+            instructions=kernel.instructions,
+            shared_size=kernel.shared_size)
         self._executed = 0
         with tracing.span("emulate.launch", kernel=kernel.name,
                           engine=self.engine, ctas=config.num_ctas,
@@ -294,6 +301,7 @@ class Emulator:
                 self._run_cta(kernel, cfg, config, cta_linear, params,
                               launch_trace)
             sp.set(warp_insts=self._executed)
+        launch_trace.seal()
         # engine-invariant launch telemetry: counts come from the shared
         # driver, so scalar and vectorized runs publish identical series
         registry = get_registry()
@@ -327,7 +335,7 @@ class Emulator:
                 tid = config.thread_coords(linear_tid)
                 sregs[lane_idx] = self._make_sregs(tid, ctaid, config,
                                                    lane_idx, w)
-            trace = WarpTrace(cta_id=cta_linear, warp_id=w)
+            trace = launch_trace.new_warp(cta_linear, w)
             if self.record_trace:
                 launch_trace.warps.append(trace)
             warps.append(self._engine.make_warp(w, mask, sregs, trace))
@@ -380,6 +388,12 @@ class Emulator:
 
     def _run_warp(self, kernel, cfg, warp, shared, params):
         """Execute ``warp`` until it finishes or consumes a barrier."""
+        run_warp = getattr(self._engine, "run_warp", None)
+        if run_warp is not None:
+            # engines with their own dispatch loop (the compiled engine)
+            # take over the whole warp; semantics stay pinned by the
+            # engine differential tests
+            return run_warp(self, kernel, cfg, warp, shared, params)
         insts = kernel.instructions
         stack = warp.stack
         while stack:
@@ -454,7 +468,7 @@ class Emulator:
 
     def _trace(self, warp, inst, exec_mask, addresses=None, values=None):
         if self.record_trace:
-            warp.trace.ops.append(TraceOp(inst, exec_mask, addresses, values))
+            warp.trace.append(inst, exec_mask, addresses, values)
 
     # ------------------------------------------------------------------ memory
 

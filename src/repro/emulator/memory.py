@@ -185,6 +185,88 @@ class MemoryImage:
     def allocations(self):
         return list(self._allocs)
 
+    # -- fast accessors (compiled-engine hot path) -------------------------
+
+    def loader(self, dtype):
+        """A ``load(addr) -> value`` closure specialized for ``dtype``.
+
+        Binds the struct codec once and caches the last-hit allocation
+        (accesses are strongly clustered per buffer), falling back to
+        :meth:`load` on any miss/misalignment so faults raise the exact
+        same :class:`MemoryError_` messages as the slow path.
+        """
+        cache = self.__dict__.setdefault("_fast_loaders", {})
+        fn = cache.get(dtype)
+        if fn is None:
+            fn = cache[dtype] = self._make_accessor(dtype, store=False)
+        return fn
+
+    def storer(self, dtype):
+        """A ``store(addr, value)`` closure; see :meth:`loader`."""
+        cache = self.__dict__.setdefault("_fast_storers", {})
+        fn = cache.get(dtype)
+        if fn is None:
+            fn = cache[dtype] = self._make_accessor(dtype, store=True)
+        return fn
+
+    def _make_accessor(self, dtype, store):
+        codec = struct.Struct(_STRUCT_FMT[dtype])
+        size = codec.size
+        bases = self._bases          # list identity survives alloc()
+        allocs = self._allocs
+        bisect_right = bisect.bisect_right
+        # last-hit allocation as a flat [base, end, data] cell: the hot
+        # path touches only locals, no attribute/property lookups.
+        # (Allocation.data is mutated in place, never rebound, so the
+        # cached buffer stays the live one.)
+        last = [0, 0, b""]
+        if store:
+            pack_into = codec.pack_into
+            slow = self.store
+
+            def store_fast(addr, value):
+                base, end, data = last
+                if not base <= addr < end:
+                    i = bisect_right(bases, addr) - 1
+                    if i < 0:
+                        return slow(addr, dtype, value)  # raises
+                    alloc = allocs[i]
+                    base = alloc.base
+                    end = base + alloc.size
+                    if not base <= addr < end:
+                        return slow(addr, dtype, value)  # raises
+                    data = alloc.data
+                    last[0] = base
+                    last[1] = end
+                    last[2] = data
+                if addr % size or addr + size > end:
+                    return slow(addr, dtype, value)  # raises
+                pack_into(data, addr - base, value)
+            return store_fast
+
+        unpack_from = codec.unpack_from
+        slow = self.load
+
+        def load_fast(addr):
+            base, end, data = last
+            if not base <= addr < end:
+                i = bisect_right(bases, addr) - 1
+                if i < 0:
+                    return slow(addr, dtype)  # raises
+                alloc = allocs[i]
+                base = alloc.base
+                end = base + alloc.size
+                if not base <= addr < end:
+                    return slow(addr, dtype)  # raises
+                data = alloc.data
+                last[0] = base
+                last[1] = end
+                last[2] = data
+            if addr % size or addr + size > end:
+                return slow(addr, dtype)  # raises
+            return unpack_from(data, addr - base)[0]
+        return load_fast
+
 
 class SharedMemory:
     """Per-CTA shared memory, addressed from offset 0."""
@@ -212,6 +294,39 @@ class SharedMemory:
             raise MemoryError_("misaligned %d-byte shared store at %#x"
                                % (size, addr), addr=addr)
         struct.pack_into(_STRUCT_FMT[dtype], self.data, addr, value)
+
+    def loader(self, dtype):
+        """A ``load(addr) -> value`` closure specialized for ``dtype``
+        (same fault behavior as :meth:`load`; compiled-engine hot path)."""
+        cache = self.__dict__.setdefault("_fast_loaders", {})
+        fn = cache.get(dtype)
+        if fn is None:
+            codec = struct.Struct(_STRUCT_FMT[dtype])
+            size, unpack_from = codec.size, codec.unpack_from
+            data, limit, slow = self.data, self.size, self.load
+
+            def load_fast(addr):
+                if addr < 0 or addr + size > limit or addr % size:
+                    return slow(addr, dtype)  # raises
+                return unpack_from(data, addr)[0]
+            fn = cache[dtype] = load_fast
+        return fn
+
+    def storer(self, dtype):
+        """A ``store(addr, value)`` closure; see :meth:`loader`."""
+        cache = self.__dict__.setdefault("_fast_storers", {})
+        fn = cache.get(dtype)
+        if fn is None:
+            codec = struct.Struct(_STRUCT_FMT[dtype])
+            size, pack_into = codec.size, codec.pack_into
+            data, limit, slow = self.data, self.size, self.store
+
+            def store_fast(addr, value):
+                if addr < 0 or addr + size > limit or addr % size:
+                    return slow(addr, dtype, value)  # raises
+                pack_into(data, addr, value)
+            fn = cache[dtype] = store_fast
+        return fn
 
 
 def np_dtype_for(dtype):

@@ -9,20 +9,27 @@ keyed by the *content* that determines the trace:
 * the workload name,
 * the printed PTX of every kernel (so editing a kernel invalidates),
 * the input ``seed`` and ``scale`` (they shape the generated inputs
-  and launch geometry),
-* the serialization :data:`~.serialize.FORMAT_VERSION`, and
+  and launch geometry), and
 * the emulator's :data:`~.machine.EMULATOR_VERSION` (bumped whenever a
   semantic change could alter emitted traces).
 
-The key is the SHA-256 of that tuple; entries live as
-``<key>.trace.gz`` files (the exact :func:`save_run` byte format, so a
-cache entry is also a normal trace file) in
+The serialization format version is *not* part of the key: the trace
+file itself records which schema it uses, and :func:`lookup` migrates —
+an entry written in an older format (or under the legacy ``.trace.gz``
+naming) is deleted, counted under ``trace_cache.migrated``, and
+reported as a miss so the caller re-emulates and the following store
+heals the cache at the current format.  ``trace_cache.corrupt`` stays
+reserved for genuinely damaged entries.
+
+The key is the SHA-256 of that tuple; entries live as ``<key>.trace``
+files (the exact :func:`save_run` byte format, so a cache entry is also
+a normal trace file) in
 
 * ``$REPRO_TRACE_CACHE_DIR`` if set, else
 * ``~/.cache/repro-traces``.
 
 ``REPRO_TRACE_CACHE=0`` disables the cache entirely.  A corrupted or
-truncated entry is deleted and treated as a miss — the caller simply
+truncated entry is likewise deleted and treated as a miss — the caller simply
 re-emulates.  Writes go through a temporary file and an atomic rename
 so concurrent experiment workers never observe partial entries.
 """
@@ -41,7 +48,10 @@ from .serialize import FORMAT_VERSION, load_run, save_run
 
 _ENV_DIR = "REPRO_TRACE_CACHE_DIR"
 _ENV_SWITCH = "REPRO_TRACE_CACHE"
-_SUFFIX = ".trace.gz"
+_SUFFIX = ".trace"
+#: Entry naming used while the cache stored gzip-JSON (schema v2)
+#: traces; such files are migrated (deleted + miss) on lookup.
+_LEGACY_SUFFIX = ".trace.gz"
 
 #: Back-off delays (seconds) between retries of transient cache I/O
 #: failures.  Short: the cache is best-effort and the fallback — a
@@ -62,6 +72,14 @@ def _count_corrupt():
     get_registry().counter(
         "trace_cache.corrupt",
         "corrupt or truncated cache entries evicted on lookup").inc(1)
+
+
+def _count_migrated():
+    """Tally one old-format entry replaced by re-emulation — a healthy
+    file in an outdated schema, *not* corruption."""
+    get_registry().counter(
+        "trace_cache.migrated",
+        "old-format cache entries evicted for re-emulation").inc(1)
 
 
 def cache_enabled():
@@ -90,7 +108,6 @@ def trace_key(name, ptx, seed, scale):
     h = hashlib.sha256()
     for part in (
         "repro-trace",
-        "format=%d" % FORMAT_VERSION,
         "emulator=%d" % EMULATOR_VERSION,
         "name=%s" % name,
         "seed=%r" % (seed,),
@@ -106,14 +123,34 @@ def entry_path(key):
     return cache_dir() / (key + _SUFFIX)
 
 
+def _legacy_entry_path(key):
+    return cache_dir() / (key + _LEGACY_SUFFIX)
+
+
+def _evict_legacy(key):
+    """Remove a same-key entry left under the legacy naming, if any.
+
+    Returns True when one was found (the caller counts the migration)."""
+    legacy = _legacy_entry_path(key)
+    try:
+        if legacy.is_file():
+            legacy.unlink()
+            return True
+    except OSError:
+        pass
+    return False
+
+
 def lookup(key):
     """Load the cached :class:`LoadedRun` for ``key``, or ``None``.
 
     A cache problem is never fatal: transient I/O errors (``OSError``,
     truncated gzip reads) are retried once after a short delay, then
     treated as a miss; corrupt entries (persistently truncated streams,
-    bad JSON, wrong format version, unparsable PTX) are removed so the
-    next store can heal the cache.
+    bad JSON, unparsable PTX) are removed so the next store can heal
+    the cache.  Entries in an outdated serialization format are healthy
+    files, so they count as ``migrated`` rather than ``corrupt`` — but
+    are likewise deleted and reported as misses.
     """
     if not cache_enabled():
         return None
@@ -121,9 +158,20 @@ def lookup(key):
     for delay in (_RETRY_DELAYS[0], None):
         try:
             if not path.is_file():
+                if _evict_legacy(key):
+                    _count_migrated()
                 _count("miss")
                 return None
             run = load_run(path)
+            if run.format_version != FORMAT_VERSION:
+                # healthy but outdated: migrate by re-emulation
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                _count_migrated()
+                _count("miss")
+                return None
             _count("hit")
             return run
         except (OSError, EOFError) as exc:
@@ -196,12 +244,13 @@ def clear():
     directory = cache_dir()
     removed = 0
     if directory.is_dir():
-        for entry in directory.glob("*" + _SUFFIX):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*" + _SUFFIX, "*" + _LEGACY_SUFFIX):
+            for entry in directory.glob(pattern):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
     return removed
 
 
@@ -211,10 +260,11 @@ def stats():
     count = 0
     total = 0
     if directory.is_dir():
-        for entry in directory.glob("*" + _SUFFIX):
-            try:
-                total += entry.stat().st_size
-                count += 1
-            except OSError:
-                pass
+        for pattern in ("*" + _SUFFIX, "*" + _LEGACY_SUFFIX):
+            for entry in directory.glob(pattern):
+                try:
+                    total += entry.stat().st_size
+                    count += 1
+                except OSError:
+                    pass
     return count, total

@@ -25,6 +25,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict
 
+import numpy as np
+
 from ..ptx.isa import Space
 
 BLOCK_SIZE = 128
@@ -137,6 +139,9 @@ class LocalityAnalyzer:
 
     def analyze_launch(self, launch_trace, pc_classes=None):
         pc_classes = pc_classes or {}
+        if hasattr(launch_trace, "memory_table"):
+            self._analyze_columnar(launch_trace, pc_classes)
+            return
         for warp, op in launch_trace.iter_memory_ops(space=Space.GLOBAL):
             if op.inst.is_store and not self.include_stores:
                 continue
@@ -144,6 +149,78 @@ class LocalityAnalyzer:
                 continue  # atomics excluded, as in the paper's load focus
             load_class = pc_classes.get(op.pc)
             self._record(op, warp.cta_id, load_class)
+
+    def _analyze_columnar(self, launch, pc_classes):
+        """Vectorized per-launch pass over the columnar memory table.
+
+        Reproduces :meth:`_record` exactly: per-op touched-block dedup,
+        then a per-block access sequence in op order, with the carried
+        per-block state (:class:`BlockInfo`) supplying the launch-entry
+        ``last_cta``.  Python touches only the launch's *unique blocks*,
+        not its accesses.
+        """
+        from ..emulator.columnar import _PC_SHIFT, take_ragged
+        from ..sim.coalescer import class_codes
+
+        table = launch.memory_table(space=Space.GLOBAL)
+        if table is None:
+            return
+        kinds3 = table["kind"] & 3
+        keep = kinds3 == 0  # loads; atomics always excluded
+        if self.include_stores:
+            keep |= kinds3 == 1
+        rows = np.flatnonzero(keep)
+        if not len(rows):
+            return
+        acount = table["acount"][rows].astype(np.int64)
+        addrs = take_ragged(table["addrs"], table["astart"][rows], acount)
+        blocks = (addrs // self.block_size).astype(np.int64)
+        row = np.repeat(np.arange(len(rows), dtype=np.int64), acount)
+        if not len(row):
+            return
+        # distinct (op, block) pairs — the per-op ``touched`` set
+        order = np.lexsort((blocks, row))
+        r, b = row[order], blocks[order]
+        fresh = np.empty(len(r), dtype=bool)
+        fresh[0] = True
+        fresh[1:] = (r[1:] != r[:-1]) | (b[1:] != b[:-1])
+        r_u, b_u = r[fresh], b[fresh]
+        cta_of_warp = np.asarray([w.cta_id for w in launch.warps],
+                                 dtype=np.int64)
+        cta_row = cta_of_warp[table["warp"][rows]]
+        labels = class_codes(launch, pc_classes)[
+            table["pc"][rows] >> _PC_SHIFT]
+        # per-block access sequences, ordered by op position
+        seq = np.lexsort((r_u, b_u))
+        b2, c2, k2 = b_u[seq], cta_row[r_u[seq]], labels[r_u[seq]]
+        first = np.empty(len(b2), dtype=bool)
+        first[0] = True
+        first[1:] = b2[1:] != b2[:-1]
+        prev = np.empty(len(c2), dtype=np.int64)
+        prev[1:] = c2[:-1]
+        starts = np.flatnonzero(first)
+        ends = np.append(starts[1:], len(b2))
+        blocks_dict = self._blocks
+        report = self._report
+        c2_list = c2.tolist()
+        for i, blk in enumerate(b2[starts].tolist()):
+            info = blocks_dict.get(blk)
+            if info is None:
+                info = blocks_dict[blk] = BlockInfo()
+                report.cold_misses += 1
+            lo, hi = int(starts[i]), int(ends[i])
+            prev[lo] = info.last_cta
+            info.accesses += hi - lo
+            info.last_cta = c2_list[hi - 1]
+            info.ctas.update(c2_list[lo:hi])
+        report.total_accesses += len(b2)
+        changed = (prev >= 0) & (prev != c2)
+        for d, c in zip(*_dist_hist(c2, prev, changed)):
+            report.distance_hist[d] += c
+        for code, name in ((0, "D"), (1, "N")):
+            hist = report.distance_hist_by_class[name]
+            for d, c in zip(*_dist_hist(c2, prev, changed & (k2 == code))):
+                hist[d] += c
 
     def _record(self, op, cta_id, load_class):
         report = self._report
@@ -180,6 +257,13 @@ class LocalityAnalyzer:
                 report.shared_accesses += info.accesses
                 report.total_cta_count_on_shared += len(info.ctas)
         return report
+
+
+def _dist_hist(cta, prev, mask):
+    """``(distances, counts)`` of ``|cta - prev|`` over ``mask`` rows."""
+    dists = np.abs(cta[mask] - prev[mask])
+    values, counts = np.unique(dists, return_counts=True)
+    return values.tolist(), counts.tolist()
 
 
 def analyze_run(run):

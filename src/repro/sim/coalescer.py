@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+import numpy as np
+
 
 def coalesce_addresses(addresses, line_size=128, access_size=4):
     """Reduce per-lane byte addresses to distinct block base addresses.
@@ -59,6 +61,55 @@ def coalescing_degree(addresses, line_size=128, access_size=4):
         if last != first:
             blocks.add(last)
     return len(blocks), lanes
+
+
+def table_degrees(table, access_sizes, line_size=128):
+    """Vectorized :func:`coalescing_degree` over a columnar launch's
+    :meth:`~repro.emulator.columnar.ColumnarLaunchTrace.memory_table`.
+
+    ``access_sizes`` is a per-row access-width array (or a scalar).
+    Returns ``(n_requests, n_lanes)`` int64 arrays, one entry per table
+    row; rows with no recorded accesses get 0 requests.
+    """
+    acount = table["acount"].astype(np.int64)
+    nrows = len(acount)
+    addrs = table["addrs"].astype(np.int64)
+    row = np.repeat(np.arange(nrows, dtype=np.int64), acount)
+    acc = np.asarray(access_sizes, dtype=np.int64)
+    if acc.ndim:
+        acc = np.repeat(acc, acount)
+    first = addrs // line_size
+    last = (addrs + acc - 1) // line_size
+    # distinct (row, block) pairs, counting boundary-straddling accesses
+    # toward both blocks — identical to coalesce_addresses' set logic
+    rows2 = np.concatenate([row, row])
+    blocks2 = np.concatenate([first, last])
+    if not len(rows2):
+        return np.zeros(nrows, dtype=np.int64), acount
+    order = np.lexsort((blocks2, rows2))
+    r = rows2[order]
+    b = blocks2[order]
+    fresh = np.empty(len(r), dtype=bool)
+    fresh[0] = True
+    fresh[1:] = (r[1:] != r[:-1]) | (b[1:] != b[:-1])
+    n_req = np.bincount(r[fresh], minlength=nrows)
+    return n_req, acount
+
+
+def class_codes(launch, pc_classes):
+    """Per-instruction D/N/other codes (0/1/2) for vectorized bucketing
+    of a launch's memory table by load class."""
+    from ..emulator.columnar import _PC_SHIFT
+
+    codes = np.full(len(launch.instructions), 2, dtype=np.int8)
+    for pc, cls in pc_classes.items():
+        idx = pc >> _PC_SHIFT
+        if 0 <= idx < len(codes):
+            codes[idx] = 0 if cls == "D" else 1 if cls == "N" else 2
+    return codes
+
+
+_CLASS_LABELS = ((0, "D"), (1, "N"), (2, "other"))
 
 
 @dataclass
@@ -109,6 +160,7 @@ def summarize_trace(app_trace, classifications=None, line_size=128):
     (``inst.access_bytes``), matching the timing simulator's coalescer
     invocation exactly.
     """
+    from ..emulator.columnar import _PC_SHIFT
     from ..ptx.isa import Space
 
     summary = CoalescingSummary()
@@ -121,12 +173,34 @@ def summarize_trace(app_trace, classifications=None, line_size=128):
                     pc_classes = dict(result)
                 else:
                     pc_classes = {ld.pc: str(ld.load_class) for ld in result}
-        for _warp, op in launch.iter_memory_ops(space=Space.GLOBAL,
-                                                loads_only=True):
-            if not op.addresses:
+        if not hasattr(launch, "memory_table"):
+            # legacy record-trace path
+            for _warp, op in launch.iter_memory_ops(space=Space.GLOBAL,
+                                                    loads_only=True):
+                if not op.addresses:
+                    continue
+                n_requests, n_lanes = coalescing_degree(
+                    op.addresses, line_size=line_size,
+                    access_size=op.inst.access_bytes)
+                summary.record(pc_classes.get(op.pc), n_requests, n_lanes)
+            continue
+        table = launch.memory_table(space=Space.GLOBAL, loads_only=True)
+        if table is None:
+            continue
+        idx = table["pc"] >> _PC_SHIFT
+        access = np.asarray([inst.access_bytes
+                             for inst in launch.instructions],
+                            dtype=np.int64)[idx]
+        n_req, n_lanes = table_degrees(table, access, line_size=line_size)
+        labels = class_codes(launch, pc_classes)[idx]
+        sel = n_lanes > 0  # the record path skips empty-address ops
+        for code, name in _CLASS_LABELS:
+            m = sel & (labels == code)
+            count = int(m.sum())
+            if not count:
                 continue
-            n_requests, n_lanes = coalescing_degree(
-                op.addresses, line_size=line_size,
-                access_size=op.inst.access_bytes)
-            summary.record(pc_classes.get(op.pc), n_requests, n_lanes)
+            summary.warp_loads[name] += count
+            summary.requests[name] += int(n_req[m].sum())
+            summary.active_threads[name] += int(n_lanes[m].sum())
+            summary.uncoalesced[name] += int((n_req[m] > 1).sum())
     return summary

@@ -26,6 +26,7 @@ from collections import deque
 from itertools import count
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..emulator.columnar import _PC_SHIFT, KIND_NONE
 from ..ptx.isa import Space, Unit
 from .cache import Cache, Outcome
 from .coalescer import coalesce_addresses
@@ -37,6 +38,7 @@ class InflightMemInst:
 
     __slots__ = ("warp", "dests", "pending", "requests", "outstanding",
                  "n_requests", "t_issue", "t_first_accept", "t_last_accept",
+                 "l2_in_min", "l2_in_max", "back_min", "back_max",
                  "load_class", "pc", "kernel_name", "is_load", "is_store",
                  "fixed_latency", "port_cycles")
 
@@ -51,6 +53,12 @@ class InflightMemInst:
         self.t_issue = t_issue
         self.t_first_accept = -1
         self.t_last_accept = -1
+        # running extrema over this instruction's requests, maintained
+        # at the stamp sites so completion is O(1), not O(requests)
+        self.l2_in_min = -1
+        self.l2_in_max = -1
+        self.back_min = -1
+        self.back_max = -1
         self.load_class = load_class
         self.pc = pc
         self.kernel_name = kernel_name
@@ -66,22 +74,94 @@ class InflightMemInst:
             self.t_first_accept = now
         self.t_last_accept = now
 
+    def note_l2_in(self, t):
+        """One of this instruction's requests entered an L2 slice."""
+        if self.l2_in_min < 0:
+            self.l2_in_min = self.l2_in_max = t
+        elif t < self.l2_in_min:
+            self.l2_in_min = t
+        elif t > self.l2_in_max:
+            self.l2_in_max = t
+
+    def note_back(self, t):
+        """One of this instruction's requests got its data back."""
+        if self.back_min < 0:
+            self.back_min = self.back_max = t
+        elif t < self.back_min:
+            self.back_min = t
+        elif t > self.back_max:
+            self.back_max = t
+
+
+class _OpView:
+    """The slice of one trace op the timing model consumes."""
+
+    __slots__ = ("inst", "pc", "addresses")
+
+    def __init__(self, inst, pc, addresses):
+        self.inst = inst
+        self.pc = pc
+        self.addresses = addresses
+
 
 class _WarpRun:
-    """One resident warp replaying its trace."""
+    """One resident warp replaying its trace.
 
-    __slots__ = ("trace", "ops", "ptr", "pending_regs", "at_barrier",
-                 "cta", "trace_done", "age")
+    Columnar warp traces are replayed straight off their column arrays:
+    each issued op materializes one transient :class:`_OpView` (cached
+    while the issue pointer sits on it) instead of the legacy path's
+    up-front list of per-op record objects.  Legacy record traces fall
+    back to that list.
+    """
+
+    __slots__ = ("trace", "ptr", "n", "pending_regs", "at_barrier",
+                 "cta", "trace_done", "age", "_ops", "_insts", "_pc",
+                 "_kind", "_astart", "_lanes", "_addrs",
+                 "_cur_idx", "_cur_op")
 
     def __init__(self, trace, cta, age=0):
         self.trace = trace
-        self.ops = trace.ops
         self.ptr = 0
         self.pending_regs: Set[str] = set()
         self.at_barrier = False
         self.cta = cta
-        self.trace_done = not self.ops
         self.age = age
+        self._cur_idx = -1
+        self._cur_op = None
+        if hasattr(trace, "iter_chunks"):  # ColumnarWarpTrace
+            trace.seal()
+            self._ops = None
+            self._insts = trace._launch.instructions
+            self._pc = trace.pc
+            self._kind = trace.kind
+            self._astart = trace.astart
+            self._lanes = trace.lanes
+            self._addrs = trace.addrs
+            self.n = len(trace.pc)
+        else:
+            self._ops = trace.ops
+            self.n = len(self._ops)
+        self.trace_done = not self.n
+
+    def op_at(self, idx):
+        """The op view at trace position ``idx`` (uncached)."""
+        if self._ops is not None:
+            return self._ops[idx]
+        pc = int(self._pc[idx])
+        inst = self._insts[pc >> _PC_SHIFT]
+        addresses = None
+        if self._kind[idx] != KIND_NONE:
+            lo, hi = int(self._astart[idx]), int(self._astart[idx + 1])
+            addresses = list(zip(self._lanes[lo:hi].tolist(),
+                                 self._addrs[lo:hi].tolist()))
+        return _OpView(inst, pc, addresses)
+
+    def peek(self):
+        """The op at the issue pointer (cached until the warp advances)."""
+        if self._cur_idx != self.ptr:
+            self._cur_op = self.op_at(self.ptr)
+            self._cur_idx = self.ptr
+        return self._cur_op
 
     @property
     def blocked(self):
@@ -206,6 +286,7 @@ class SMCore:
         inflight = req.inflight
         if inflight is None:
             return  # prefetch fill: no warp is waiting
+        inflight.note_back(now)
         inflight.outstanding -= 1
         if inflight.outstanding == 0 and not inflight.pending:
             self._finish_inflight(inflight, now)
@@ -226,10 +307,12 @@ class SMCore:
         turnaround = now - inflight.t_issue
         wait_first = max(0, inflight.t_first_accept - inflight.t_issue)
         gap_l1d = max(0, inflight.t_last_accept - inflight.t_first_accept)
-        l2_in = [r.t_l2_in for r in inflight.requests if r.t_l2_in >= 0]
-        backs = [r.t_back for r in inflight.requests if r.t_back >= 0]
-        spread_l2_in = (max(l2_in) - min(l2_in)) if l2_in else 0
-        spread_back = (max(backs) - min(backs)) if backs else 0
+        # running extrema maintained at the stamp sites (note_l2_in /
+        # note_back): completion stays O(1) for wide fan-out loads
+        spread_l2_in = (inflight.l2_in_max - inflight.l2_in_min
+                        if inflight.l2_in_min >= 0 else 0)
+        spread_back = (inflight.back_max - inflight.back_min
+                       if inflight.back_min >= 0 else 0)
         gap_icnt_l2 = max(0, spread_l2_in - gap_l1d)
         gap_l2_icnt = max(0, spread_back - spread_l2_in)
         self.stats.record_load_completion(
@@ -264,7 +347,7 @@ class SMCore:
         if not runnable:
             return "barrier"
         for warp in runnable:
-            if self._scoreboard_ready(warp, warp.ops[warp.ptr].inst):
+            if self._scoreboard_ready(warp, warp.peek().inst):
                 return "unit_busy"
         return "scoreboard"
 
@@ -275,7 +358,7 @@ class SMCore:
             if w.trace_done and not w.pending_regs:
                 continue
             warps.append({"cta": w.cta.cta_id, "warp": w.trace.warp_id,
-                          "op": "%d/%d" % (w.ptr, len(w.ops)),
+                          "op": "%d/%d" % (w.ptr, w.n),
                           "at_barrier": w.at_barrier,
                           "pending_regs": sorted(w.pending_regs)})
         return {"sm": self.sm_id,
@@ -423,7 +506,7 @@ class SMCore:
             for warp in self._candidate_order():
                 if warp.blocked:
                     continue
-                op = warp.ops[warp.ptr]
+                op = warp.peek()
                 inst = op.inst
                 if not self._scoreboard_ready(warp, inst):
                     continue
@@ -443,7 +526,7 @@ class SMCore:
     def _advance(self, warp):
         warp.ptr += 1
         self.stats.issued_warp_insts += 1
-        if warp.ptr >= len(warp.ops):
+        if warp.ptr >= warp.n:
             warp.trace_done = True
             warp.cta.warps_not_done -= 1
             warp.cta.check_barrier_release()
@@ -590,10 +673,9 @@ class SMCore:
         # non-deterministic global load and prefetch its blocks — a
         # perfect indirect-address predictor (upper bound for [16])
         lookahead = config.prefetch_lookahead
-        ops = warp.ops
         for idx in range(warp.ptr + 1,
-                         min(warp.ptr + 1 + lookahead, len(ops))):
-            future = ops[idx]
+                         min(warp.ptr + 1 + lookahead, warp.n)):
+            future = warp.op_at(idx)
             if future.addresses is None or not future.inst.is_global_load:
                 continue
             if self.pc_classes.get(future.inst.pc) != "N":

@@ -94,6 +94,8 @@ class MemoryPartition:
         ready, seq, req = heapq.heappop(self._input)
         if req.t_l2_in < 0:
             req.t_l2_in = now
+            if req.inflight is not None:
+                req.inflight.note_l2_in(now)
 
         if req.is_write:
             # write-through, no-allocate; keep the L2 coherent by evicting

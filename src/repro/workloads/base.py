@@ -17,7 +17,8 @@ memory image — everything the profiling and simulation layers consume.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict
 
 from ..core import ClassificationResult, classify_kernel
@@ -36,6 +37,10 @@ class WorkloadRun:
     memory: MemoryImage
     trace: ApplicationTrace
     classifications: Dict[str, ClassificationResult]
+    #: wall seconds per pipeline phase (``parse``, ``classify``,
+    #: ``setup``, ``emulate``, ``verify``) — lets benchmarks separate
+    #: engine time from input generation.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     # -- aggregate views --------------------------------------------------
 
@@ -117,37 +122,50 @@ class Workload(abc.ABC):
         """Execute the full application; returns a :class:`WorkloadRun`.
 
         ``engine`` selects the emulator's warp-execution engine
-        (``"vectorized"`` or ``"scalar"``; ``None`` = the emulator
-        default).  ``max_warp_insts=None`` resolves to the
+        (``"vectorized"``, ``"scalar"`` or ``"compiled"``; ``None`` =
+        the emulator default).  ``max_warp_insts=None`` resolves to the
         ``REPRO_EMULATOR_MAX_WARP_INSTS`` environment variable, else the
         emulator's built-in watchdog budget.
         """
         check_fault(self.name, "emulate")
+        timings = {}
+        clock = time.perf_counter
+        t0 = clock()
         with tracing.span("parse", app=self.name):
             module = parse_module(self.ptx())
+        timings["parse"] = clock() - t0
+        t0 = clock()
         with tracing.span("classify", app=self.name,
                           kernels=len(list(module))):
             classifications = {k.name: classify_kernel(k) for k in module}
+        timings["classify"] = clock() - t0
         mem = MemoryImage()
+        t0 = clock()
         with tracing.span("setup", app=self.name, scale=self.scale,
                           seed=self.seed):
             self.setup(mem)
+        timings["setup"] = clock() - t0
         emu = Emulator(mem, max_warp_insts=max_warp_insts, engine=engine)
         app = ApplicationTrace(name=self.name)
+        t0 = clock()
         with tracing.span("emulate", app=self.name,
                           engine=emu.engine) as sp:
             for launch_trace in self.host(emu, module):
                 app.add(launch_trace)
             sp.set(launches=len(app.launches))
+        timings["emulate"] = clock() - t0
         if verify:
+            t0 = clock()
             with tracing.span("verify", app=self.name):
                 self.verify(mem)
+            timings["verify"] = clock() - t0
         return WorkloadRun(
             workload=self,
             module=module,
             memory=mem,
             trace=app,
             classifications=classifications,
+            timings=timings,
         )
 
     # -- helpers for subclasses ------------------------------------------------

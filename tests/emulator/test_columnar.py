@@ -1,0 +1,287 @@
+"""Columnar (schema-v3) trace storage: round-trip and streaming tests.
+
+The record-view shim must make schema-v2 record traces and columnar
+traces interchangeable: ``to_columnar`` then ``to_records`` is the
+identity on every field the schema carries (instruction identity,
+active mask, per-lane addresses, stored values — byte-exact, including
+negative signed values, float bit patterns, and ``.v2``/``.v4`` vector
+stores).  Chunked production must be invisible to consumers, and
+``memory_table`` must agree with the record-level iterator.
+"""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emulator import MemoryImage, Emulator, to_columnar
+from repro.emulator.columnar import (
+    CHUNK_OPS,
+    KIND_NONE,
+    ColumnarLaunchTrace,
+    decode_value,
+    encode_value,
+    take_ragged,
+    to_records,
+)
+from repro.emulator.grid import LaunchConfig, as_dim3
+from repro.emulator.trace import KernelLaunchTrace, TraceOp, WarpTrace
+from repro.ptx.builder import KernelBuilder
+from repro.ptx.isa import Space
+
+
+def _test_kernel():
+    """A kernel touching every op category the columns distinguish:
+    ALU ops, global/shared loads and stores (u32/s32/f32), an atomic,
+    and a barrier."""
+    b = KernelBuilder("colk")
+    out = b.param("out", "u64")
+    b.shared(64 * 4)
+    tid = b.emit("mov.u32", b.reg("r"), b.sreg("%tid.x"))
+    base = b.emit("ld.param.u64", b.reg("rd"), b.mem(out))
+    tid64 = b.emit("cvt.u64.u32", b.reg("rd"), tid)
+    off = b.emit("shl.b64", b.reg("rd"), tid64, b.imm(2))
+    addr = b.emit("add.u64", b.reg("rd"), base, off)
+    v = b.emit("ld.global.u32", b.reg("r"), b.mem(addr))
+    f = b.emit("cvt.rn.f32.u32", b.reg("f"), v)
+    b.emit("st.shared.f32", b.mem(off), f)
+    b.emit("bar.sync", b.imm(0))
+    s = b.emit("ld.shared.f32", b.reg("f"), b.mem(off))
+    si = b.emit("cvt.rzi.s32.f32", b.reg("r"), s)
+    neg = b.emit("sub.s32", b.reg("r"), si, b.imm(7))
+    b.emit("st.global.s32", b.mem(addr), neg)
+    b.emit("atom.add.global.u32", b.reg("r"), b.mem(addr), tid)
+    b.emit("exit")
+    return b.build()
+
+
+def _emulated_launch(nthreads=64, engine=None):
+    kernel = _test_kernel()
+    mem = MemoryImage()
+    base = mem.alloc("out", nthreads * 4)
+    emu = Emulator(mem, engine=engine)
+    return emu.launch(kernel, (2, 1, 1), (nthreads, 1, 1), {"out": base})
+
+
+def _assert_ops_equal(a, b):
+    assert len(a) == len(b)
+    for op_a, op_b in zip(a, b):
+        assert op_a.inst is op_b.inst or op_a.inst.pc == op_b.inst.pc
+        assert op_a.active_mask == op_b.active_mask
+        assert op_a.addresses == op_b.addresses
+        if op_a.values is None or op_b.values is None:
+            assert op_a.values == op_b.values
+        else:
+            assert len(op_a.values) == len(op_b.values)
+            for va, vb in zip(op_a.values, op_b.values):
+                if isinstance(va, float) and math.isnan(va):
+                    assert math.isnan(vb)
+                else:
+                    assert va == vb and type(va) is type(vb)
+
+
+def _assert_launches_equal(rec, col):
+    assert rec.kernel_name == col.kernel_name
+    assert rec.shared_size == col.shared_size
+    assert len(rec.warps) == len(col.warps)
+    for wr, wc in zip(rec.warps, col.warps):
+        assert (wr.cta_id, wr.warp_id) == (wc.cta_id, wc.warp_id)
+        _assert_ops_equal(wr.ops, list(wc.ops))
+
+
+class TestRoundTrip:
+    def test_emulated_launch_round_trips(self):
+        col = _emulated_launch()
+        rec = to_records(col)
+        _assert_launches_equal(rec, col)
+        back = to_columnar(rec, col.instructions)
+        _assert_launches_equal(rec, back)
+        # the columns themselves agree, not just the record views
+        for wa, wb in zip(col.warps, back.warps):
+            wa.seal(), wb.seal()
+            for name in ("pc", "mask", "kind", "acount", "lanes",
+                         "addrs", "vals"):
+                np.testing.assert_array_equal(getattr(wa, name),
+                                              getattr(wb, name))
+
+    def test_aggregates_match_record_trace(self):
+        col = _emulated_launch()
+        rec = to_records(col)
+        assert (col.total_warp_instructions()
+                == rec.total_warp_instructions())
+        assert (col.total_thread_instructions()
+                == rec.total_thread_instructions())
+        assert (col.global_load_warp_count()
+                == rec.global_load_warp_count())
+        assert (col.shared_load_warp_count()
+                == rec.shared_load_warp_count())
+        assert (col.dynamic_counts_by_pc()
+                == rec.dynamic_counts_by_pc())
+
+
+# hypothesis-driven schema-v2 <-> columnar property round-trip: random
+# masks, ragged lane/address sets, and stored values across dtypes.
+
+_signed_vals = st.integers(min_value=-2**31, max_value=2**31 - 1)
+_float_vals = st.one_of(
+    st.floats(width=32, allow_nan=False),
+    st.sampled_from([0.0, -0.0, float("inf"), float("-inf")]))
+
+
+@st.composite
+def _random_ops(draw, insts):
+    """A legal random op stream over the test kernel's instructions."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=40))):
+        inst = draw(st.sampled_from(insts))
+        mask = draw(st.integers(min_value=0, max_value=2**32 - 1))
+        if not inst.is_memory:
+            ops.append(TraceOp(inst, mask))
+            continue
+        lanes = sorted(draw(st.sets(
+            st.integers(min_value=0, max_value=31), max_size=8)))
+        addresses = tuple(
+            (lane, draw(st.integers(min_value=0, max_value=2**48)) * 4)
+            for lane in lanes)
+        values = None
+        if inst.is_store:
+            gen = (_float_vals if inst.dtype.is_float else _signed_vals)
+            values = tuple(draw(gen) for _ in addresses)
+            if inst.dtype.is_float:
+                values = tuple(
+                    struct.unpack("<f", struct.pack("<f", v))[0]
+                    for v in values)
+        ops.append(TraceOp(inst, mask, addresses, values))
+    return ops
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_v2_columnar_v2_is_identity(self, data):
+        kernel = _test_kernel()
+        insts = kernel.instructions
+        config = LaunchConfig(grid=as_dim3((1, 1, 1)),
+                              block=as_dim3((32, 1, 1)))
+        rec = KernelLaunchTrace(kernel_name="colk", config=config,
+                                shared_size=128)
+        for warp_id in range(data.draw(st.integers(1, 3))):
+            ops = data.draw(_random_ops(insts))
+            rec.warps.append(WarpTrace(cta_id=0, warp_id=warp_id, ops=ops))
+        col = to_columnar(rec, insts)
+        back = to_records(col)
+        _assert_launches_equal(rec, back)
+
+
+class TestChunking:
+    def test_chunked_production_is_invisible(self, monkeypatch):
+        """Crossing chunk boundaries changes neither the sealed columns
+        nor the record view."""
+        monkeypatch.setattr("repro.emulator.columnar.CHUNK_OPS", 7)
+        small = _emulated_launch()
+        monkeypatch.undo()
+        big = _emulated_launch()
+        _assert_launches_equal(to_records(big), small)
+
+    def test_iter_chunks_streams_all_ops(self, monkeypatch):
+        monkeypatch.setattr("repro.emulator.columnar.CHUNK_OPS", 5)
+        col = _emulated_launch()
+        for warp in col.warps:
+            total = 0
+            addr_total = 0
+            for pc, mask, kind, acount, lanes, addrs, vals in \
+                    warp.iter_chunks():
+                assert len(pc) <= 5
+                assert len(pc) == len(mask) == len(kind) == len(acount)
+                assert len(lanes) == len(addrs) == int(acount.sum())
+                total += len(pc)
+                addr_total += len(addrs)
+            warp.seal()
+            assert total == len(warp.pc)
+            assert addr_total == len(warp.addrs)
+
+    def test_iter_chunks_after_seal_matches_builder_stream(self):
+        col = _emulated_launch()
+        streamed = [[np.concatenate(arrs) for arrs in zip(*w.iter_chunks())]
+                    for w in col.seal().warps if len(w.pc)]
+        for w, cols in zip([w for w in col.warps if len(w.pc)], streamed):
+            np.testing.assert_array_equal(cols[0], w.pc)
+            np.testing.assert_array_equal(cols[5], w.addrs)
+
+
+class TestMemoryTable:
+    def test_matches_record_iterator(self):
+        col = _emulated_launch()
+        for space, loads_only in ((None, False), (Space.GLOBAL, False),
+                                  (Space.GLOBAL, True),
+                                  (Space.SHARED, False)):
+            table = col.memory_table(space=space, loads_only=loads_only)
+            expected = [(w_idx, op)
+                        for w_idx, w in enumerate(col.warps)
+                        for op in w.ops
+                        if op.addresses is not None
+                        and (not loads_only or op.inst.is_load)
+                        and (space is None or op.inst.space is space)]
+            if table is None:
+                assert not expected
+                continue
+            assert len(table["pc"]) == len(expected)
+            for i, (w_idx, op) in enumerate(expected):
+                assert int(table["warp"][i]) == w_idx
+                assert int(table["pc"][i]) == op.pc
+                lo = int(table["astart"][i])
+                hi = lo + int(table["acount"][i])
+                got = list(zip(table["lanes"][lo:hi].tolist(),
+                               table["addrs"][lo:hi].tolist()))
+                assert got == list(op.addresses)
+
+    def test_empty_launch_returns_none(self):
+        config = LaunchConfig(grid=as_dim3((1, 1, 1)),
+                              block=as_dim3((32, 1, 1)))
+        col = ColumnarLaunchTrace("empty", config, [])
+        assert col.memory_table() is None
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value,is_float", [
+        (0, False), (1, False), (-1, False), (2**63 - 1, False),
+        (-2**63, False), (2**64 - 1, False),
+        (0.0, True), (-0.0, True), (1.5, True), (float("inf"), True),
+        (float("-inf"), True), (3.14159e300, True),
+    ])
+    def test_encode_is_invertible(self, value, is_float):
+        class _D:
+            def __init__(self, f, s):
+                self.is_float, self.is_signed = f, s
+        bits = encode_value(value, is_float)
+        assert 0 <= bits < 2**64
+        if is_float:
+            got = decode_value(bits, _D(True, False))
+            assert got == value and math.copysign(1, got) == \
+                math.copysign(1, value)
+        else:
+            signed = value < 0
+            got = decode_value(bits, _D(False, signed))
+            assert got == value
+
+    def test_nan_payload_survives(self):
+        class _D:
+            is_float, is_signed = True, False
+        bits = encode_value(float("nan"), True)
+        assert math.isnan(decode_value(bits, _D()))
+
+
+def test_take_ragged_gathers_row_slices():
+    flat = np.arange(20, dtype=np.int64)
+    starts = np.array([0, 10, 4])
+    counts = np.array([3, 0, 5])
+    np.testing.assert_array_equal(
+        take_ragged(flat, starts, counts),
+        np.array([0, 1, 2, 4, 5, 6, 7, 8]))
+    assert len(take_ragged(flat, starts[:0], counts[:0])) == 0
+
+
+def test_chunk_ops_constant_sane():
+    assert CHUNK_OPS > 0 and KIND_NONE == 0xFF

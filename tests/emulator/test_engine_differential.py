@@ -1,8 +1,8 @@
-"""Differential testing of the two warp-execution engines.
+"""Differential testing of the three warp-execution engines.
 
-The vectorized (NumPy structure-of-arrays) engine must be trace-
-equivalent to the scalar per-lane interpreter, which serves as the
-semantic oracle.  Equivalence is checked at the strongest level the
+The vectorized (NumPy structure-of-arrays) engine and the compiled
+(generated-Python) engine must both be trace-equivalent to the scalar
+per-lane interpreter, which serves as the semantic oracle.  Equivalence is checked at the strongest level the
 pipeline observes: the *serialized byte stream* of the application
 trace — identical PCs, active masks and per-lane addresses for every
 dynamic warp instruction of every registered workload.
@@ -55,17 +55,21 @@ def _registry_snapshot(name, engine):
 @pytest.mark.parametrize("name", ALL_WORKLOADS)
 def test_engines_produce_identical_traces(name, tmp_path):
     scalar = _trace_bytes(name, "scalar", tmp_path)
-    vectorized = _trace_bytes(name, "vectorized", tmp_path)
-    assert scalar == vectorized, (
-        "engine divergence for %r: serialized traces differ" % name)
+    for engine in ("vectorized", "compiled"):
+        other = _trace_bytes(name, engine, tmp_path)
+        assert other == scalar, (
+            "engine divergence for %r: %s trace differs from scalar"
+            % (name, engine))
 
 
 @pytest.mark.parametrize("name", ALL_WORKLOADS)
 def test_engines_produce_identical_metrics_snapshots(name):
     scalar = _registry_snapshot(name, "scalar")
-    vectorized = _registry_snapshot(name, "vectorized")
-    assert scalar == vectorized, (
-        "engine divergence for %r: metrics snapshots differ" % name)
+    for engine in ("vectorized", "compiled"):
+        other = _registry_snapshot(name, engine)
+        assert other == scalar, (
+            "engine divergence for %r: %s metrics snapshot differs "
+            "from scalar" % (name, engine))
 
 
 def test_emulator_registry_series_engine_invariant():
@@ -81,14 +85,16 @@ def test_emulator_registry_series_engine_invariant():
             return reg.snapshot()["counters"]
 
     scalar = emulate_counts("scalar")
-    vectorized = emulate_counts("vectorized")
-    assert scalar["emulator.warp_insts"] == vectorized["emulator.warp_insts"]
-    assert scalar["emulator.launches"] == vectorized["emulator.launches"]
-    assert scalar == vectorized
+    for engine in ("vectorized", "compiled"):
+        other = emulate_counts(engine)
+        assert scalar["emulator.warp_insts"] == other["emulator.warp_insts"]
+        assert scalar["emulator.launches"] == other["emulator.launches"]
+        assert scalar == other
 
 
-def test_scalar_engine_selectable_via_run():
-    run = get_workload("bfs", scale=DIFF_SCALE).run(engine="scalar")
+@pytest.mark.parametrize("engine", ["scalar", "compiled"])
+def test_engine_selectable_via_run(engine):
+    run = get_workload("bfs", scale=DIFF_SCALE).run(engine=engine)
     assert run.trace.total_warp_instructions() > 0
 
 
@@ -239,11 +245,14 @@ def _adversarial_outcome(kernel, engine, tmp_path):
 def test_adversarial_operands_engines_agree(seed, tmp_path):
     kernel = _build_adversarial_kernel(seed)
     s_trace, s_mem = _adversarial_outcome(kernel, "scalar", tmp_path)
-    v_trace, v_mem = _adversarial_outcome(kernel, "vectorized", tmp_path)
-    assert s_mem == v_mem, (
-        "engine divergence for adversarial seed %d: final memory" % seed)
-    assert s_trace == v_trace, (
-        "engine divergence for adversarial seed %d: traces" % seed)
+    for engine in ("vectorized", "compiled"):
+        e_trace, e_mem = _adversarial_outcome(kernel, engine, tmp_path)
+        assert e_mem == s_mem, (
+            "engine divergence for adversarial seed %d: final memory "
+            "(%s)" % (seed, engine))
+        assert e_trace == s_trace, (
+            "engine divergence for adversarial seed %d: traces (%s)"
+            % (seed, engine))
 
 
 def _probe(mnemonic, a, c, store, engine):
@@ -264,7 +273,8 @@ def _probe(mnemonic, a, c, store, engine):
     return int(mem.read_array("out", np_dtype)[0])
 
 
-@pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+@pytest.mark.parametrize("engine",
+                         ["scalar", "vectorized", "compiled"])
 @pytest.mark.parametrize("mnemonic,a,c,store,expected", [
     # INT_MIN / -1 wraps to INT_MIN (two's-complement overflow)
     ("div.s32", -2**31, -1, "st.global.u32", 0x80000000),

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.emulator.serialize import load_run, save_run
+from repro.emulator.serialize import (
+    FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+    load_run,
+    save_run,
+    save_run_legacy,
+)
 from repro.sim import GPU, TINY
 
 
@@ -85,6 +91,121 @@ class TestRoundtrip:
             load_run(path)
 
 
+class TestFormatDetection:
+    """load_run dispatches on the on-disk format and reports it."""
+
+    def test_v3_reports_format_version(self, bfs_run, tmp_path):
+        path = str(tmp_path / "bfs.trace")
+        save_run(bfs_run, path)
+        assert load_run(path).format_version == FORMAT_VERSION
+
+    def test_legacy_gzip_still_loads(self, bfs_run, tmp_path):
+        path = str(tmp_path / "bfs.trace.gz")
+        save_run_legacy(bfs_run, path)
+        loaded = load_run(path)
+        assert loaded.format_version == LEGACY_FORMAT_VERSION
+        orig = [(op.pc, op.active_mask, op.addresses, op.values)
+                for launch in bfs_run.trace for w in launch for op in w.ops]
+        new = [(op.pc, op.active_mask, op.addresses, op.values)
+               for launch in loaded.trace for w in launch for op in w.ops]
+        assert orig == new
+
+    def test_byte_deterministic(self, bfs_run, tmp_path):
+        a, b = str(tmp_path / "a.trace"), str(tmp_path / "b.trace")
+        save_run(bfs_run, a)
+        save_run(bfs_run, b)
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_garbage_rejected(self, tmp_path):
+        path = str(tmp_path / "noise.trace")
+        with open(path, "wb") as fh:
+            fh.write(b"NOTATRACEFILE AT ALL")
+        with pytest.raises(ValueError, match="version"):
+            load_run(path)
+
+
+class TestSchemaV3Integrity:
+    """The v3 kind column is redundant with the instruction, so a
+    mismatch (or a dropped kind on an op with accesses) is corruption."""
+
+    def _tampered(self, run, tmp_path, mutate):
+        """Rewrite the v3 container with ``mutate(name, array)`` applied
+        to each column of the first launch."""
+        import json
+
+        import numpy as np
+
+        from repro.emulator.columnar import COLUMNS
+        from repro.emulator.serialize import (
+            ALIGN,
+            MAGIC,
+            _launch_header_and_columns,
+        )
+
+        launches, blobs = [], []
+        for i, launch in enumerate(run.trace):
+            header, arrays = _launch_header_and_columns(launch, run.module)
+            launches.append(header)
+            for name, dt in COLUMNS:
+                arr = np.ascontiguousarray(arrays[name], dtype=dt)
+                if i == 0:
+                    arr = mutate(name, arr.copy())
+                blobs.append(arr)
+        from repro.ptx import print_module
+        head = json.dumps(
+            {"version": FORMAT_VERSION, "name": run.trace.name,
+             "ptx": print_module(run.module), "launches": launches},
+            separators=(",", ":"), sort_keys=True).encode("utf-8")
+        path = str(tmp_path / "tampered.trace")
+        with open(path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(len(head).to_bytes(4, "little"))
+            fh.write(head)
+            pos = len(MAGIC) + 4 + len(head)
+            for blob in blobs:
+                pad = (pos + ALIGN - 1) // ALIGN * ALIGN - pos
+                fh.write(b"\0" * pad)
+                data = blob.tobytes()
+                fh.write(data)
+                pos += pad + len(data)
+        return path
+
+    def test_tampered_kind_rejected(self, bfs_run, tmp_path):
+        from repro.emulator.columnar import KIND_NONE
+
+        def flip_first_kind(name, arr):
+            if name == "kind":
+                idx = (arr != KIND_NONE).nonzero()[0][0]
+                arr[idx] ^= 1  # flip load<->store in the kind code
+            return arr
+
+        with pytest.raises(ValueError, match="access kind"):
+            load_run(self._tampered(bfs_run, tmp_path, flip_first_kind))
+
+    def test_missing_kind_rejected(self, bfs_run, tmp_path):
+        from repro.emulator.columnar import KIND_NONE
+
+        def drop_first_kind(name, arr):
+            if name == "kind":
+                idx = (arr != KIND_NONE).nonzero()[0][0]
+                arr[idx] = KIND_NONE
+            return arr
+
+        with pytest.raises(ValueError, match="access kind"):
+            load_run(self._tampered(bfs_run, tmp_path, drop_first_kind))
+
+    def test_inflated_access_count_rejected(self, bfs_run, tmp_path):
+        def inflate_acount(name, arr):
+            if name == "acount":
+                idx = (arr > 0).nonzero()[0][0]
+                arr[idx] += 1  # claims one more access than stored
+            return arr
+
+        with pytest.raises(ValueError, match="corrupt trace"):
+            load_run(self._tampered(bfs_run, tmp_path, inflate_acount))
+
+
 class TestSchemaV2Integrity:
     """The v2 access-kind code is redundant with the instruction, so a
     mismatch (or a store without values) means the file is corrupt."""
@@ -93,7 +214,7 @@ class TestSchemaV2Integrity:
         import gzip
         import json
         path = str(tmp_path / "bfs.trace.gz")
-        save_run(run, path)
+        save_run_legacy(run, path)
         with gzip.open(path, "rt") as fh:
             return json.load(fh)
 

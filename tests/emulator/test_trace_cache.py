@@ -81,17 +81,21 @@ class TestKeying:
         assert trace_cache.lookup(
             _key(workload, ptx, scale=workload.scale * 2)) is None
 
-    def test_version_bumps_change_key(self, bfs_small, monkeypatch):
+    def test_emulator_bump_changes_key(self, bfs_small, monkeypatch):
+        workload, _, ptx = bfs_small
+        before = _key(workload, ptx)
+        monkeypatch.setattr(trace_cache, "EMULATOR_VERSION",
+                            EMULATOR_VERSION + 1)
+        assert _key(workload, ptx) != before
+
+    def test_format_bump_keeps_key(self, bfs_small, monkeypatch):
+        """The serialization format is detected in-file and migrated,
+        not keyed — bumping it must not orphan every entry."""
         workload, _, ptx = bfs_small
         before = _key(workload, ptx)
         monkeypatch.setattr(trace_cache, "FORMAT_VERSION",
                             FORMAT_VERSION + 1)
-        bumped_format = _key(workload, ptx)
-        monkeypatch.setattr(trace_cache, "FORMAT_VERSION", FORMAT_VERSION)
-        monkeypatch.setattr(trace_cache, "EMULATOR_VERSION",
-                            EMULATOR_VERSION + 1)
-        bumped_emulator = _key(workload, ptx)
-        assert len({before, bumped_format, bumped_emulator}) == 3
+        assert _key(workload, ptx) == before
 
 
 class TestRobustness:
@@ -131,6 +135,67 @@ class TestRobustness:
         with isolated_registry() as reg:
             assert trace_cache.lookup(_key(workload, ptx)) is None
             assert reg.get("trace_cache.corrupt") is None
+            assert reg.get("trace_cache.migrated") is None
+
+
+class TestMigration:
+    """Entries written in an older serialization format are healthy
+    files — evicted as ``migrated`` misses, never as ``corrupt``."""
+
+    def test_old_format_entry_is_migrated_miss(self, bfs_small):
+        from repro.emulator.serialize import save_run_legacy
+        from repro.obs.metrics import isolated_registry
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        path = trace_cache.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_run_legacy(run, str(path))  # a v2 payload under the v3 name
+        with isolated_registry() as reg:
+            assert trace_cache.lookup(key) is None
+            migrated = reg.get("trace_cache.migrated")
+            assert migrated is not None and migrated.total() == 1
+            assert reg.get("trace_cache.corrupt") is None
+        assert not path.exists()
+
+    def test_legacy_suffix_entry_is_migrated_miss(self, bfs_small):
+        from repro.emulator.serialize import save_run_legacy
+        from repro.obs.metrics import isolated_registry
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        legacy = trace_cache._legacy_entry_path(key)
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        save_run_legacy(run, str(legacy))
+        with isolated_registry() as reg:
+            assert trace_cache.lookup(key) is None
+            migrated = reg.get("trace_cache.migrated")
+            assert migrated is not None and migrated.total() == 1
+            assert reg.get("trace_cache.corrupt") is None
+        assert not legacy.exists()
+
+    def test_store_after_migration_heals(self, bfs_small):
+        from repro.emulator.serialize import FORMAT_VERSION, save_run_legacy
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        path = trace_cache.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_run_legacy(run, str(path))
+        assert trace_cache.lookup(key) is None  # migrated away
+        trace_cache.store(key, run)
+        healed = trace_cache.lookup(key)
+        assert healed is not None
+        assert healed.format_version == FORMAT_VERSION
+
+    def test_clear_and_stats_cover_legacy_entries(self, bfs_small):
+        from repro.emulator.serialize import save_run_legacy
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+        legacy = trace_cache._legacy_entry_path("0" * 64)
+        save_run_legacy(run, str(legacy))
+        count, total = trace_cache.stats()
+        assert count == 2 and total > 0
+        assert trace_cache.clear() == 2
+        assert trace_cache.stats() == (0, 0)
 
     def test_store_is_byte_deterministic(self, bfs_small):
         workload, run, ptx = bfs_small
@@ -207,7 +272,7 @@ class TestTransientIO:
         assert trace_cache.entry_path(key).is_file()
 
     def test_persistent_truncation_retried_then_removed(self, bfs_small):
-        """Stores are atomic, so a short gzip stream that survives the
+        """Stores are atomic, so a short stream that survives the
         retry is real corruption and gets unlinked."""
         workload, run, ptx = bfs_small
         key = _key(workload, ptx)

@@ -64,7 +64,7 @@ class TestDeadlock:
         sm.assign_cta(first, by_cta[first])
         sm.ctas[first].outstanding += 1      # never released -> no events
         for w in sm.warps:
-            w.ptr = len(w.ops)
+            w.ptr = w.n
             w.trace_done = True
         with pytest.raises(SimulationError) as info:
             gpu._run_until_drained()
