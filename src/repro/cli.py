@@ -375,7 +375,6 @@ def _cmd_simulate(args, out):
 
 
 def _cmd_figures(args, out):
-    import json
     import os
 
     from .experiments import export_json
@@ -408,15 +407,15 @@ def _cmd_figures(args, out):
     results = [r for r in mixed if r.ok]
     failures = [r for r in mixed if not r.ok]
 
+    from .resilience.artifacts import atomic_write_json
+
     os.makedirs(args.out, exist_ok=True)
     manifest = {
         "completed": [r.name for r in results],
         "failures": [f.to_json() for f in failures],
     }
     manifest_path = os.path.join(args.out, "failures.json")
-    with open(manifest_path, "w") as fh:
-        json.dump(manifest, fh, indent=2, default=str)
-        fh.write("\n")
+    atomic_write_json(manifest_path, manifest)
     run_manifest_path = os.path.join(args.out, "manifest.json")
     run_manifest.finish().write(run_manifest_path)
     out.write("wrote %s\n" % run_manifest_path)
@@ -515,6 +514,11 @@ def _cmd_cache(args, out):
     out.write("enabled:   %s\n" % ("yes" if trace_cache.cache_enabled()
                                    else "no (REPRO_TRACE_CACHE=0)"))
     out.write("entries:   %d (%.1f KiB)\n" % (count, total / 1024.0))
+    qcount, qtotal = trace_cache.quarantine_stats()
+    if qcount:
+        out.write("quarantined: %d (%.1f KiB) in %s\n"
+                  % (qcount, qtotal / 1024.0,
+                     trace_cache.cache_dir() / ".corrupt"))
     return 0
 
 

@@ -12,9 +12,19 @@ import-safe on minimal installs::
 
     @maybe_njit(cache=True)
     def hot(values): ...
+
+A *broken* Numba (importable but unable to decorate, or failing to JIT
+on first call — version skew against NumPy is the classic cause) must
+not take the pipeline down either: :func:`maybe_njit` degrades to the
+pure-Python function, warns once per process, and counts the downgrade
+under ``engine.njit_fallbacks`` so the degradation is visible in the
+metrics snapshot.
 """
 
 from __future__ import annotations
+
+import functools
+import warnings
 
 try:  # pragma: no cover - exercised by the with-numba CI job
     from numba import njit as _njit
@@ -23,20 +33,83 @@ try:  # pragma: no cover - exercised by the with-numba CI job
 except ImportError:  # the supported baseline: pure NumPy fallback
     _njit = None
     HAVE_NUMBA = False
+except Exception as _exc:  # pragma: no cover - broken install
+    # importable-but-broken (e.g. llvmlite/NumPy version skew raising
+    # at import time): same fallback as "absent", but say so.
+    warnings.warn("numba import failed (%s); running pure-Python"
+                  % (_exc,), RuntimeWarning, stacklevel=2)
+    _njit = None
+    HAVE_NUMBA = False
+
+_warned = set()
+
+
+def _count_fallback(where):
+    # local import: obs must stay unimported until first failure so
+    # this module is safe at any point of the package import graph
+    from ..obs.metrics import get_registry
+
+    get_registry().counter(
+        "engine.njit_fallbacks",
+        "numba JIT failures degraded to pure Python").inc(1, where=where)
+
+
+def _warn_once(where, exc):
+    if where in _warned:
+        return
+    _warned.add(where)
+    warnings.warn(
+        "numba failed to JIT %s (%s: %s); falling back to pure Python "
+        "for the rest of the process" % (where, type(exc).__name__, exc),
+        RuntimeWarning, stacklevel=3)
+
+
+def _guarded(fn, jitted):
+    """Dispatch to the jitted function until it fails, then swap to the
+    pure-Python original permanently (numba raises at first *call* for
+    typing errors, not at decoration)."""
+    state = {"fn": jitted}
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        current = state["fn"]
+        if current is fn:
+            return fn(*args, **kwargs)
+        try:
+            return current(*args, **kwargs)
+        except Exception as exc:
+            state["fn"] = fn
+            _warn_once(fn.__qualname__, exc)
+            _count_fallback(fn.__qualname__)
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def _decorate(fn, *args, **kwargs):
+    if not HAVE_NUMBA:
+        return fn
+    try:
+        jitted = _njit(*args, **kwargs)(fn) if (args or kwargs) \
+            else _njit(fn)
+    except Exception as exc:
+        _warn_once(fn.__qualname__, exc)
+        _count_fallback(fn.__qualname__)
+        return fn
+    return _guarded(fn, jitted)
 
 
 def maybe_njit(*args, **kwargs):
-    """``numba.njit`` when available, identity decorator otherwise.
+    """``numba.njit`` when available and working, identity otherwise.
 
     Supports both the bare (``@maybe_njit``) and parameterized
-    (``@maybe_njit(cache=True)``) forms.
+    (``@maybe_njit(cache=True)``) forms.  Decoration-time and first-call
+    JIT failures both degrade to the original Python function (see the
+    module docstring).
     """
     if args and callable(args[0]) and len(args) == 1 and not kwargs:
-        fn = args[0]
-        return _njit(fn) if HAVE_NUMBA else fn
-    if HAVE_NUMBA:
-        return _njit(*args, **kwargs)
+        return _decorate(args[0])
 
-    def identity(fn):
-        return fn
-    return identity
+    def parameterized(fn):
+        return _decorate(fn, *args, **kwargs)
+    return parameterized

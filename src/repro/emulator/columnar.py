@@ -48,6 +48,8 @@ from typing import Dict, List
 import numpy as np
 
 from ..ptx.isa import PC_STRIDE
+from ..resilience.errors import TraceIntegrityError
+from ..resilience.guards import check_memory_budget, columnar_chunk_ops
 from .grid import LaunchConfig
 from .trace import TraceOp
 
@@ -204,7 +206,7 @@ class ColumnarWarpTrace:
                 else:
                     for v in values:
                         vals.append(int(v) & _U64_MASK)
-        if len(self._b_pc) >= CHUNK_OPS:
+        if len(self._b_pc) >= self._launch._chunk_ops:
             self._flush()
 
     def append_run(self, pcs, active_mask):
@@ -215,7 +217,7 @@ class ColumnarWarpTrace:
         self._b_mask.extend([active_mask] * n)
         self._b_kind.extend([KIND_NONE] * n)
         self._b_acount.extend([0] * n)
-        if len(self._b_pc) >= CHUNK_OPS:
+        if len(self._b_pc) >= self._launch._chunk_ops:
             self._flush()
 
     def append_memory(self, pc, active_mask, kind, lanes, addrs,
@@ -230,10 +232,11 @@ class ColumnarWarpTrace:
         self._b_addr.extend(addrs)
         if enc_values is not None:
             self._b_val.extend(enc_values)
-        if len(self._b_pc) >= CHUNK_OPS:
+        if len(self._b_pc) >= self._launch._chunk_ops:
             self._flush()
 
     def _flush(self):
+        check_memory_budget("columnar trace production")
         self._chunks.append((
             np.asarray(self._b_pc, dtype=np.uint32),
             np.asarray(self._b_mask, dtype=np.uint32),
@@ -257,8 +260,9 @@ class ColumnarWarpTrace:
         (each tuple covers at most :data:`CHUNK_OPS` ops)."""
         if self.pc is not None:
             n = len(self.pc)
-            for lo in range(0, n, CHUNK_OPS):
-                hi = min(lo + CHUNK_OPS, n)
+            step = self._launch._chunk_ops
+            for lo in range(0, n, step):
+                hi = min(lo + step, n)
                 alo, ahi = int(self.astart[lo]), int(self.astart[hi])
                 vlo, vhi = int(self.vstart[lo]), int(self.vstart[hi])
                 yield (self.pc[lo:hi], self.mask[lo:hi], self.kind[lo:hi],
@@ -288,12 +292,12 @@ class ColumnarWarpTrace:
         self.astart = _exclusive_offsets(self.acount)
         self.vstart = _exclusive_offsets(self._value_counts())
         if int(self.astart[-1]) != len(self.lanes):
-            raise ValueError(
+            raise TraceIntegrityError(
                 "corrupt trace: address table length %d does not match "
                 "per-op counts (%d)" % (len(self.lanes),
                                         int(self.astart[-1])))
         if int(self.vstart[-1]) != len(self.vals):
-            raise ValueError(
+            raise TraceIntegrityError(
                 "corrupt trace: value table length %d does not match "
                 "store counts (%d)" % (len(self.vals),
                                        int(self.vstart[-1])))
@@ -385,6 +389,10 @@ class ColumnarLaunchTrace:
                     "instruction table violates the pc-stride invariant "
                     "at index %d (pc %#x)" % (i, inst.pc))
         self._insts = insts
+        # Producer/consumer chunk granularity; REPRO_COLUMNAR_CHUNK_OPS
+        # can lower it (never raise it past CHUNK_OPS, the iter_chunks
+        # contract) to bound staging-buffer memory on the large tier.
+        self._chunk_ops = columnar_chunk_ops(CHUNK_OPS)
         self._kind_of = [op_kind(inst) if inst.is_memory else KIND_NONE
                          for inst in insts]
         self._isfloat_of = [bool(inst.dtype is not None

@@ -43,6 +43,7 @@ import struct
 
 from .._bits import lanes_of as _lanes_of
 from ..ptx.isa import Imm, MemRef, Reg, Space, SReg, dtype_from_name
+from ..resilience.errors import CodegenError
 from ._njit import HAVE_NUMBA
 from .columnar import op_kind
 from .grid import FULL_MASK, WARP_SIZE
@@ -194,7 +195,16 @@ class CompiledEngine:
         entry = self._kernels.get(id(kernel))
         if entry is not None and entry.kernel is kernel:
             return entry
-        entry = _CompiledKernel(kernel, cfg)
+        # Anything the segment analyzer raises here is an engine
+        # infrastructure failure, not a property of the workload: the
+        # scalar oracle would run the same kernel fine.  Typed as
+        # CodegenError so the fallback chain can downgrade the engine.
+        try:
+            entry = _CompiledKernel(kernel, cfg)
+        except Exception as exc:
+            raise CodegenError(
+                "kernel analysis failed: %s" % (exc,),
+                kernel=kernel.name) from exc
         self._kernels[id(kernel)] = entry
         return entry
 
@@ -228,7 +238,15 @@ class CompiledEngine:
                     continue
                 seg = by_pc[pc]
                 if seg is None:
-                    seg = ck.segment(pc, emu)
+                    try:
+                        seg = ck.segment(pc, emu)
+                    except CodegenError:
+                        raise
+                    except Exception as exc:
+                        raise CodegenError(
+                            "segment compilation failed at pc %#x: %s"
+                            % (insts[pc].pc, exc),
+                            kernel=kernel.name) from exc
                 if seg is not False:
                     fn, n = seg
                     if executed + n > budget:
@@ -240,7 +258,15 @@ class CompiledEngine:
                                 cta=warp.trace.cta_id, warp=warp.warp_id)
                         # run a truncated segment so the watchdog trips
                         # at the same instruction as the scalar engine
-                        fn, n = ck.segment(pc, emu, limit=left)
+                        try:
+                            fn, n = ck.segment(pc, emu, limit=left)
+                        except CodegenError:
+                            raise
+                        except Exception as exc:
+                            raise CodegenError(
+                                "segment compilation failed at pc %#x: %s"
+                                % (insts[pc].pc, exc),
+                                kernel=kernel.name) from exc
                     executed += n
                     try:
                         fn(warp, live, _lanes_of(live), shared, params,

@@ -26,6 +26,7 @@ from ..obs import tracing
 from ..obs.metrics import get_registry
 from ..ptx.cfg import CFG
 from ..ptx.isa import Imm, Reg, Space, SReg
+from ..resilience.guards import check_memory_budget
 from .columnar import ColumnarLaunchTrace
 from .grid import FULL_MASK, WARP_SIZE, LaunchConfig, as_dim3
 from .memory import MemoryError_, SharedMemory
@@ -298,6 +299,7 @@ class Emulator:
                           engine=self.engine, ctas=config.num_ctas,
                           threads_per_cta=config.threads_per_cta) as sp:
             for cta_linear in range(config.num_ctas):
+                check_memory_budget("emulation of kernel %s" % kernel.name)
                 self._run_cta(kernel, cfg, config, cta_linear, params,
                               launch_trace)
             sp.set(warp_insts=self._executed)

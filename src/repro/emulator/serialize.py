@@ -38,6 +38,7 @@ from __future__ import annotations
 import gzip
 import json
 import mmap
+import os
 from dataclasses import dataclass
 from typing import Dict
 
@@ -45,6 +46,7 @@ import numpy as np
 
 from ..core import ClassificationResult, classify_kernel
 from ..ptx import Module, parse_module, print_module
+from ..resilience.artifacts import compute_checksum, verify_checksum
 from .columnar import (
     COLUMNS,
     KIND_NONE,
@@ -66,6 +68,10 @@ LEGACY_FORMAT_VERSION = 2
 
 MAGIC = b"REPROTRC"
 ALIGN = 64
+
+#: Set to ``0`` to skip load-time column checksum verification (one
+#: extra hash pass over the mapped file; on by default).
+ENV_TRACE_VERIFY = "REPRO_TRACE_VERIFY"
 
 _KIND_LOAD, _KIND_STORE, _KIND_ATOMIC = 0, 1, 2
 
@@ -121,6 +127,9 @@ def save_run(run, path):
         "name": run.trace.name,
         "ptx": print_module(module),
         "launches": launches,
+        # digest of the column payload (blob bytes in canonical order,
+        # padding excluded — so it is independent of the header length)
+        "checksum": compute_checksum(b.tobytes() for b in blobs),
     }
     head = json.dumps(payload, separators=(",", ":"),
                       sort_keys=True).encode("utf-8")
@@ -203,6 +212,10 @@ def load_run(path):
         head = fh.read(len(MAGIC))
         if head[:2] == b"\x1f\x8b":
             return _load_run_v2(path)
+        if len(head) < len(MAGIC):
+            # EOFError, not ValueError: a near-empty file is a torn
+            # write, which the trace cache retries before quarantining
+            raise EOFError("truncated trace file: short magic")
         if head != MAGIC:
             raise ValueError(
                 "unsupported trace-file version: %r is neither a v%d "
@@ -223,6 +236,9 @@ def load_run(path):
                              % payload.get("version"))
         fh.seek(0)
         buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+
+    if os.environ.get(ENV_TRACE_VERIFY, "1") != "0":
+        _verify_container(buf, payload, hlen, path)
 
     module = parse_module(payload["ptx"])
     classifications = {k.name: classify_kernel(k) for k in module}
@@ -280,6 +296,36 @@ def load_run(path):
     return LoadedRun(name=payload["name"], module=module,
                      trace=app, classifications=classifications,
                      format_version=FORMAT_VERSION)
+
+
+def _verify_container(buf, payload, hlen, path):
+    """Check the header's column checksum against the mapped bytes.
+
+    Hashes each column's blob region (padding excluded) in the same
+    canonical order :func:`save_run` wrote them.  Containers without a
+    checksum record (older writers) are accepted unchanged; a mismatch
+    raises :class:`~repro.resilience.artifacts.ChecksumError`, which the
+    trace cache treats as corruption (quarantine + regenerate).
+    """
+    record = payload.get("checksum")
+    if not record:
+        return
+
+    def _blob_regions():
+        pos = len(MAGIC) + 4 + hlen
+        for launch_data in payload["launches"]:
+            counts = launch_data["columns"]
+            for name, dt in COLUMNS:
+                pos = _align(pos)
+                nbytes = int(counts[name]) * np.dtype(dt).itemsize
+                if pos + nbytes > len(buf):
+                    raise EOFError(
+                        "truncated trace file: column %r ends beyond EOF"
+                        % name)
+                yield buf[pos:pos + nbytes]
+                pos += nbytes
+
+    verify_checksum(_blob_regions(), record, path)
 
 
 def _value_counts(launch, arrays):

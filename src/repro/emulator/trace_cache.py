@@ -14,11 +14,13 @@ keyed by the *content* that determines the trace:
   semantic change could alter emitted traces).
 
 The serialization format version is *not* part of the key: the trace
-file itself records which schema it uses, and :func:`lookup` migrates —
-an entry written in an older format (or under the legacy ``.trace.gz``
-naming) is deleted, counted under ``trace_cache.migrated``, and
-reported as a miss so the caller re-emulates and the following store
-heals the cache at the current format.  ``trace_cache.corrupt`` stays
+file itself records which schema it uses, and :func:`lookup` migrates
+*in place* — an entry written in an older format (or under the legacy
+``.trace.gz`` naming) still loads, is immediately rewritten at the
+current schema, counted under ``trace_cache.migrated``, and returned
+as a **hit** (no re-emulation).  A migration whose rewrite fails still
+returns the loaded run but counts under ``trace_cache.corrupt`` so the
+stale entry is visible.  ``trace_cache.corrupt`` otherwise stays
 reserved for genuinely damaged entries.
 
 The key is the SHA-256 of that tuple; entries live as ``<key>.trace``
@@ -29,9 +31,13 @@ a normal trace file) in
 * ``~/.cache/repro-traces``.
 
 ``REPRO_TRACE_CACHE=0`` disables the cache entirely.  A corrupted or
-truncated entry is likewise deleted and treated as a miss — the caller simply
-re-emulates.  Writes go through a temporary file and an atomic rename
-so concurrent experiment workers never observe partial entries.
+truncated entry (including a checksum mismatch detected on mmap load)
+is moved into the cache's ``.corrupt/`` quarantine sidecar, counted
+under ``trace_cache.quarantined``, and treated as a miss — the caller
+re-emulates and the following store heals the cache, while the damaged
+bytes stay inspectable.  Writes go through a temporary file and an
+atomic rename so concurrent experiment workers never observe partial
+entries.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ import time
 from pathlib import Path
 
 from ..obs.metrics import get_registry
+from ..resilience.quarantine import quarantine_file, quarantined_entries
 from .machine import EMULATOR_VERSION
 from .serialize import FORMAT_VERSION, load_run, save_run
 
@@ -75,11 +82,24 @@ def _count_corrupt():
 
 
 def _count_migrated():
-    """Tally one old-format entry replaced by re-emulation — a healthy
-    file in an outdated schema, *not* corruption."""
+    """Tally one old-format entry rewritten at the current schema — a
+    healthy file in an outdated format, *not* corruption."""
     get_registry().counter(
         "trace_cache.migrated",
-        "old-format cache entries evicted for re-emulation").inc(1)
+        "old-format cache entries migrated in place").inc(1)
+
+
+def _count_quarantined():
+    """Tally one damaged entry moved to the ``.corrupt/`` sidecar."""
+    get_registry().counter(
+        "trace_cache.quarantined",
+        "damaged cache entries moved to quarantine").inc(1)
+
+
+def _quarantine(path):
+    """Move a damaged entry out of the lookup path (never raises)."""
+    quarantine_file(path, kind="trace_cache", reason="corrupt")
+    _count_quarantined()
 
 
 def cache_enabled():
@@ -127,75 +147,74 @@ def _legacy_entry_path(key):
     return cache_dir() / (key + _LEGACY_SUFFIX)
 
 
-def _evict_legacy(key):
-    """Remove a same-key entry left under the legacy naming, if any.
+def _migrate(key, run, old_path):
+    """Rewrite an outdated-but-healthy entry at the current schema.
 
-    Returns True when one was found (the caller counts the migration)."""
-    legacy = _legacy_entry_path(key)
-    try:
-        if legacy.is_file():
-            legacy.unlink()
-            return True
-    except OSError:
-        pass
-    return False
+    The loaded run is returned to the caller either way (it *is* the
+    requested trace); a failed rewrite counts under
+    ``trace_cache.corrupt`` so the stale file is visible in metrics.
+    """
+    stored = store(key, run)
+    if stored is None:
+        _count_corrupt()
+    elif Path(old_path) != Path(stored):
+        # legacy-named entry replaced by a fresh <key>.trace
+        try:
+            Path(old_path).unlink()
+        except OSError:
+            pass
+    _count_migrated()
+    return run
 
 
 def lookup(key):
     """Load the cached :class:`LoadedRun` for ``key``, or ``None``.
 
     A cache problem is never fatal: transient I/O errors (``OSError``,
-    truncated gzip reads) are retried once after a short delay, then
-    treated as a miss; corrupt entries (persistently truncated streams,
-    bad JSON, unparsable PTX) are removed so the next store can heal
-    the cache.  Entries in an outdated serialization format are healthy
-    files, so they count as ``migrated`` rather than ``corrupt`` — but
-    are likewise deleted and reported as misses.
+    truncated reads of either format, ``BufferError`` from a dying
+    mmap) are retried once after a short delay, then treated as a miss;
+    corrupt entries (persistently truncated streams, bad JSON, column
+    checksum mismatches, unparsable PTX) are quarantined so the next
+    store can heal the cache while the evidence survives.  Entries in
+    an outdated serialization format are healthy files: they are
+    migrated in place and returned as hits.
     """
     if not cache_enabled():
         return None
     path = entry_path(key)
+    legacy = _legacy_entry_path(key)
     for delay in (_RETRY_DELAYS[0], None):
+        target = path
         try:
             if not path.is_file():
-                if _evict_legacy(key):
-                    _count_migrated()
-                _count("miss")
-                return None
-            run = load_run(path)
-            if run.format_version != FORMAT_VERSION:
-                # healthy but outdated: migrate by re-emulation
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-                _count_migrated()
-                _count("miss")
-                return None
+                if legacy.is_file():
+                    target = legacy
+                else:
+                    _count("miss")
+                    return None
+            run = load_run(target)
+            if run.format_version != FORMAT_VERSION or target is legacy:
+                run = _migrate(key, run, target)
             _count("hit")
             return run
-        except (OSError, EOFError) as exc:
-            # possibly transient (NFS hiccup, read racing a writer):
-            # retry once before deciding
+        except (OSError, EOFError, BufferError) as exc:
+            # possibly transient (NFS hiccup, read racing a writer, a
+            # remapped page under an mmap view): retry once before
+            # deciding
             if delay is not None:
                 time.sleep(delay)
                 continue
-            if isinstance(exc, EOFError):
+            if not isinstance(exc, OSError):
                 # stores are atomic (tempfile + rename), so a short
                 # stream that survives the retry is real corruption
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                _quarantine(target)
                 _count_corrupt()
             _count("error")
             return None
         except Exception:
-            # structurally corrupt: delete so a later store heals it
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # structurally corrupt: quarantine so a later store heals
+            # the entry and the damaged bytes stay inspectable
+            _quarantine(target)
             _count_corrupt()
             _count("error")
             return None
@@ -240,7 +259,10 @@ def store(key, run):
 
 
 def clear():
-    """Delete every cache entry; returns the number removed."""
+    """Delete every cache entry (quarantined ones included); returns
+    the number removed."""
+    from ..resilience.quarantine import clear_quarantine
+
     directory = cache_dir()
     removed = 0
     if directory.is_dir():
@@ -251,7 +273,21 @@ def clear():
                     removed += 1
                 except OSError:
                     pass
+        removed += clear_quarantine(directory)
     return removed
+
+
+def quarantine_stats():
+    """``(entry_count, total_bytes)`` for the quarantine sidecar."""
+    count = 0
+    total = 0
+    for entry in quarantined_entries(cache_dir()):
+        try:
+            total += entry.stat().st_size
+            count += 1
+        except OSError:
+            pass
+    return count, total
 
 
 def stats():

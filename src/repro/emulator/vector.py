@@ -43,6 +43,7 @@ import numpy as np
 
 from .._bits import lanes_of, popcount
 from ..ptx.isa import Imm, Reg, Space, SReg, dtype_from_name
+from ..resilience.errors import TraceIntegrityError
 from .grid import FULL_MASK, WARP_SIZE
 from .machine import (
     EmulationError,
@@ -367,6 +368,17 @@ class VectorEngine:
                 count = max(len(inst.dests), len(inst.srcs) - 1, 1)
                 exc.lane = _fault_lane(addresses, exc.addr, width, count)
             raise
+        if inst.is_store and \
+                len(stored) != len(addresses) * (len(inst.srcs) - 1):
+            # per-warp columnar guard: a store must record exactly
+            # ``vector`` values per accessed lane (the schema invariant
+            # seal() enforces launch-wide); catching the drift here
+            # attributes it and lets the fallback chain retry on the
+            # scalar oracle instead of failing at serialization time
+            raise TraceIntegrityError(
+                "store at pc %#x of warp (%d, %d) produced %d values for "
+                "%d accesses" % (inst.pc, warp.trace.cta_id, warp.warp_id,
+                                 len(stored), len(addresses)))
         emu._trace(warp, inst, exec_mask, tuple(addresses),
                    tuple(stored) if inst.is_store else None)
 

@@ -34,6 +34,7 @@ from ..profiling.locality import LocalityAnalyzer, LocalityReport
 from ..ptx import parse_module, print_module
 from ..sim.config import GPUConfig, TESLA_C2050
 from ..sim.gpu import GPU
+from ..resilience.guards import check_memory_budget
 from ..sim.stats import SimStats
 from ..testing.faults import check_fault
 from ..workloads.base import WorkloadRun
@@ -60,9 +61,9 @@ BENCH_SCALE = 0.5
 
 #: exception attributes copied into :attr:`AppFailure.context` when
 #: present (the structured fields of MemoryFaultError, WatchdogError,
-#: BarrierDeadlockError and SimulationError).
+#: BarrierDeadlockError, SimulationError and MemoryBudgetError).
 _CONTEXT_FIELDS = ("kernel", "pc", "cta", "warp", "lane", "address",
-                   "space", "budget", "warp_status")
+                   "space", "budget", "warp_status", "rss_mb", "budget_mb")
 
 
 @dataclass
@@ -226,6 +227,7 @@ class ExperimentRunner:
             if self.simulate:
                 self._stage = "simulate"
                 check_fault(name, "simulate")
+                check_memory_budget("simulation of %s" % name)
                 with tracing.span("simulate", app=name) as sp:
                     gpu = GPU(self.config, cta_policy=self.cta_policy)
                     for launch in run.trace:
@@ -241,6 +243,7 @@ class ExperimentRunner:
                                         include_stats=False, app=name)
             self._stage = "analyze"
             check_fault(name, "analyze")
+            check_memory_budget("analysis of %s" % name)
             with tracing.span("profile", app=name):
                 analyzer = LocalityAnalyzer()
                 locality = analyzer.analyze_application(run.trace,
@@ -249,10 +252,15 @@ class ExperimentRunner:
                 app_span.set(trace_cache=cache_status)
         meta = {
             "wall_seconds": time.perf_counter() - started,
-            "engine": (self.engine if self.engine is not None
-                       else DEFAULT_ENGINE),
+            # the engine that actually produced the trace (post
+            # fallback) when the run records it; the configured engine
+            # otherwise (cache hits skip emulation entirely)
+            "engine": run.engine or (self.engine if self.engine is not None
+                                     else DEFAULT_ENGINE),
             "seed": workload.seed,
         }
+        if run.fallbacks:
+            meta["fallbacks"] = list(run.fallbacks)
         if cache_status is not None:
             meta["trace_cache"] = cache_status
         return AppResult(
@@ -267,13 +275,16 @@ class ExperimentRunner:
 
     # -- registry publication ---------------------------------------------
 
-    def _record(self, result):
+    def _record(self, result, from_worker=False):
         """Publish one fresh :class:`AppResult` into the metrics
         registry: the full figure-input series plus runner bookkeeping.
 
         Called exactly once per computed result — in-process cache hits
         do not republish, and the parallel path calls it from the
         *parent* (the worker's registry dies with the worker).
+        ``from_worker`` additionally replays the worker's fallback
+        events into the parent registry; in-process runs already
+        counted them at the point of downgrade.
         """
         registry = get_registry()
         bridge.publish_result(result, registry)
@@ -286,6 +297,14 @@ class ExperimentRunner:
                 "runner.trace_cache",
                 "per-application trace-cache outcomes").inc(
                 1, result=cache_status)
+        if from_worker:
+            for event in result.meta.get("fallbacks", ()):
+                labels = {k: event[k] for k in ("from", "to", "reason",
+                                                "app") if k in event}
+                registry.counter(
+                    "engine.fallbacks",
+                    "engine downgrades after an infrastructure "
+                    "failure").inc(1, **labels)
 
     def _record_failure(self, failure):
         """Publish one :class:`AppFailure` into the metrics registry —
@@ -391,7 +410,7 @@ class ExperimentRunner:
                     self._cache[name] = result
                     # republish in the parent: the worker's registry
                     # (and spans) died with the worker process
-                    self._record(result)
+                    self._record(result, from_worker=True)
                 except concurrent.futures.TimeoutError:
                     future.cancel()
                     timed_out = True

@@ -49,13 +49,17 @@ class AppRecord:
     error: Optional[str] = None
     wall_seconds: Optional[float] = None
     trace_cache: Optional[str] = None  # "hit" | "miss" | None (unused)
-    engine: Optional[str] = None
+    engine: Optional[str] = None     # the engine that produced the trace
     seed: Optional[object] = None
+    #: engine downgrades recorded during the run (the
+    #: :meth:`~repro.resilience.fallback.FallbackEvent.to_json` dicts);
+    #: ``None`` when the run stayed on its requested engine.
+    fallbacks: Optional[List[Dict[str, object]]] = None
 
     def to_json(self):
         out = {"name": self.name, "status": self.status}
         for key in ("stage", "error", "wall_seconds", "trace_cache",
-                    "engine", "seed"):
+                    "engine", "seed", "fallbacks"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -92,7 +96,8 @@ class RunManifest:
                 wall_seconds=meta.get("wall_seconds"),
                 trace_cache=meta.get("trace_cache"),
                 engine=meta.get("engine"),
-                seed=meta.get("seed"))
+                seed=meta.get("seed"),
+                fallbacks=meta.get("fallbacks"))
         else:
             record = AppRecord(
                 name=result.name, status="failed",
@@ -152,11 +157,9 @@ class RunManifest:
         return out
 
     def write(self, path):
-        with open(path, "w") as fh:
-            json.dump(self.to_json(), fh, indent=2, sort_keys=True,
-                      default=str)
-            fh.write("\n")
-        return path
+        from ..resilience.artifacts import atomic_write_json
+
+        return atomic_write_json(path, self.to_json())
 
 
 def load_manifest(path):

@@ -1,0 +1,117 @@
+"""Engine fallback chain: compiled -> vectorized -> scalar.
+
+Every engine is differentially tested to produce byte-identical traces,
+so when a fancier engine's *infrastructure* fails (codegen raises, a
+JIT backend is broken, a produced trace fails the columnar invariants)
+the run can transparently retry on a simpler engine without changing
+any result downstream.  :func:`run_with_fallback` implements the retry
+loop; each downgrade is
+
+* counted in the metrics registry under ``engine.fallbacks`` with
+  ``{from, to, reason}`` (plus ``app``) labels, and
+* returned as a :class:`FallbackEvent` so the caller can stamp it into
+  the run manifest — operators see the degradation, users see results.
+
+Only :class:`~repro.resilience.errors.EngineFailure` triggers a retry.
+Semantic emulation errors (memory faults, watchdog, barrier deadlock)
+reproduce identically on every engine and propagate unchanged, as does
+an exhausted chain (the scalar engine has no fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import EngineFailure
+
+#: Downgrade order.  Keys are engine names, values the engine tried
+#: next when the key engine raises an :class:`EngineFailure`.
+FALLBACK_CHAIN = {
+    "compiled": "vectorized",
+    "vectorized": "scalar",
+    "scalar": None,
+}
+
+
+def fallback_chain(engine):
+    """The engines tried for a requested ``engine``, in order.
+
+    Unknown engine names get no fallback (the attempt's own error
+    reporting is clearer than a surprise engine swap).
+    """
+    chain = [engine]
+    seen = {engine}
+    nxt = FALLBACK_CHAIN.get(engine)
+    while nxt is not None and nxt not in seen:
+        chain.append(nxt)
+        seen.add(nxt)
+        nxt = FALLBACK_CHAIN.get(nxt)
+    return chain
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One recorded engine downgrade."""
+
+    from_engine: str
+    to_engine: str
+    reason: str                     # EngineFailure.reason
+    error: str                      # exception class name
+    message: str
+    app: Optional[str] = None
+
+    def to_json(self):
+        out = {"from": self.from_engine, "to": self.to_engine,
+               "reason": self.reason, "error": self.error,
+               "message": self.message}
+        if self.app is not None:
+            out["app"] = self.app
+        return out
+
+
+def _record_event(event):
+    # Imported lazily: this package is reachable from the emulator's
+    # columnar module, and a module-level obs import would close an
+    # emulator -> resilience -> obs -> sim -> emulator.columnar cycle.
+    from ..obs.metrics import get_registry
+
+    labels = {"from": event.from_engine, "to": event.to_engine,
+              "reason": event.reason}
+    if event.app is not None:
+        labels["app"] = event.app
+    get_registry().counter(
+        "engine.fallbacks",
+        "engine downgrades after an infrastructure failure").inc(
+        1, **labels)
+
+
+def run_with_fallback(attempt, engine, app=None):
+    """Call ``attempt(engine_name)`` down the fallback chain.
+
+    ``attempt`` must be restartable from scratch (each retry re-runs
+    input generation against fresh memory — a failed engine may have
+    executed stores before dying).  Returns ``(result, engine_used,
+    events)`` where ``events`` is the ordered :class:`FallbackEvent`
+    list (empty on the happy path, which adds no overhead beyond one
+    function call).
+
+    Raises the last :class:`EngineFailure` when the chain is exhausted,
+    and re-raises any non-engine exception immediately.
+    """
+    chain = fallback_chain(engine)
+    events = []
+    for i, name in enumerate(chain):
+        try:
+            return attempt(name), name, events
+        except EngineFailure as exc:
+            nxt = chain[i + 1] if i + 1 < len(chain) else None
+            if nxt is None:
+                raise
+            event = FallbackEvent(
+                from_engine=name, to_engine=nxt,
+                reason=getattr(exc, "reason", "engine_failure"),
+                error=type(exc).__name__, message=str(exc), app=app)
+            events.append(event)
+            _record_event(event)
+    raise AssertionError("unreachable: fallback chain cannot be empty")

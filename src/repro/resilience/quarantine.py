@@ -1,0 +1,89 @@
+"""Quarantine for damaged artifacts.
+
+Deleting a corrupt file destroys the evidence; leaving it in place
+poisons every later lookup.  Quarantine does neither: the file moves
+into a ``.corrupt/`` sidecar directory next to where it lived, named
+uniquely, so
+
+* the store heals itself (the next lookup is a clean miss and the next
+  store regenerates the artifact), and
+* a human (or a bug report) can still inspect exactly which bytes went
+  bad.
+
+Every quarantine is counted under ``artifacts.quarantined`` with
+``{kind, reason}`` labels; callers that own a more specific counter
+(the trace cache's ``trace_cache.quarantined``) bump it themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Sidecar directory (under the artifact's own directory) holding
+#: quarantined files.
+CORRUPT_DIR = ".corrupt"
+
+
+def quarantine_dir(directory):
+    """The quarantine sidecar for an artifact directory."""
+    return Path(directory) / CORRUPT_DIR
+
+
+def quarantine_file(path, kind="artifact", reason="corrupt"):
+    """Move ``path`` into its directory's ``.corrupt/`` sidecar.
+
+    Returns the quarantined path, or ``None`` when the move failed (a
+    best-effort unlink is attempted instead so the bad entry cannot be
+    read again either way).  Never raises.
+    """
+    path = Path(path)
+    target = None
+    try:
+        qdir = quarantine_dir(path.parent)
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = qdir / ("%s.%d" % (path.name, serial))
+        os.replace(str(path), str(target))
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        target = None
+    # Lazy import: keeps the resilience package importable from inside
+    # the emulator package without pulling in obs -> sim -> emulator.
+    from ..obs.metrics import get_registry
+
+    get_registry().counter(
+        "artifacts.quarantined",
+        "damaged artifacts moved to .corrupt/ sidecars").inc(
+        1, kind=kind, reason=reason)
+    return target
+
+
+def quarantined_entries(directory):
+    """Files currently sitting in a directory's quarantine sidecar."""
+    qdir = quarantine_dir(directory)
+    if not qdir.is_dir():
+        return []
+    return sorted(p for p in qdir.iterdir() if p.is_file())
+
+
+def clear_quarantine(directory):
+    """Delete a directory's quarantine sidecar; returns files removed."""
+    removed = 0
+    for entry in quarantined_entries(directory):
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:
+            pass
+    try:
+        quarantine_dir(directory).rmdir()
+    except OSError:
+        pass
+    return removed

@@ -33,8 +33,6 @@ aggregate reports are byte-identical however the sweep was executed.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -42,6 +40,13 @@ from typing import Dict, List, Optional, Tuple
 from ..obs import tracing
 from ..obs.manifest import RunManifest
 from ..obs.metrics import get_registry
+from ..resilience.artifacts import (
+    ChecksumError,
+    atomic_write_json,
+    attach_checksum,
+    verify_payload_checksum,
+)
+from ..resilience.quarantine import quarantine_file
 from .metrics import collect_metrics
 from .spec import (
     SWEEP_SCHEMA_VERSION,
@@ -77,27 +82,9 @@ class PointOutcome:
         return out
 
 
-def _write_json(path, payload):
-    """Atomic, canonical JSON write (tempfile + rename, sorted keys)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        prefix=".tmp-" + path.name[:24] + "-",
-        suffix=".json",
-        dir=str(path.parent),
-    )
-    try:
-        with os.fdopen(fd, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-    return path
+#: Atomic, canonical JSON write — the shared crash-consistent writer
+#: (tempfile + fsync + rename, sorted keys, trailing newline).
+_write_json = atomic_write_json
 
 
 def build_config(spec, point):
@@ -184,13 +171,22 @@ class SweepEngine:
         return self.points_dir / (key + ".json")
 
     def _point_done(self, key):
-        """True when a valid result file for ``key`` already exists."""
+        """True when a valid result file for ``key`` already exists.
+
+        A file that fails its self-checksum is quarantined (moved to
+        ``points/.corrupt/``) so the point recomputes — resume heals
+        silent corruption instead of aggregating it.
+        """
         path = self.point_path(key)
         if not path.is_file():
             return False
         try:
             with open(path) as fh:
                 data = json.load(fh)
+            verify_payload_checksum(data, path)
+        except ChecksumError:
+            quarantine_file(path, kind="sweep_point", reason="checksum")
+            return False
         except (OSError, ValueError):
             return False
         return data.get("key") == key and data.get("versions") == versions()
@@ -207,7 +203,7 @@ class SweepEngine:
             "metrics": metric_values,
             "versions": versions(),
         }
-        return _write_json(self.point_path(key), payload)
+        return _write_json(self.point_path(key), attach_checksum(payload))
 
     def _write_sweep_manifest(self):
         """Bind ``out`` to this spec (or verify it is already bound)."""

@@ -76,8 +76,13 @@ def scan_points(dirs):
 
     Each directory may be a sweep output directory (holding a
     ``points/`` subdirectory) or a bare points directory.  Unreadable
-    files are skipped — a half-written point is simply "missing".
+    files — including ones failing their self-checksum — are skipped,
+    so a half-written or bit-rotted point is simply "missing" (the
+    read path never mutates; quarantine happens when the *engine*
+    revisits the point).
     """
+    from ..resilience.artifacts import verify_payload_checksum
+
     by_key = {}
     for directory in dirs:
         directory = Path(directory)
@@ -90,6 +95,7 @@ def scan_points(dirs):
             try:
                 with open(path) as fh:
                     data = json.load(fh)
+                verify_payload_checksum(data, path)
             except (OSError, ValueError):
                 continue
             key = data.get("key")

@@ -4,9 +4,13 @@ This package exists so robustness machinery can be exercised end to end:
 :mod:`repro.testing.faults` lets tests (and the CI degraded-figures
 smoke run) inject deterministic failures into the pipeline via the
 ``REPRO_INJECT_FAULTS`` environment variable, which propagates into the
-parallel runner's worker processes.
+parallel runner's worker processes, and :mod:`repro.testing.chaos`
+deterministically damages on-disk artifacts (torn writes, truncation,
+bit flips) so ``pytest -m chaos`` can drive every recovery path.
 """
 
+from .chaos import flip_bit, torn_write, truncate_file
 from .faults import FaultSpec, InjectedFault, check_fault, injected
 
-__all__ = ["FaultSpec", "InjectedFault", "check_fault", "injected"]
+__all__ = ["FaultSpec", "InjectedFault", "check_fault", "flip_bit",
+           "injected", "torn_write", "truncate_file"]

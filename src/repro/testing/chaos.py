@@ -1,0 +1,99 @@
+"""File-corruption helpers for the chaos harness.
+
+The resilience layer (``repro.resilience``) promises that a damaged
+artifact — a torn write, a truncated container, a flipped bit — is
+detected, quarantined and regenerated rather than silently poisoning
+results.  These helpers *produce* exactly those damage patterns
+deterministically, so ``pytest -m chaos`` can assert every promise:
+
+* :func:`truncate_file` — a crash mid-write without atomic rename
+  (or a filesystem that ran out of space): the file ends early.
+* :func:`torn_write` — a partially flushed rewrite: the first bytes
+  of new content over the old file, then nothing.
+* :func:`flip_bit` — silent media corruption: one bit differs, the
+  file structure is otherwise intact (the case only checksums catch).
+* :func:`blob_region` — the byte range of a schema-v3 trace
+  container's column arrays, so a flipped bit can be aimed past the
+  structural header at data that *only* the checksum pass inspects.
+
+All helpers operate in place on an existing file and return the path,
+so they compose with the cache/sweep layout helpers in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+
+from ..emulator.serialize import MAGIC
+
+
+def truncate_file(path, keep):
+    """Cut ``path`` down to its first ``keep`` bytes (crash mid-write).
+
+    ``keep`` may be negative to drop that many bytes from the end.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if keep < 0:
+        keep = max(0, size + keep)
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return path
+
+
+def torn_write(path, data, keep):
+    """Overwrite ``path`` with only the first ``keep`` bytes of
+    ``data`` — what a non-atomic rewrite leaves behind when the
+    process dies before flushing the rest."""
+    path = Path(path)
+    with open(path, "wb") as fh:
+        fh.write(data[:keep])
+    return path
+
+
+def flip_bit(path, offset, bit=0):
+    """XOR one bit of ``path`` in place (silent media corruption).
+
+    ``offset`` may be negative to index from the end; ``bit`` selects
+    the bit within the byte (0 = least significant).
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if offset < 0:
+        offset += size
+    if not 0 <= offset < size:
+        raise ValueError("offset %d outside file of %d bytes"
+                         % (offset, size))
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)[0]
+        fh.seek(offset)
+        fh.write(bytes([byte ^ (1 << bit)]))
+    return path
+
+
+def blob_region(path):
+    """The ``(start, end)`` byte range of a v3 container's column data.
+
+    Bits flipped inside this range leave the magic, header and column
+    geometry untouched — the load path's structural validation passes
+    and only the checksum pass can notice.  Raises ``ValueError`` for
+    files that are not v3 containers.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        head = fh.read(len(MAGIC))
+        if head != MAGIC:
+            raise ValueError("%s is not a v3 trace container" % path)
+        (hlen,) = struct.unpack("<I", fh.read(4))
+        # parsing the header both finds where the blobs start and
+        # guarantees we really are past every structurally-checked byte
+        json.loads(fh.read(hlen).decode("utf-8"))
+    start = len(MAGIC) + 4 + hlen
+    return start, os.path.getsize(path)
+
+
+__all__ = ["blob_region", "flip_bit", "torn_write", "truncate_file"]

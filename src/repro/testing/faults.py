@@ -23,6 +23,16 @@ inside the :class:`~repro.experiments.runner.ExperimentRunner`).  Kinds:
     kill the *worker process* with ``os._exit`` — for exercising
     ``BrokenProcessPool`` recovery.  In the parent process this degrades
     to a plain raise so a stray variable cannot take down a test run.
+``oom``
+    raise :class:`~repro.resilience.guards.MemoryBudgetError` — for
+    exercising resource-guard isolation without actually allocating.
+
+The ``engine`` stage is special: its *kind* names an execution engine
+(``app:engine:compiled``) and the fault fires as a
+:class:`~repro.resilience.errors.CodegenError` at the top of that
+engine's attempt inside :func:`~repro.workloads.base.Workload.run` —
+the supported way to drive the fallback chain end-to-end without
+breaking real codegen (see :func:`check_engine_fault`).
 
 The environment variable (not an in-process registry) is the carrier so
 that injection survives into ``ProcessPoolExecutor`` children, which
@@ -43,6 +53,13 @@ ENV_VAR = "REPRO_INJECT_FAULTS"
 
 #: Pipeline stages that have a :func:`check_fault` hook.
 STAGES = ("emulate", "simulate", "analyze")
+
+#: The engine-failure injection stage (see :func:`check_engine_fault`);
+#: its kind field names the engine to fail instead of a failure mode.
+ENGINE_STAGE = "engine"
+
+#: Engine names accepted as the kind of an ``engine``-stage entry.
+ENGINE_KINDS = ("scalar", "vectorized", "compiled")
 
 
 class InjectedFault(RuntimeError):
@@ -88,13 +105,20 @@ def parse_faults(value: Optional[str]) -> List[FaultSpec]:
         else:
             raise ValueError("bad %s entry %r (want app:stage[:kind])"
                              % (ENV_VAR, entry))
-        if stage not in STAGES:
+        if stage == ENGINE_STAGE:
+            if kind == "error" or kind not in ENGINE_KINDS:
+                raise ValueError(
+                    "bad %s entry %r (the engine stage needs an engine "
+                    "kind: %s)" % (ENV_VAR, entry, ", ".join(ENGINE_KINDS)))
+        elif stage not in STAGES:
             raise ValueError("bad %s stage %r (choices: %s)"
-                             % (ENV_VAR, stage, ", ".join(STAGES)))
-        if kind != "error" and kind != "exit" \
+                             % (ENV_VAR, stage,
+                                ", ".join(STAGES + (ENGINE_STAGE,))))
+        elif kind not in ("error", "exit", "oom") \
                 and not kind.startswith("sleep="):
-            raise ValueError("bad %s kind %r (choices: error, exit, sleep=N)"
-                             % (ENV_VAR, kind))
+            raise ValueError(
+                "bad %s kind %r (choices: error, exit, oom, sleep=N)"
+                % (ENV_VAR, kind))
         specs.append(FaultSpec(name, stage, kind))
     return specs
 
@@ -117,6 +141,26 @@ def check_fault(name, stage):
             _trigger(spec)
 
 
+def check_engine_fault(name, engine):
+    """Fail engine ``engine`` of app ``name`` if so armed.
+
+    Raises :class:`~repro.resilience.errors.CodegenError` — the same
+    typed failure real codegen raises — so the fallback chain downgrades
+    exactly as it would for a genuine infrastructure failure.  No-op
+    (one env lookup) when ``REPRO_INJECT_FAULTS`` is unset.
+    """
+    value = os.environ.get(ENV_VAR)
+    if not value:
+        return
+    for spec in parse_faults(value):
+        if spec.name == name and spec.stage == ENGINE_STAGE \
+                and spec.kind == engine:
+            from ..resilience.errors import CodegenError
+
+            raise CodegenError(
+                "injected engine fault in %r" % name, engine=engine)
+
+
 def _trigger(spec):
     if spec.kind.startswith("sleep="):
         time.sleep(float(spec.kind.split("=", 1)[1]))
@@ -124,6 +168,13 @@ def _trigger(spec):
         # simulate a worker crash (segfault / OOM kill): bypass all
         # exception handling so the pool sees a dead process
         os._exit(13)
+    elif spec.kind == "oom":
+        from ..resilience.guards import MemoryBudgetError
+
+        raise MemoryBudgetError(
+            float("inf"), 0,
+            context="injected oom in %r at stage %r"
+            % (spec.name, spec.stage))
     raise InjectedFault(spec.name, spec.stage, spec.kind)
 
 

@@ -19,13 +19,15 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from ..core import ClassificationResult, classify_kernel
 from ..emulator import ApplicationTrace, Emulator, MemoryImage
+from ..emulator import machine as _machine
 from ..obs import tracing
 from ..ptx import Module, parse_module
-from ..testing.faults import check_fault
+from ..resilience.fallback import run_with_fallback
+from ..testing.faults import check_engine_fault, check_fault
 
 
 @dataclass
@@ -41,6 +43,13 @@ class WorkloadRun:
     #: ``setup``, ``emulate``, ``verify``) — lets benchmarks separate
     #: engine time from input generation.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: the engine that actually produced the trace (after any
+    #: fallbacks; ``""`` only on hand-built runs).
+    engine: str = ""
+    #: engine downgrades recorded on the way (JSON dicts with
+    #: ``from``/``to``/``reason`` — see
+    #: :class:`~repro.resilience.fallback.FallbackEvent`).
+    fallbacks: List[dict] = field(default_factory=list)
 
     # -- aggregate views --------------------------------------------------
 
@@ -126,6 +135,15 @@ class Workload(abc.ABC):
         the emulator default).  ``max_warp_insts=None`` resolves to the
         ``REPRO_EMULATOR_MAX_WARP_INSTS`` environment variable, else the
         emulator's built-in watchdog budget.
+
+        Engine *infrastructure* failures (codegen errors, trace
+        integrity violations) transparently retry down the fallback
+        chain (``compiled -> vectorized -> scalar``); each attempt
+        restarts from a fresh memory image, because a failed engine may
+        already have executed stores.  Downgrades land in
+        :attr:`WorkloadRun.fallbacks` and the ``engine.fallbacks``
+        counter.  Semantic failures (memory faults, watchdog, barrier
+        deadlock) reproduce on every engine and propagate unchanged.
         """
         check_fault(self.name, "emulate")
         timings = {}
@@ -139,21 +157,30 @@ class Workload(abc.ABC):
                           kernels=len(list(module))):
             classifications = {k.name: classify_kernel(k) for k in module}
         timings["classify"] = clock() - t0
-        mem = MemoryImage()
-        t0 = clock()
-        with tracing.span("setup", app=self.name, scale=self.scale,
-                          seed=self.seed):
-            self.setup(mem)
-        timings["setup"] = clock() - t0
-        emu = Emulator(mem, max_warp_insts=max_warp_insts, engine=engine)
-        app = ApplicationTrace(name=self.name)
-        t0 = clock()
-        with tracing.span("emulate", app=self.name,
-                          engine=emu.engine) as sp:
-            for launch_trace in self.host(emu, module):
-                app.add(launch_trace)
-            sp.set(launches=len(app.launches))
-        timings["emulate"] = clock() - t0
+
+        def attempt(engine_name):
+            check_engine_fault(self.name, engine_name)
+            mem = MemoryImage()
+            t0 = clock()
+            with tracing.span("setup", app=self.name, scale=self.scale,
+                              seed=self.seed):
+                self.setup(mem)
+            timings["setup"] = clock() - t0
+            emu = Emulator(mem, max_warp_insts=max_warp_insts,
+                           engine=engine_name)
+            app = ApplicationTrace(name=self.name)
+            t0 = clock()
+            with tracing.span("emulate", app=self.name,
+                              engine=emu.engine) as sp:
+                for launch_trace in self.host(emu, module):
+                    app.add(launch_trace)
+                sp.set(launches=len(app.launches))
+            timings["emulate"] = clock() - t0
+            return mem, app
+
+        requested = engine if engine is not None else _machine.DEFAULT_ENGINE
+        (mem, app), engine_used, events = run_with_fallback(
+            attempt, requested, app=self.name)
         if verify:
             t0 = clock()
             with tracing.span("verify", app=self.name):
@@ -166,6 +193,8 @@ class Workload(abc.ABC):
             trace=app,
             classifications=classifications,
             timings=timings,
+            engine=engine_used,
+            fallbacks=[e.to_json() for e in events],
         )
 
     # -- helpers for subclasses ------------------------------------------------

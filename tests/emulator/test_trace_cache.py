@@ -129,6 +129,42 @@ class TestRobustness:
             corrupt = reg.get("trace_cache.corrupt")
             assert corrupt is not None and corrupt.total() == 1
 
+    def test_corrupt_entry_is_quarantined(self, bfs_small):
+        from repro.obs.metrics import isolated_registry
+        from repro.resilience.quarantine import quarantined_entries
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+        path = trace_cache.entry_path(key)
+        path.write_bytes(b"REPROTRC" + b"\xff" * 64)
+        with isolated_registry() as reg:
+            assert trace_cache.lookup(key) is None
+            quarantined = reg.get("trace_cache.quarantined")
+            assert quarantined is not None and quarantined.total() == 1
+        assert not path.exists()
+        entries = quarantined_entries(trace_cache.cache_dir())
+        assert [e.name for e in entries] == [path.name]
+        # the next store heals the entry and the hit returns
+        trace_cache.store(key, run)
+        assert trace_cache.lookup(key) is not None
+
+    def test_checksum_mismatch_is_corrupt(self, bfs_small):
+        """A bit flip in the column payload (beyond the structural
+        invariants) trips the container checksum on load."""
+        from repro.obs.metrics import isolated_registry
+        workload, run, ptx = bfs_small
+        key = _key(workload, ptx)
+        trace_cache.store(key, run)
+        path = trace_cache.entry_path(key)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x40  # last byte: deep inside the value columns
+        path.write_bytes(bytes(raw))
+        with isolated_registry() as reg:
+            assert trace_cache.lookup(key) is None
+            corrupt = reg.get("trace_cache.corrupt")
+            assert corrupt is not None and corrupt.total() == 1
+        assert not path.exists()
+
     def test_plain_miss_does_not_count_as_corrupt(self, bfs_small):
         from repro.obs.metrics import isolated_registry
         workload, _, ptx = bfs_small
@@ -140,9 +176,9 @@ class TestRobustness:
 
 class TestMigration:
     """Entries written in an older serialization format are healthy
-    files — evicted as ``migrated`` misses, never as ``corrupt``."""
+    files — migrated in place and returned as hits, never ``corrupt``."""
 
-    def test_old_format_entry_is_migrated_miss(self, bfs_small):
+    def test_old_format_entry_is_migrated_hit(self, bfs_small):
         from repro.emulator.serialize import save_run_legacy
         from repro.obs.metrics import isolated_registry
         workload, run, ptx = bfs_small
@@ -151,13 +187,18 @@ class TestMigration:
         path.parent.mkdir(parents=True, exist_ok=True)
         save_run_legacy(run, str(path))  # a v2 payload under the v3 name
         with isolated_registry() as reg:
-            assert trace_cache.lookup(key) is None
+            loaded = trace_cache.lookup(key)
+            assert loaded is not None and loaded.name == "bfs"
             migrated = reg.get("trace_cache.migrated")
             assert migrated is not None and migrated.total() == 1
             assert reg.get("trace_cache.corrupt") is None
-        assert not path.exists()
+        # the entry was rewritten at the current schema in place
+        assert path.is_file()
+        healed = trace_cache.lookup(key)
+        assert healed is not None
+        assert healed.format_version == FORMAT_VERSION
 
-    def test_legacy_suffix_entry_is_migrated_miss(self, bfs_small):
+    def test_legacy_suffix_entry_is_migrated_hit(self, bfs_small):
         from repro.emulator.serialize import save_run_legacy
         from repro.obs.metrics import isolated_registry
         workload, run, ptx = bfs_small
@@ -166,24 +207,37 @@ class TestMigration:
         legacy.parent.mkdir(parents=True, exist_ok=True)
         save_run_legacy(run, str(legacy))
         with isolated_registry() as reg:
-            assert trace_cache.lookup(key) is None
+            loaded = trace_cache.lookup(key)
+            assert loaded is not None and loaded.name == "bfs"
             migrated = reg.get("trace_cache.migrated")
             assert migrated is not None and migrated.total() == 1
             assert reg.get("trace_cache.corrupt") is None
+        # migrated to the current naming; the legacy file is gone
         assert not legacy.exists()
+        assert trace_cache.entry_path(key).is_file()
 
-    def test_store_after_migration_heals(self, bfs_small):
-        from repro.emulator.serialize import FORMAT_VERSION, save_run_legacy
+    def test_failed_migration_still_returns_run(self, bfs_small,
+                                                monkeypatch):
+        from repro.emulator.serialize import save_run_legacy
+        from repro.obs.metrics import isolated_registry
         workload, run, ptx = bfs_small
         key = _key(workload, ptx)
         path = trace_cache.entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         save_run_legacy(run, str(path))
-        assert trace_cache.lookup(key) is None  # migrated away
-        trace_cache.store(key, run)
-        healed = trace_cache.lookup(key)
-        assert healed is not None
-        assert healed.format_version == FORMAT_VERSION
+
+        def broken(run_, p):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(trace_cache, "save_run", broken)
+        monkeypatch.setattr(trace_cache.time, "sleep", lambda s: None)
+        with isolated_registry() as reg:
+            loaded = trace_cache.lookup(key)
+            assert loaded is not None and loaded.name == "bfs"
+            corrupt = reg.get("trace_cache.corrupt")
+            assert corrupt is not None and corrupt.total() == 1
+            migrated = reg.get("trace_cache.migrated")
+            assert migrated is not None and migrated.total() == 1
 
     def test_clear_and_stats_cover_legacy_entries(self, bfs_small):
         from repro.emulator.serialize import save_run_legacy

@@ -1,0 +1,197 @@
+"""The chaos matrix: inject each fault class, assert full recovery.
+
+Every test damages the pipeline a different way — torn point writes,
+silently corrupted point payloads, truncated and bit-flipped trace
+containers, engine infrastructure failures, fake OOMs — then reruns and
+asserts the final sweep aggregate is **byte-identical** to a fault-free
+run.  That is the resilience layer's whole contract: faults cost a
+recomputation, never a different number.
+
+Marked ``chaos`` so CI can run the matrix as its own job
+(``pytest -m chaos``).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.emulator import trace_cache
+from repro.obs.metrics import isolated_registry
+from repro.resilience.quarantine import quarantined_entries
+from repro.sweep import (
+    SweepEngine,
+    SweepSpec,
+    build_report,
+    report_bytes,
+    scan_points,
+)
+from repro.testing.chaos import blob_region, flip_bit, torn_write, \
+    truncate_file
+from repro.testing.faults import injected
+
+pytestmark = pytest.mark.chaos
+
+SCALE = 0.1
+
+
+def make_spec():
+    return SweepSpec(
+        name="chaos-matrix",
+        apps=["2mm"],
+        scales=[SCALE],
+        base_config="tiny",
+        axes={"l1_size": [1024, 2048]},
+        metrics=["cycles", "l1_miss_ratio"],
+    ).validate()
+
+
+def run_sweep(out, cache, monkeypatch, engine=None):
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(cache))
+    with isolated_registry():
+        sweep = SweepEngine(make_spec(), out, engine=engine,
+                            use_trace_cache=True)
+        summary = sweep.run()
+    return sweep, summary
+
+
+def report_for(out):
+    return report_bytes(build_report(make_spec(), scan_points([out])))
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Fault-free aggregate every recovery must reproduce exactly."""
+    base = tmp_path_factory.mktemp("baseline")
+    old = os.environ.get("REPRO_TRACE_CACHE_DIR")
+    os.environ["REPRO_TRACE_CACHE_DIR"] = str(base / "cache")
+    try:
+        with isolated_registry():
+            SweepEngine(make_spec(), base / "out",
+                        use_trace_cache=True).run()
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_TRACE_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_TRACE_CACHE_DIR"] = old
+    return report_for(base / "out")
+
+
+def cache_entry(cache):
+    entries = sorted(cache.glob("*.trace"))
+    assert len(entries) == 1
+    return entries[0]
+
+
+class TestPointFileFaults:
+    def test_torn_point_write(self, tmp_path, monkeypatch, baseline):
+        out, cache = tmp_path / "out", tmp_path / "cache"
+        run_sweep(out, cache, monkeypatch)
+        victim = sorted((out / "points").glob("*.json"))[0]
+        torn_write(victim, victim.read_bytes(), keep=40)
+
+        _sweep, summary = run_sweep(out, cache, monkeypatch)
+        assert summary["computed"] == 1 and summary["failed"] == 0
+        assert report_for(out) == baseline
+
+    def test_silently_corrupted_point_is_quarantined(
+            self, tmp_path, monkeypatch, baseline):
+        out, cache = tmp_path / "out", tmp_path / "cache"
+        run_sweep(out, cache, monkeypatch)
+        victim = sorted((out / "points").glob("*.json"))[0]
+        payload = json.loads(victim.read_text())
+        payload["metrics"]["cycles"] += 1    # checksum now stale
+        victim.write_text(json.dumps(payload))
+
+        _sweep, summary = run_sweep(out, cache, monkeypatch)
+        assert summary["computed"] == 1
+        assert len(quarantined_entries(out / "points")) == 1
+        assert report_for(out) == baseline
+
+    def test_scan_skips_what_the_engine_would_quarantine(
+            self, tmp_path, monkeypatch, baseline):
+        out, cache = tmp_path / "out", tmp_path / "cache"
+        run_sweep(out, cache, monkeypatch)
+        victim = sorted((out / "points").glob("*.json"))[0]
+        payload = json.loads(victim.read_text())
+        payload["metrics"]["cycles"] += 1
+        victim.write_text(json.dumps(payload))
+
+        report = json.loads(report_for(out))
+        assert report["points_present"] == 1
+        assert len(report["missing"]) == 1
+
+
+class TestTraceContainerFaults:
+    def test_truncated_container_regenerates(
+            self, tmp_path, monkeypatch, baseline):
+        out, cache = tmp_path / "out", tmp_path / "cache"
+        run_sweep(out, cache, monkeypatch)
+        entry = cache_entry(cache)
+        pristine = entry.read_bytes()
+        truncate_file(entry, keep=len(pristine) // 2)
+        for point in (out / "points").glob("*.json"):
+            point.unlink()
+
+        _sweep, summary = run_sweep(out, cache, monkeypatch)
+        assert summary["computed"] == 2 and summary["failed"] == 0
+        assert [p.name for p in quarantined_entries(cache)] == [entry.name]
+        # the regenerated container is byte-identical to the original
+        assert cache_entry(cache).read_bytes() == pristine
+        assert report_for(out) == baseline
+
+    def test_bit_flip_in_column_data_regenerates(
+            self, tmp_path, monkeypatch, baseline):
+        out, cache = tmp_path / "out", tmp_path / "cache"
+        run_sweep(out, cache, monkeypatch)
+        entry = cache_entry(cache)
+        pristine = entry.read_bytes()
+        start, _end = blob_region(entry)
+        # first aligned byte past the header: real column data (never
+        # padding), so only the checksum pass can notice the flip
+        flip_bit(entry, offset=(start + 63) // 64 * 64, bit=6)
+        assert entry.read_bytes() != pristine
+        for point in (out / "points").glob("*.json"):
+            point.unlink()
+
+        _sweep, summary = run_sweep(out, cache, monkeypatch)
+        assert summary["computed"] == 2 and summary["failed"] == 0
+        assert len(quarantined_entries(cache)) == 1
+        assert cache_entry(cache).read_bytes() == pristine
+        assert report_for(out) == baseline
+
+
+class TestExecutionFaults:
+    def test_compiled_engine_failure_degrades_not_dies(
+            self, tmp_path, monkeypatch, baseline):
+        out, cache = tmp_path / "out", tmp_path / "cache"
+        with injected("2mm", "engine", kind="compiled"):
+            _sweep, summary = run_sweep(out, cache, monkeypatch,
+                                        engine="compiled")
+        assert summary["computed"] == 2 and summary["failed"] == 0
+        assert report_for(out) == baseline
+
+    def test_fake_oom_heals_on_rerun(self, tmp_path, monkeypatch, baseline):
+        out, cache = tmp_path / "out", tmp_path / "cache"
+        with injected("2mm", "emulate", kind="oom"):
+            _sweep, summary = run_sweep(out, cache, monkeypatch)
+        assert summary["failed"] == 2 and summary["computed"] == 0
+        assert report_for(out) != baseline   # points genuinely missing
+
+        _sweep, summary = run_sweep(out, cache, monkeypatch)
+        assert summary["computed"] == 2 and summary["failed"] == 0
+        assert report_for(out) == baseline
+
+
+class TestCacheCounters:
+    def test_quarantine_is_counted(self, tmp_path, monkeypatch):
+        out, cache = tmp_path / "out", tmp_path / "cache"
+        run_sweep(out, cache, monkeypatch)
+        truncate_file(cache_entry(cache), keep=16)
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(cache))
+        with isolated_registry() as registry:
+            key = cache_entry(cache).name[:-len(".trace")]
+            assert trace_cache.lookup(key) is None
+            assert registry.get("trace_cache.quarantined").total() == 1
+        count, size = trace_cache.quarantine_stats()
+        assert count == 1 and size > 0

@@ -1,0 +1,149 @@
+"""Engine fallback chain: ordering, retry triggers, recorded downgrades.
+
+The unit tests drive :func:`run_with_fallback` with synthetic attempt
+functions; the integration tests arm an injected engine fault and run a
+real workload end to end, asserting the downgraded run's trace is
+byte-identical to a fault-free run on the engine it landed on.
+"""
+
+import pytest
+
+from repro.emulator.serialize import save_run
+from repro.obs.metrics import isolated_registry
+from repro.resilience.errors import (
+    CodegenError,
+    EngineFailure,
+    TraceIntegrityError,
+)
+from repro.resilience.fallback import (
+    FALLBACK_CHAIN,
+    FallbackEvent,
+    fallback_chain,
+    run_with_fallback,
+)
+from repro.testing.faults import injected
+from repro.workloads import get_workload
+
+SCALE = 0.1
+
+
+class TestChain:
+    def test_full_chain_from_compiled(self):
+        assert fallback_chain("compiled") == \
+            ["compiled", "vectorized", "scalar"]
+
+    def test_vectorized_falls_back_to_scalar_only(self):
+        assert fallback_chain("vectorized") == ["vectorized", "scalar"]
+
+    def test_scalar_is_the_floor(self):
+        assert fallback_chain("scalar") == ["scalar"]
+
+    def test_unknown_engine_gets_no_fallback(self):
+        assert fallback_chain("quantum") == ["quantum"]
+
+    def test_every_chain_ends_at_scalar(self):
+        for engine in FALLBACK_CHAIN:
+            assert fallback_chain(engine)[-1] == "scalar"
+
+
+class TestRunWithFallback:
+    def test_happy_path_has_no_events(self):
+        result, used, events = run_with_fallback(
+            lambda name: "ok-" + name, "compiled")
+        assert (result, used, events) == ("ok-compiled", "compiled", [])
+
+    def test_engine_failure_downgrades_once(self):
+        def attempt(name):
+            if name == "compiled":
+                raise CodegenError("boom", kernel="k")
+            return name
+
+        with isolated_registry() as registry:
+            result, used, events = run_with_fallback(
+                attempt, "compiled", app="2mm")
+        assert (result, used) == ("vectorized", "vectorized")
+        assert [e.to_json() for e in events] == [{
+            "from": "compiled", "to": "vectorized", "reason": "codegen",
+            "error": "CodegenError", "message": str(
+                CodegenError("boom", kernel="k")),
+            "app": "2mm"}]
+        counter = registry.get("engine.fallbacks")
+        assert counter.value(**{"from": "compiled", "to": "vectorized",
+                                "reason": "codegen", "app": "2mm"}) == 1
+
+    def test_two_failures_reach_the_scalar_floor(self):
+        calls = []
+
+        def attempt(name):
+            calls.append(name)
+            if name == "compiled":
+                raise CodegenError("no codegen")
+            if name == "vectorized":
+                raise TraceIntegrityError("ragged table")
+            return "done"
+
+        with isolated_registry():
+            result, used, events = run_with_fallback(attempt, "compiled")
+        assert (result, used) == ("done", "scalar")
+        assert calls == ["compiled", "vectorized", "scalar"]
+        assert [(e.from_engine, e.to_engine, e.reason) for e in events] == \
+            [("compiled", "vectorized", "codegen"),
+             ("vectorized", "scalar", "trace_integrity")]
+
+    def test_exhausted_chain_reraises_the_last_failure(self):
+        calls = []
+
+        def attempt(name):
+            calls.append(name)
+            raise EngineFailure("always broken on " + name)
+
+        with isolated_registry():
+            with pytest.raises(EngineFailure, match="scalar"):
+                run_with_fallback(attempt, "compiled")
+        assert calls == ["compiled", "vectorized", "scalar"]
+
+    def test_non_engine_errors_propagate_immediately(self):
+        calls = []
+
+        def attempt(name):
+            calls.append(name)
+            raise ValueError("a semantic bug, not infrastructure")
+
+        with pytest.raises(ValueError):
+            run_with_fallback(attempt, "compiled")
+        assert calls == ["compiled"]
+
+    def test_event_json_omits_app_when_unset(self):
+        event = FallbackEvent("compiled", "vectorized", "codegen",
+                              "CodegenError", "boom")
+        assert "app" not in event.to_json()
+
+
+class TestWorkloadIntegration:
+    def test_injected_engine_fault_downgrades_transparently(self, tmp_path):
+        wl = get_workload("2mm", scale=SCALE)
+        with isolated_registry() as registry:
+            with injected("2mm", "engine", kind="compiled"):
+                run = wl.run(engine="compiled")
+        assert run.engine == "vectorized"
+        assert len(run.fallbacks) == 1
+        assert run.fallbacks[0]["from"] == "compiled"
+        assert run.fallbacks[0]["to"] == "vectorized"
+        assert run.fallbacks[0]["reason"] == "codegen"
+        assert run.fallbacks[0]["app"] == "2mm"
+        counter = registry.get("engine.fallbacks")
+        assert counter.total() == 1
+
+        # the downgraded run serializes byte-identically to a fault-free
+        # run on the engine it landed on -- nothing downstream can tell
+        clean = get_workload("2mm", scale=SCALE).run(engine="vectorized")
+        assert clean.fallbacks == []
+        save_run(run, tmp_path / "faulted.trace")
+        save_run(clean, tmp_path / "clean.trace")
+        assert (tmp_path / "faulted.trace").read_bytes() == \
+            (tmp_path / "clean.trace").read_bytes()
+
+    def test_fault_free_run_records_its_engine(self):
+        run = get_workload("2mm", scale=SCALE).run(engine="vectorized")
+        assert run.engine == "vectorized"
+        assert run.fallbacks == []

@@ -1,0 +1,103 @@
+"""The optional-numba gate must survive a *broken* numba, not just an
+absent one: decoration-time failures and first-call JIT failures both
+degrade to pure Python, warn once, and count the downgrade."""
+
+import warnings
+
+import pytest
+
+from repro.emulator import _njit
+from repro.obs.metrics import isolated_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_warn_state(monkeypatch):
+    """Each test sees a process that has not warned yet."""
+    monkeypatch.setattr(_njit, "_warned", set())
+
+
+def plain(x):
+    return x + 1
+
+
+class TestWithoutNumba:
+    @pytest.fixture(autouse=True)
+    def no_numba(self, monkeypatch):
+        monkeypatch.setattr(_njit, "HAVE_NUMBA", False)
+        monkeypatch.setattr(_njit, "_njit", None)
+
+    def test_bare_form_is_identity(self):
+        assert _njit.maybe_njit(plain) is plain
+
+    def test_parameterized_form_is_identity(self):
+        assert _njit.maybe_njit(cache=True)(plain) is plain
+
+
+class TestBrokenDecoration:
+    @pytest.fixture(autouse=True)
+    def exploding_njit(self, monkeypatch):
+        def njit(*args, **kwargs):
+            raise RuntimeError("llvmlite version skew")
+
+        monkeypatch.setattr(_njit, "HAVE_NUMBA", True)
+        monkeypatch.setattr(_njit, "_njit", njit)
+
+    def test_falls_back_to_the_original_function(self):
+        with isolated_registry(), pytest.warns(RuntimeWarning,
+                                               match="falling back"):
+            decorated = _njit.maybe_njit(plain)
+        assert decorated is plain
+        assert decorated(1) == 2
+
+    def test_counts_the_downgrade(self):
+        with isolated_registry() as registry:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                _njit.maybe_njit(cache=True)(plain)
+            counter = registry.get("engine.njit_fallbacks")
+            assert counter.value(where=plain.__qualname__) == 1
+
+    def test_warns_once_per_function(self):
+        with isolated_registry():
+            with pytest.warns(RuntimeWarning):
+                _njit.maybe_njit(plain)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                _njit.maybe_njit(plain)     # second failure: silent
+
+
+class TestFirstCallFailure:
+    """Numba raises typing errors at first *call*, not decoration."""
+
+    @pytest.fixture(autouse=True)
+    def njit_that_fails_at_call(self, monkeypatch):
+        def njit(fn):
+            def jitted(*args, **kwargs):
+                raise TypeError("cannot type argument")
+            return jitted
+
+        monkeypatch.setattr(_njit, "HAVE_NUMBA", True)
+        monkeypatch.setattr(_njit, "_njit", njit)
+
+    def test_first_call_degrades_and_still_returns(self):
+        with isolated_registry() as registry:
+            decorated = _njit.maybe_njit(plain)
+            assert decorated is not plain
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                assert decorated(1) == 2
+            counter = registry.get("engine.njit_fallbacks")
+            assert counter.value(where=plain.__qualname__) == 1
+
+    def test_swap_is_permanent_and_silent_afterwards(self):
+        with isolated_registry() as registry:
+            decorated = _njit.maybe_njit(plain)
+            with pytest.warns(RuntimeWarning):
+                decorated(1)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert decorated(41) == 42
+            assert registry.get("engine.njit_fallbacks").total() == 1
+
+    def test_metadata_survives_the_wrapper(self):
+        decorated = _njit.maybe_njit(plain)
+        assert decorated.__name__ == "plain"

@@ -1,0 +1,143 @@
+"""Kill-and-resume: a sweep shard SIGKILLed mid-run leaves no partial
+artifacts and resumes to a byte-identical aggregate.
+
+Two layers:
+
+* a deterministic simulation of the crash *window* — the atomic-write
+  protocol dies between writing the temp file and renaming it — which
+  must leave neither a partial payload nor temp-file residue;
+* a real ``python -m repro sweep run`` subprocess killed with SIGKILL
+  as soon as its first point file lands, then resumed, with the final
+  ``report.json`` compared byte-for-byte against an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import artifacts
+from repro.sweep import (
+    SweepEngine,
+    SweepSpec,
+    build_report,
+    report_bytes,
+    scan_points,
+)
+
+pytestmark = pytest.mark.chaos
+
+SCALE = 0.1
+
+
+def make_spec():
+    return SweepSpec(
+        name="chaos-resume",
+        apps=["2mm"],
+        scales=[SCALE],
+        base_config="tiny",
+        axes={"l1_size": [1024, 2048]},
+        metrics=["cycles", "l1_miss_ratio"],
+    ).validate()
+
+
+class TestCrashWindow:
+    """Deterministic mid-write kills at each step of the protocol."""
+
+    def test_kill_before_rename_leaves_no_trace(self, tmp_path,
+                                                monkeypatch):
+        path = tmp_path / "point.json"
+
+        def exploding_replace(src, dst):
+            raise OSError("process killed here")
+
+        monkeypatch.setattr(artifacts.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            artifacts.atomic_write_json(path, {"metrics": {"cycles": 1}})
+        # neither a partial payload nor temp residue survives
+        assert list(tmp_path.iterdir()) == []
+
+    def test_kill_before_rename_preserves_old_content(self, tmp_path,
+                                                      monkeypatch):
+        path = tmp_path / "point.json"
+        artifacts.atomic_write_json(path, {"generation": 1})
+        old = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("process killed here")
+
+        monkeypatch.setattr(artifacts.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            artifacts.atomic_write_json(path, {"generation": 2})
+        assert path.read_bytes() == old
+
+    def test_torn_temp_is_invisible_to_resume(self, tmp_path):
+        """A stray temp file (fsync'd but never renamed) must not be
+        picked up as a point by either resume or reporting."""
+        spec = make_spec()
+        out = tmp_path / "out"
+        (out / "points").mkdir(parents=True)
+        torn = out / "points" / ".tmp-abc123-.json"
+        torn.write_text('{"metrics": {"cycles": 1')
+        assert scan_points([out]) == {}
+        engine = SweepEngine(spec, out, use_trace_cache=False)
+        summary = engine.run()
+        assert summary["computed"] == 2 and summary["cached"] == 0
+
+
+class TestKillAndResume:
+    def _spawn(self, spec_path, out_dir, cache_dir):
+        repo_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ,
+                   PYTHONPATH=str(repo_root / "src"),
+                   REPRO_TRACE_CACHE_DIR=str(cache_dir))
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep", "run",
+             str(spec_path), "--out", str(out_dir)],
+            env=env, cwd=str(repo_root),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    def test_sigkill_mid_shard_resumes_byte_identically(self, tmp_path):
+        spec = make_spec()
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_json()))
+        cache = tmp_path / "cache"
+
+        clean_out = tmp_path / "clean"
+        SweepEngine(spec, clean_out, use_trace_cache=False).run()
+        clean = report_bytes(build_report(spec, scan_points([clean_out])))
+
+        out = tmp_path / "killed"
+        proc = self._spawn(spec_path, out, cache)
+        points = out / "points"
+        deadline = time.monotonic() + 120
+        try:
+            while time.monotonic() < deadline:
+                if points.is_dir() and list(points.glob("*.json")):
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("sweep subprocess produced no point file")
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait()
+
+        # whatever the kill left behind parses cleanly or not at all:
+        # every visible point file is complete, checksummed JSON
+        for path in points.glob("*.json"):
+            payload = json.loads(path.read_text())
+            assert artifacts.verify_payload_checksum(payload, path) is True
+
+        summary = SweepEngine(spec, out, use_trace_cache=False).run()
+        assert summary["failed"] == 0
+        assert summary["computed"] + summary["cached"] == 2
+        resumed = report_bytes(build_report(spec, scan_points([out])))
+        assert resumed == clean
