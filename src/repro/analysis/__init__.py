@@ -4,9 +4,13 @@ The paper's load classification and locality statistics are only as
 trustworthy as the emulator traces beneath them; this package checks
 those traces for the synchronization bugs GPU kernels actually harbor —
 shared-memory data races, inter-CTA write conflicts and barrier misuse
-— using the barrier-interval happens-before model (DESIGN.md §10).
+— using two detectors: the barrier-interval baseline (DESIGN.md §10)
+and the predictive happens-before mode (DESIGN.md §14), which models
+atomics and memory fences as synchronization and predicts races the
+observed schedule serialized.
 """
 
+from .predictive import analyze_trace_predictive
 from .races import (
     RaceFinding,
     RaceKind,
@@ -22,5 +26,6 @@ __all__ = [
     "RaceReport",
     "analyze_launch",
     "analyze_trace",
+    "analyze_trace_predictive",
     "analyze_workload",
 ]

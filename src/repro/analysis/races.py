@@ -57,16 +57,26 @@ from ..ptx.isa import Space
 
 
 class RaceKind:
-    """Finding categories (string constants so reports stay JSON-plain)."""
+    """Finding categories (string constants so reports stay JSON-plain).
+
+    The first five are produced by both detector modes; the last two
+    only by the predictive happens-before mode
+    (:mod:`repro.analysis.predictive`), which sees conflicts the
+    barrier-interval baseline is structurally blind to.
+    """
 
     SHARED_RACE = "shared-race"
     GLOBAL_WRITE_CONFLICT = "global-write-conflict"
     DIVERGENT_BARRIER = "divergent-barrier"
     BARRIER_MISMATCH = "barrier-mismatch"
     UNINIT_SHARED_READ = "uninit-shared-read"
+    # predictive-mode-only kinds
+    ATOMIC_PLAIN_RACE = "atomic-plain-race"
+    PREDICTED_GLOBAL_RACE = "predicted-global-race"
 
     ALL = (SHARED_RACE, GLOBAL_WRITE_CONFLICT, DIVERGENT_BARRIER,
-           BARRIER_MISMATCH, UNINIT_SHARED_READ)
+           BARRIER_MISMATCH, UNINIT_SHARED_READ, ATOMIC_PLAIN_RACE,
+           PREDICTED_GLOBAL_RACE)
 
 
 @dataclass
@@ -565,14 +575,28 @@ def analyze_launch(launch, launch_index, sink):
     return ops_checked
 
 
-def analyze_trace(trace, classifications=None, app=None):
+def analyze_trace(trace, classifications=None, app=None, mode="interval"):
     """Run every check over an :class:`ApplicationTrace`.
 
     ``classifications`` is the per-kernel
     :class:`~repro.core.classifier.ClassificationResult` map from a
     :class:`WorkloadRun`; when given, findings at classified global-load
     PCs carry the paper's D/N class.
+
+    ``mode`` selects the detector: ``"interval"`` is the barrier-interval
+    baseline implemented here; ``"predictive"`` dispatches to the
+    streaming happens-before detector
+    (:func:`repro.analysis.predictive.analyze_trace_predictive`), which
+    models atomics and memory fences as synchronization and predicts
+    races the observed schedule serialized.
     """
+    if mode == "predictive":
+        from .predictive import analyze_trace_predictive
+
+        return analyze_trace_predictive(trace, classifications, app=app)
+    if mode != "interval":
+        raise ValueError("unknown race-detector mode %r "
+                         "(choices: interval, predictive)" % (mode,))
     name = app or getattr(trace, "name", "?")
     sink = _FindingSink(classifications)
     ops_checked = 0
@@ -599,10 +623,12 @@ def analyze_trace(trace, classifications=None, app=None):
     return report
 
 
-def analyze_workload(name, scale=0.25, seed=7, engine=None):
+def analyze_workload(name, scale=0.25, seed=7, engine=None,
+                     mode="interval"):
     """Emulate one registered workload and analyze its trace."""
     from ..workloads import get_workload
 
     run = get_workload(name, scale=scale, seed=seed).run(
         verify=False, engine=engine)
-    return analyze_trace(run.trace, run.classifications, app=name)
+    return analyze_trace(run.trace, run.classifications, app=name,
+                         mode=mode)

@@ -1049,11 +1049,11 @@ class _SegmentCompiler:
                 else:
                     inner.append("_vla(%s)" % t)
                 inner.append("%s(%s, %s)" % (acc, addr, t))
-        elif aexpr is not None:  # atomic
+        elif aexpr is not None:  # atomic (``red`` writes no old value back)
             lacc = self.accessor(inst.space, dt, store=False)
             sacc = self.accessor(inst.space, dt, store=True)
             dtv = self.bind(dt, "dt")
-            dl = self.reg_list(inst.dests[0].name)
+            dl = (self.reg_list(inst.dests[0].name) if inst.dests else None)
             inner.append("old = %s(a)" % lacc)
             inner.append("o1 = %s" % vsrc(inst.srcs[1]))
             o2 = "None"
@@ -1070,7 +1070,8 @@ class _SegmentCompiler:
             inner.append("new = _atom(%r, old, o1, %s, %s)"
                          % (inst.atom_op, o2, dtv))
             inner.append("%s(a, _coerce(new, %s))" % (sacc, dtv))
-            inner.append("%s[l] = old" % dl)
+            if dl is not None:
+                inner.append("%s[l] = old" % dl)
 
         if predicated:
             out = ["%s = []" % ln, "%s = []" % ad]

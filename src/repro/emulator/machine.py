@@ -541,7 +541,9 @@ class Emulator:
                     values.append(value)
                     target.store(addr + k * width, dtype, value)
         elif inst.is_atomic:
-            dest = inst.dests[0].name
+            # ``red`` is an atomic with no destination: the old value is
+            # computed for the read-modify-write but never written back
+            dest = inst.dests[0].name if inst.dests else None
             target = shared if space is Space.SHARED else self.memory
             for lane in _lanes_of(exec_mask):
                 addr = self._address(warp, lane, memref)
@@ -559,7 +561,8 @@ class Emulator:
                 new = _atom_result(inst.atom_op, old, operand, operand2,
                                    dtype)
                 target.store(addr, dtype, _coerce_store(new, dtype))
-                warp.regs[lane][dest] = old
+                if dest is not None:
+                    warp.regs[lane][dest] = old
 
     # -------------------------------------------------------------------- ALU
 

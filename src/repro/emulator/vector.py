@@ -402,7 +402,8 @@ class VectorEngine:
                     stored.append(value)
                     target.store(addr + k * width, dtype, value)
         elif inst.is_atomic:
-            dest = inst.dests[0].name
+            # ``red`` has no destination: skip the old-value scatter
+            dest = inst.dests[0].name if inst.dests else None
             op1 = inst.srcs[1]
             op2 = inst.srcs[2] if len(inst.srcs) > 2 else None
             olds = []
@@ -419,8 +420,9 @@ class VectorEngine:
                                    dtype)
                 target.store(addr, dtype, _coerce_store(new, dtype))
                 olds.append(old)
-            self._scatter_loaded(warp, dest, active, olds, dtype.is_float,
-                                 exec_mask)
+            if dest is not None:
+                self._scatter_loaded(warp, dest, active, olds,
+                                     dtype.is_float, exec_mask)
 
     def _scatter_loaded(self, warp, name, active_lanes, values, is_float,
                         exec_mask):

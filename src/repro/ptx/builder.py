@@ -119,7 +119,8 @@ class KernelBuilder:
                 inst.space = space_from_name(tok)
             elif inst.opcode == "setp" and tok in CMP_OPS and inst.cmp_op is None:
                 inst.cmp_op = tok
-            elif inst.opcode == "atom" and tok in ATOM_OPS and inst.atom_op is None:
+            elif inst.opcode in ("atom", "red") and tok in ATOM_OPS \
+                    and inst.atom_op is None:
                 inst.atom_op = tok
             elif inst.opcode in ("mul", "mad") and tok in MUL_MODES:
                 inst.mul_mode = tok
@@ -140,7 +141,7 @@ class KernelBuilder:
             if target is None:
                 raise PTXValidationError("bra needs target=")
             inst.target = target
-        elif inst.is_store:
+        elif inst.is_store or inst.opcode == "red":
             inst.srcs = tuple(operands)
         elif inst.is_load or inst.is_atomic:
             inst.dests = (operands[0],)

@@ -242,6 +242,7 @@ OPCODES = {
     "ld": Unit.LDST,
     "st": Unit.LDST,
     "atom": Unit.LDST,
+    "red": Unit.LDST,
     # integer / simple float arithmetic
     "add": Unit.SP,
     "sub": Unit.SP,
@@ -286,6 +287,11 @@ CMP_OPS = frozenset(
 
 #: atomic operations accepted by ``atom``.
 ATOM_OPS = frozenset(("add", "min", "max", "exch", "cas", "and", "or", "xor", "inc", "dec"))
+
+#: operations accepted by ``red`` (reductions return no value, so the
+#: read-modify-write ops that only make sense with a result — ``exch``
+#: and ``cas`` — are excluded, matching the PTX ISA).
+RED_OPS = frozenset(("add", "min", "max", "and", "or", "xor", "inc", "dec"))
 
 #: ``mul``/``mad`` width modifiers.
 MUL_MODES = frozenset(("lo", "hi", "wide"))
@@ -387,11 +393,13 @@ class Instruction:
 
     @property
     def is_atomic(self):
-        return self.opcode == "atom"
+        """``atom`` and ``red`` (a reduction is an atomic read-modify-
+        write whose old value is discarded)."""
+        return self.opcode in ("atom", "red")
 
     @property
     def is_memory(self):
-        return self.opcode in ("ld", "st", "atom")
+        return self.opcode in ("ld", "st", "atom", "red")
 
     @property
     def is_global_load(self):

@@ -284,7 +284,8 @@ class Parser:
                 inst.space = space_from_name(tok)
             elif inst.opcode == "setp" and tok in CMP_OPS and inst.cmp_op is None:
                 inst.cmp_op = tok
-            elif inst.opcode == "atom" and tok in ATOM_OPS and inst.atom_op is None:
+            elif inst.opcode in ("atom", "red") and tok in ATOM_OPS \
+                    and inst.atom_op is None:
                 inst.atom_op = tok
             elif inst.opcode in ("mul", "mad") and tok in MUL_MODES:
                 inst.mul_mode = tok
@@ -307,8 +308,9 @@ class Parser:
         inst.modifiers = tuple(modifiers)
         if inst.opcode == "setp" and inst.cmp_op is None:
             raise PTXSyntaxError("setp requires a comparison op", line_no, raw)
-        if inst.opcode == "atom" and inst.atom_op is None:
-            raise PTXSyntaxError("atom requires an operation", line_no, raw)
+        if inst.opcode in ("atom", "red") and inst.atom_op is None:
+            raise PTXSyntaxError("%s requires an operation" % inst.opcode,
+                                 line_no, raw)
         if inst.is_memory and inst.space is None:
             raise PTXSyntaxError(
                 "%s requires a state space" % inst.opcode, line_no, raw)
@@ -372,6 +374,12 @@ class Parser:
             else:
                 inst.dests = (dests,)
             inst.srcs = (operands[1],)
+        elif inst.opcode == "red":
+            # a reduction returns no value: red.op [addr], operand
+            if len(operands) < 2 or not isinstance(operands[0], MemRef):
+                raise PTXSyntaxError("red expects [addr], value", line_no,
+                                     raw)
+            inst.srcs = tuple(operands)
         elif inst.is_atomic:
             if len(operands) < 2 or not isinstance(operands[1], MemRef):
                 raise PTXSyntaxError("atom expects dest, [addr], ...", line_no, raw)

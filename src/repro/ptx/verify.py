@@ -37,6 +37,7 @@ from .cfg import CFG, EXIT_BLOCK
 from .errors import PTXVerificationError
 from .isa import (
     ATOM_OPS,
+    RED_OPS,
     DType,
     Imm,
     MemRef,
@@ -307,20 +308,25 @@ class _KernelVerifier:
                            param.dtype.nbytes, param.name))
 
     def _check_atomic(self, inst):
-        if inst.atom_op not in ATOM_OPS:
+        allowed = RED_OPS if inst.opcode == "red" else ATOM_OPS
+        if inst.atom_op not in allowed:
             self._error(inst, "bad-atomic",
-                        "unsupported atomic operation %r" % inst.atom_op)
+                        "unsupported %s operation %r"
+                        % (inst.opcode, inst.atom_op))
             return
         if inst.dtype is not None and inst.dtype.is_float \
                 and inst.atom_op in _INT_ONLY_ATOMICS:
             self._error(inst, "atomic-dtype",
-                        "atom.%s is integer-only, got .%s"
-                        % (inst.atom_op, inst.dtype.value))
+                        "%s.%s is integer-only, got .%s"
+                        % (inst.opcode, inst.atom_op, inst.dtype.value))
         needed = 3 if inst.atom_op == "cas" else 2
         if len(inst.srcs) < needed:
             self._error(inst, "operand-count",
-                        "atom.%s expects %d operand(s) after the address"
-                        % (inst.atom_op, needed - 1))
+                        "%s.%s expects %d operand(s) after the address"
+                        % (inst.opcode, inst.atom_op, needed - 1))
+        if inst.opcode == "red" and inst.dests:
+            self._error(inst, "bad-dest",
+                        "red returns no value but has a destination")
 
     # -- dataflow: defined before use ---------------------------------------
 

@@ -16,7 +16,7 @@ directly via :class:`~repro.emulator.Emulator`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..analysis import RaceKind, analyze_trace
 from ..core import classify_kernel
@@ -162,7 +162,276 @@ _CLEAN_CONTROL = """
     st.global.u32  [%rd4], %r9;     // unique element per thread
     ld.param.u64   %rd5, [flag];
     st.global.u32  [%rd5], 1;       // same value from every CTA: benign
-    atom.add.global.u32 %r13, [%rd5], 1;  // atomics never conflict
+    add.u64        %rd6, %rd5, 4;
+    atom.add.global.u32 %r13, [%rd6], 1;  // atomics never conflict
+    exit;
+}
+"""
+
+
+_CLEAN_ATOMIC_COUNTER = """
+.entry clean_atomic_counter ( .param .u64 out )
+{
+    .reg .u32 %r<12>;
+    .shared .u32 s_count[1];
+    mov.u32        %r1, %tid.x;
+    mov.u32        %r2, s_count;
+    atom.add.shared.u32 %r3, [%r2], 1;    // protected: atomics serialize
+    bar.sync       0;
+    ld.shared.u32  %r4, [%r2];
+    mov.u32        %r5, %ctaid.x;
+    shl.b32        %r6, %r5, 6;
+    add.u32        %r7, %r6, %r1;
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r7;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r4;
+    exit;
+}
+"""
+
+_CLEAN_RED_REDUCTION = """
+.entry clean_red_reduction ( .param .u64 out, .param .u64 total )
+{
+    .reg .u32 %r<12>;
+    .shared .u32 s_sum[1];
+    mov.u32        %r1, %tid.x;
+    mov.u32        %r2, s_sum;
+    red.add.shared.u32 [%r2], %r1;        // protected: reductions serialize
+    bar.sync       0;
+    ld.shared.u32  %r3, [%r2];
+    ld.param.u64   %rd1, [total];
+    red.add.global.u32 [%rd1], %r3;       // cross-CTA reduction: still atomic
+    mov.u32        %r4, %ctaid.x;
+    shl.b32        %r5, %r4, 6;
+    add.u32        %r6, %r5, %r1;
+    ld.param.u64   %rd2, [out];
+    cvt.u64.u32    %rd3, %r6;
+    shl.b64        %rd4, %rd3, 2;
+    add.u64        %rd5, %rd2, %rd4;
+    st.global.u32  [%rd5], %r3;
+    exit;
+}
+"""
+
+_MEMBAR_HANDOFF = """
+.entry clean_membar_handoff ( .param .u64 data, .param .u64 flag,
+                              .param .u64 out )
+{
+    .reg .u32 %r<16>;
+    mov.u32        %r1, %tid.x;
+    shr.u32        %r2, %r1, 5;
+    ld.param.u64   %rd1, [data];
+    ld.param.u64   %rd2, [flag];
+    ld.param.u64   %rd3, [out];
+    and.b32        %r3, %r1, 31;
+    shl.b32        %r4, %r3, 2;
+    cvt.u64.u32    %rd4, %r4;
+    add.u64        %rd5, %rd1, %rd4;
+    setp.ne.u32    %p1, %r2, 0;
+    @%p1 bra       CONSUME;
+    st.global.u32  [%rd5], %r1;           // produce
+    membar.gl;
+    atom.add.global.u32 %r5, [%rd2], 1;   // release the flag
+    bra            DONE;
+CONSUME:
+    atom.add.global.u32 %r6, [%rd2], 0;   // acquire the flag
+    membar.gl;
+    ld.global.u32  %r7, [%rd5];           // consume: fence-ordered
+    add.u64        %rd6, %rd3, %rd4;
+    st.global.u32  [%rd6], %r7;
+DONE:
+    exit;
+}
+"""
+
+_UNFENCED_HANDOFF = """
+.entry race_unfenced_handoff ( .param .u64 data, .param .u64 out )
+{
+    .reg .u32 %r<16>;
+    mov.u32        %r1, %tid.x;
+    shr.u32        %r2, %r1, 5;
+    ld.param.u64   %rd1, [data];
+    ld.param.u64   %rd3, [out];
+    and.b32        %r3, %r1, 31;
+    shl.b32        %r4, %r3, 2;
+    cvt.u64.u32    %rd4, %r4;
+    add.u64        %rd5, %rd1, %rd4;
+    setp.ne.u32    %p1, %r2, 0;
+    @%p1 bra       CONSUME;
+    st.global.u32  [%rd5], %r1;           // produce
+    bra            DONE;
+CONSUME:
+    ld.global.u32  %r7, [%rd5];           // BUG: nothing orders this read
+    add.u64        %rd6, %rd3, %rd4;
+    st.global.u32  [%rd6], %r7;
+DONE:
+    exit;
+}
+"""
+
+_ATOMIC_PLAIN_MIX = """
+.entry race_atomic_plain_mix ( .param .u64 out )
+{
+    .reg .u32 %r<12>;
+    .shared .u32 s_count[1];
+    mov.u32        %r1, %tid.x;
+    mov.u32        %r2, s_count;
+    atom.add.shared.u32 %r3, [%r2], 1;
+    setp.ne.u32    %p1, %r1, 0;
+    @%p1 bra       SKIP;
+    st.shared.u32  [%r2], 0;              // BUG: plain reset races the atomics
+SKIP:
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r1;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r3;
+    exit;
+}
+"""
+
+_INTERWARP_WW = """
+.entry race_interwarp_ww ( .param .u64 out )
+{
+    .reg .u32 %r<12>;
+    .shared .u32 s_buf[32];
+    mov.u32        %r1, %tid.x;
+    and.b32        %r2, %r1, 31;
+    shl.b32        %r3, %r2, 2;
+    mov.u32        %r4, s_buf;
+    add.u32        %r5, %r4, %r3;
+    st.shared.u32  [%r5], %r1;            // BUG: warps 0 and 1 collide per element
+    bar.sync       0;
+    ld.shared.u32  %r6, [%r5];
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r1;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r6;
+    exit;
+}
+"""
+
+_PREDICTIVE_RW_GLOBAL = """
+.entry race_predictive_rw_global ( .param .u64 buf, .param .u64 out )
+{
+    .reg .u32 %r<12>;
+    mov.u32        %r1, %tid.x;
+    xor.b32        %r2, %r1, 32;
+    shl.b32        %r3, %r2, 2;
+    ld.param.u64   %rd1, [buf];
+    cvt.u64.u32    %rd2, %r3;
+    add.u64        %rd3, %rd1, %rd2;
+    ld.global.u32  %r4, [%rd3];           // BUG: reads the other warp's slot
+    shl.b32        %r5, %r1, 2;
+    cvt.u64.u32    %rd4, %r5;
+    add.u64        %rd5, %rd1, %rd4;
+    st.global.u32  [%rd5], %r1;           // ... which that warp writes
+    ld.param.u64   %rd6, [out];
+    add.u64        %rd7, %rd6, %rd4;
+    st.global.u32  [%rd7], %r4;
+    exit;
+}
+"""
+
+_FENCED_SHARED_HANDOFF = """
+.entry benign_fenced_shared_handoff ( .param .u64 out )
+{
+    .reg .u32 %r<16>;
+    .shared .u32 s_data[32];
+    .shared .u32 s_flag[1];
+    mov.u32        %r1, %tid.x;
+    shr.u32        %r2, %r1, 5;
+    and.b32        %r3, %r1, 31;
+    shl.b32        %r4, %r3, 2;
+    mov.u32        %r5, s_data;
+    add.u32        %r6, %r5, %r4;
+    mov.u32        %r7, s_flag;
+    setp.ne.u32    %p1, %r2, 0;
+    @%p1 bra       CONSUME;
+    st.shared.u32  [%r6], %r1;            // produce
+    membar.cta;
+    atom.add.shared.u32 %r8, [%r7], 1;    // release the flag
+    bra            DONE;
+CONSUME:
+    atom.add.shared.u32 %r9, [%r7], 0;    // acquire the flag
+    membar.cta;
+    ld.shared.u32  %r10, [%r6];           // consume: fence-ordered
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r4;
+    add.u64        %rd3, %rd1, %rd2;
+    st.global.u32  [%rd3], %r10;
+DONE:
+    exit;
+}
+"""
+
+_SAME_VALUE_FRONTIER = """
+.entry benign_same_value_frontier ( .param .u64 level, .param .u64 out )
+{
+    .reg .u32 %r<12>;
+    mov.u32        %r1, %tid.x;
+    mov.u32        %r2, %ctaid.x;
+    ld.param.u64   %rd1, [level];
+    st.global.u32  [%rd1], 7;             // every thread, every CTA: value 7
+    shl.b32        %r3, %r2, 6;
+    add.u32        %r4, %r3, %r1;
+    ld.param.u64   %rd2, [out];
+    cvt.u64.u32    %rd3, %r4;
+    shl.b64        %rd4, %rd3, 2;
+    add.u64        %rd5, %rd2, %rd4;
+    st.global.u32  [%rd5], %r1;
+    exit;
+}
+"""
+
+_GUARD_EXIT = """
+.entry benign_guard_exit ( .param .u64 out )
+{
+    .reg .u32 %r<12>;
+    .shared .u32 s_buf[32];
+    mov.u32        %r1, %tid.x;
+    setp.ge.u32    %p1, %r1, 32;
+    @%p1 bra       DONE;                  // warp 1 exits before any barrier
+    shl.b32        %r2, %r1, 2;
+    mov.u32        %r3, s_buf;
+    add.u32        %r4, %r3, %r2;
+    st.shared.u32  [%r4], %r1;
+    bar.sync       0;
+    add.u32        %r5, %r1, 1;
+    and.b32        %r6, %r5, 31;
+    shl.b32        %r7, %r6, 2;
+    add.u32        %r8, %r3, %r7;
+    ld.shared.u32  %r9, [%r8];
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r2;
+    add.u64        %rd3, %rd1, %rd2;
+    st.global.u32  [%rd3], %r9;
+DONE:
+    exit;
+}
+"""
+
+_WARP_BROADCAST = """
+.entry benign_warp_broadcast ( .param .u64 out )
+{
+    .reg .u32 %r<12>;
+    .shared .u32 s_val[1];
+    mov.u32        %r1, %tid.x;
+    mov.u32        %r2, s_val;
+    setp.ne.u32    %p1, %r1, 0;
+    @%p1 bra       WAIT;
+    st.shared.u32  [%r2], 42;             // lane 0 publishes
+WAIT:
+    bar.sync       0;
+    ld.shared.u32  %r3, [%r2];            // everyone reads after the barrier
+    ld.param.u64   %rd1, [out];
+    cvt.u64.u32    %rd2, %r1;
+    shl.b64        %rd3, %rd2, 2;
+    add.u64        %rd4, %rd1, %rd3;
+    st.global.u32  [%rd4], %r3;
     exit;
 }
 """
@@ -176,6 +445,13 @@ class PlantedCase:
     detector must report ``kind`` at exactly the pc of the ``nth``
     instruction whose mnemonic starts with ``mnemonic_prefix`` (and
     nothing else).  The control case has an empty ``expected``.
+
+    ``expected_predictive`` holds the predictive-mode locators; ``None``
+    means both modes must agree.  A case whose bug only the
+    happens-before detector can see (the observed schedule serialized
+    it) has an empty ``expected`` and a non-empty
+    ``expected_predictive``; a case the *baseline* false-positives on
+    (fence-ordered sharing) has the reverse.
     """
 
     name: str
@@ -185,22 +461,29 @@ class PlantedCase:
     block: Tuple[int, int, int]
     buffers: Dict[str, int] = field(default_factory=dict)
     expected: Tuple[Tuple[str, str, int], ...] = ()
+    expected_predictive: Optional[Tuple[Tuple[str, str, int], ...]] = None
 
     def build(self):
         """Parse the PTX; returns ``(module, kernel)``."""
         module = parse_module(self.ptx)
         return module, module[self.name.replace("-", "_")]
 
-    def expected_findings(self, kernel):
+    def expected_for(self, mode):
+        """The locator tuple for one detector mode."""
+        if mode == "predictive" and self.expected_predictive is not None:
+            return self.expected_predictive
+        return self.expected
+
+    def expected_findings(self, kernel, mode="interval"):
         """Resolve the locators against assigned pcs: ``{(kind, pc)}``."""
         resolved = set()
-        for kind, prefix, nth in self.expected:
+        for kind, prefix, nth in self.expected_for(mode):
             matches = [inst for inst in kernel.instructions
                        if inst.mnemonic().startswith(prefix)]
             resolved.add((kind, matches[nth].pc))
         return resolved
 
-    def run(self, engine=None):
+    def run(self, engine=None, mode="interval"):
         """Emulate the kernel and analyze it; returns the report."""
         module, kernel = self.build()
         mem = MemoryImage()
@@ -210,7 +493,8 @@ class PlantedCase:
         app = ApplicationTrace(name=self.name)
         app.add(emu.launch(kernel, self.grid, self.block, params))
         classifications = {k.name: classify_kernel(k) for k in module}
-        return analyze_trace(app, classifications, app=self.name)
+        return analyze_trace(app, classifications, app=self.name,
+                             mode=mode)
 
 
 PLANTED_CASES = (
@@ -270,7 +554,116 @@ PLANTED_CASES = (
         buffers={"out": 2 * 64 * 4, "flag": 8},
         expected=(),
     ),
+    PlantedCase(
+        name="clean_atomic_counter",
+        description="atomics-protected shared counter: serialized by "
+                    "hardware, must not be flagged in either mode",
+        ptx=_CLEAN_ATOMIC_COUNTER, grid=(2, 1, 1), block=(64, 1, 1),
+        buffers={"out": 2 * 64 * 4},
+        expected=(),
+    ),
+    PlantedCase(
+        name="clean_red_reduction",
+        description="red.add reductions into shared and global "
+                    "accumulators: atomic read-modify-writes, no bug",
+        ptx=_CLEAN_RED_REDUCTION, grid=(2, 1, 1), block=(64, 1, 1),
+        buffers={"out": 2 * 64 * 4, "total": 4},
+        expected=(),
+    ),
+    PlantedCase(
+        name="clean_membar_handoff",
+        description="membar-ordered producer/consumer through global "
+                    "memory behind an atomic flag: fence edges order it",
+        ptx=_MEMBAR_HANDOFF, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"data": 32 * 4, "flag": 4, "out": 32 * 4},
+        expected=(),
+    ),
+    PlantedCase(
+        name="race_unfenced_handoff",
+        description="producer/consumer with the fence and flag removed: "
+                    "the deterministic schedule serialized it, so only "
+                    "the predictive detector can see the race",
+        ptx=_UNFENCED_HANDOFF, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"data": 32 * 4, "out": 32 * 4},
+        expected=(),
+        expected_predictive=(
+            (RaceKind.PREDICTED_GLOBAL_RACE, "ld.global", 0),),
+    ),
+    PlantedCase(
+        name="race_atomic_plain_mix",
+        description="one thread's plain store resets a counter other "
+                    "threads update atomically in the same interval",
+        ptx=_ATOMIC_PLAIN_MIX, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"out": 64 * 4},
+        expected=(),
+        expected_predictive=(
+            (RaceKind.ATOMIC_PLAIN_RACE, "st.shared", 0),),
+    ),
+    PlantedCase(
+        name="race_interwarp_ww",
+        description="warps 0 and 1 store to the same 32 shared elements "
+                    "in one interval (inter-warp, not inter-lane)",
+        ptx=_INTERWARP_WW, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"out": 64 * 4},
+        expected=((RaceKind.SHARED_RACE, "st.shared", 0),),
+    ),
+    PlantedCase(
+        name="race_predictive_rw_global",
+        description="each thread reads the slot the opposite warp "
+                    "writes, same CTA, no barrier: serialized by the "
+                    "replay order, predicted racy",
+        ptx=_PREDICTIVE_RW_GLOBAL, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"buf": 64 * 4, "out": 64 * 4},
+        expected=(),
+        expected_predictive=(
+            (RaceKind.PREDICTED_GLOBAL_RACE, "ld.global", 0),),
+    ),
 )
+
+#: Benign idioms for the precision corpus: correct kernels the detector
+#: must stay silent on.  ``benign_fenced_shared_handoff`` is the one
+#: deliberate exception — the interval baseline false-positives on it
+#: (its ``expected`` documents those false findings), while the
+#: predictive mode proves the fence ordering and stays clean.
+BENIGN_CASES = (
+    PlantedCase(
+        name="benign_same_value_frontier",
+        description="every thread of every CTA writes the same value to "
+                    "one global flag (BFS frontier idiom)",
+        ptx=_SAME_VALUE_FRONTIER, grid=(2, 1, 1), block=(64, 1, 1),
+        buffers={"level": 4, "out": 2 * 64 * 4},
+        expected=(),
+    ),
+    PlantedCase(
+        name="benign_guard_exit",
+        description="warp 1 guard-exits before the barrier; warp 0 does "
+                    "a correctly barriered exchange",
+        ptx=_GUARD_EXIT, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"out": 32 * 4},
+        expected=(),
+    ),
+    PlantedCase(
+        name="benign_warp_broadcast",
+        description="lane 0 publishes one shared value, everyone reads "
+                    "it after the barrier",
+        ptx=_WARP_BROADCAST, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"out": 64 * 4},
+        expected=(),
+    ),
+    PlantedCase(
+        name="benign_fenced_shared_handoff",
+        description="shared-memory producer/consumer behind membar + "
+                    "atomic flag: correct, but the interval baseline "
+                    "cannot see the fence edges and false-positives",
+        ptx=_FENCED_SHARED_HANDOFF, grid=(1, 1, 1), block=(64, 1, 1),
+        buffers={"out": 32 * 4},
+        expected=((RaceKind.SHARED_RACE, "ld.shared", 0),
+                  (RaceKind.UNINIT_SHARED_READ, "ld.shared", 0)),
+        expected_predictive=(),
+    ),
+)
+
+ALL_CASES = PLANTED_CASES + BENIGN_CASES
 
 
 def planted_names():
@@ -278,7 +671,7 @@ def planted_names():
 
 
 def get_planted(name):
-    for case in PLANTED_CASES:
+    for case in ALL_CASES:
         if case.name == name:
             return case
     raise KeyError("unknown planted case %r" % name)

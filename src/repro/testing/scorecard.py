@@ -1,0 +1,158 @@
+"""Recall/precision scorecard for the race-detector modes.
+
+Scores both detector modes (``interval`` baseline, ``predictive``
+happens-before) against the planted-bug corpus and the benign-idiom
+precision corpus in :mod:`repro.testing.races`.  Ground truth for every
+case is its *predictive* expectation set: the planted corpus is built
+so that set is exactly the real bugs — interval-mode expectations are
+either equal (bugs both modes see) or document the baseline's known
+blind spots / false positives.
+
+The gates encode the predictive mode's contract:
+
+* 100% recall — every planted bug found at its exact pc;
+* zero false positives — nothing flagged beyond ground truth, in
+  particular nothing on the benign corpus;
+* strict domination — predictive finds strictly more true positives
+  than the interval baseline and at least matches its recall;
+* per-case superset — on every planted case the predictive findings
+  cover the interval findings (compared as ``(kind, {pc, other_pc})``
+  so attribution orientation cannot mask a miss).
+
+``python -m repro.testing.scorecard`` prints the table and exits
+nonzero when any gate fails — CI runs it as the regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+from .races import ALL_CASES, BENIGN_CASES, PLANTED_CASES
+
+MODES = ("interval", "predictive")
+
+
+@dataclass
+class ModeScore:
+    """Aggregated detection quality for one detector mode."""
+
+    mode: str
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def recall(self):
+        denom = self.tp + self.fn
+        return 1.0 if denom == 0 else self.tp / denom
+
+    @property
+    def precision(self):
+        denom = self.tp + self.fp
+        return 1.0 if denom == 0 else self.tp / denom
+
+    def to_json(self):
+        return {"mode": self.mode, "tp": self.tp, "fp": self.fp,
+                "fn": self.fn, "recall": self.recall,
+                "precision": self.precision}
+
+
+def _pair_keys(report):
+    """Orientation-free finding identities: ``(kind, {pc, other_pc})``."""
+    return {(f.kind, frozenset((f.pc, f.other_pc)))
+            for f in report.findings}
+
+
+def score_corpus(engine=None):
+    """Run every corpus case through both modes; returns the scorecard.
+
+    The result dict has ``modes`` (aggregated :class:`ModeScore` JSON),
+    ``cases`` (per-case detail), ``gates`` (name -> bool) and
+    ``passed``.
+    """
+    scores = {mode: ModeScore(mode) for mode in MODES}
+    cases = []
+    superset_ok = True
+    benign_names = {case.name for case in BENIGN_CASES}
+    for case in ALL_CASES:
+        _, kernel = case.build()
+        truth = case.expected_findings(kernel, "predictive")
+        row = {"case": case.name, "benign": case.name in benign_names,
+               "truth": sorted(truth)}
+        reports = {}
+        for mode in MODES:
+            report = case.run(engine=engine, mode=mode)
+            reports[mode] = report
+            got = {(f.kind, f.pc) for f in report.findings}
+            score = scores[mode]
+            score.tp += len(got & truth)
+            score.fp += len(got - truth)
+            score.fn += len(truth - got)
+            row[mode] = sorted(got)
+        if case.name not in benign_names:
+            covered = _pair_keys(reports["interval"]) <= _pair_keys(
+                reports["predictive"])
+            row["superset"] = covered
+            superset_ok = superset_ok and covered
+        cases.append(row)
+    interval, predictive = scores["interval"], scores["predictive"]
+    gates = {
+        "predictive_full_recall": predictive.recall == 1.0,
+        "predictive_zero_fp": predictive.fp == 0,
+        "predictive_recall_dominates":
+            predictive.recall >= interval.recall,
+        "predictive_strictly_more_tp": predictive.tp > interval.tp,
+        "predictive_cuts_fp": predictive.fp < interval.fp,
+        "predictive_superset_on_planted": superset_ok,
+    }
+    return {
+        "modes": {mode: score.to_json() for mode, score in scores.items()},
+        "cases": cases,
+        "gates": gates,
+        "passed": all(gates.values()),
+    }
+
+
+def format_scorecard(card):
+    lines = ["race-detector scorecard (%d planted, %d benign case(s))"
+             % (len(PLANTED_CASES), len(BENIGN_CASES))]
+    for mode in MODES:
+        m = card["modes"][mode]
+        lines.append(
+            "  %-10s recall=%.3f precision=%.3f tp=%d fp=%d fn=%d"
+            % (mode, m["recall"], m["precision"], m["tp"], m["fp"],
+               m["fn"]))
+    for name, passed in card["gates"].items():
+        lines.append("  gate %-32s %s" % (name,
+                                          "pass" if passed else "FAIL"))
+    lines.append("scorecard: %s"
+                 % ("PASS" if card["passed"] else "FAIL"))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-scorecard",
+        description="score both race-detector modes against the planted "
+                    "and benign corpora; exit nonzero if a gate fails")
+    parser.add_argument("--engine", default=None,
+                        help="emulator engine override (scalar, "
+                             "vectorized, compiled)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the scorecard as JSON")
+    args = parser.parse_args(argv)
+    card = score_corpus(engine=args.engine)
+    print(format_scorecard(card))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(card, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.json)
+    return 0 if card["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Metamorphic properties of the race detectors.
+
+Two relations every corpus trace must satisfy:
+
+* **Warp-permutation invariance** — the order warp traces appear in a
+  launch is a recording artifact; both detectors key everything off
+  CTA and warp ids, so permuting ``launch.warps`` must not change the
+  findings of either mode.
+* **Predictive ⊇ interval** — on every *planted* case the predictive
+  findings cover the interval findings.  Identities compare as
+  ``(kind, {pc, other_pc})`` so a primary/other attribution flip
+  cannot hide a dropped finding.  (The benign corpus is excluded by
+  construction: its fence-ordered handoff exists precisely because the
+  baseline false-positives there.)
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_trace
+from repro.emulator import ApplicationTrace, Emulator, MemoryImage
+from repro.testing.races import ALL_CASES, PLANTED_CASES
+
+pytestmark = pytest.mark.races
+
+_TRACES = {}
+
+
+def trace_of(case):
+    """Emulate once per case; detectors never mutate the trace."""
+    app = _TRACES.get(case.name)
+    if app is None:
+        _module, kernel = case.build()
+        mem = MemoryImage()
+        params = {name: mem.alloc(name, size)
+                  for name, size in case.buffers.items()}
+        app = ApplicationTrace(name=case.name)
+        app.add(Emulator(mem).launch(kernel, case.grid, case.block,
+                                     params))
+        _TRACES[case.name] = app
+    return app
+
+
+def finding_keys(report):
+    return {(f.kind, f.pc, f.other_pc) for f in report.findings}
+
+
+def pair_keys(report):
+    """Attribution-orientation-free identities."""
+    return {(f.kind, frozenset((f.pc, f.other_pc)))
+            for f in report.findings}
+
+
+def permute_warps(app, rng):
+    for launch in app:
+        rng.shuffle(launch.warps)
+
+
+@given(case=st.sampled_from(ALL_CASES), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_findings_invariant_under_warp_permutation(case, data):
+    app = trace_of(case)
+    baseline = {
+        mode: finding_keys(analyze_trace(app, app=case.name, mode=mode))
+        for mode in ("interval", "predictive")}
+    rng = data.draw(st.randoms(use_true_random=False))
+    permute_warps(app, rng)
+    for mode, expected in baseline.items():
+        shuffled = finding_keys(
+            analyze_trace(app, app=case.name, mode=mode))
+        assert shuffled == expected, (
+            "%s findings changed under warp permutation of %r"
+            % (mode, case.name))
+
+
+@given(case=st.sampled_from(PLANTED_CASES), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_predictive_covers_interval_on_every_planted_case(case, data):
+    app = trace_of(case)
+    rng = data.draw(st.randoms(use_true_random=False))
+    permute_warps(app, rng)
+    interval = pair_keys(analyze_trace(app, app=case.name,
+                                       mode="interval"))
+    predictive = pair_keys(analyze_trace(app, app=case.name,
+                                         mode="predictive"))
+    assert interval <= predictive, (
+        "interval found %s on %r but predictive dropped it"
+        % (sorted(interval - predictive), case.name))
+
+
+def test_every_corpus_case_has_a_unique_name():
+    names = [case.name for case in ALL_CASES]
+    assert len(names) == len(set(names))

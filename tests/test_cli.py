@@ -289,6 +289,38 @@ class TestRaces:
         assert code == 0
         assert "clean" in text
 
+    def test_predictive_mode_selectable(self):
+        code, text = run_cli("races", "2mm", "--scale", "0.1",
+                             "--mode", "predictive")
+        assert code == 0
+        assert "clean" in text
+
+    def test_findings_exit_nonzero(self):
+        # sssp's relaxation loop reads dist[] plainly while updating it
+        # atomically: predictive mode flags it and the command fails
+        code, text = run_cli("races", "sssp", "--scale", "0.1",
+                             "--mode", "predictive")
+        assert code == 1
+        assert "atomic-plain-race" in text
+        assert "finding(s)" in text
+
+    def test_no_fail_escape_hatch(self):
+        code, text = run_cli("races", "sssp", "--scale", "0.1",
+                             "--mode", "predictive", "--no-fail")
+        assert code == 0
+        assert "atomic-plain-race" in text
+
+    def test_json_records_mode(self, tmp_path):
+        import json
+        path = tmp_path / "races.json"
+        code, _text = run_cli("races", "sssp", "--scale", "0.1",
+                              "--mode", "predictive", "--no-fail",
+                              "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["mode"] == "predictive"
+        assert payload["clean"] is False
+
 
 class TestSweep:
     SPEC = {
