@@ -37,6 +37,14 @@ Commands
     as synchronization and predicts races the observed schedule
     serialized.  Exits 1 when findings are reported (``--no-fail``
     suppresses the failure exit).
+``advise <app>``
+    The closed-loop optimization advisor: per-line memory heat map,
+    rule-based diagnosis of uncoalesced / burst-prone / cache-thrashing
+    loads localized to PTX source lines, and a recommendation from the
+    :mod:`repro.optim` transforms whose effect is *verified* by
+    re-simulating the transformed trace (``--no-verify`` skips the
+    timing runs).  ``--json``/``--heatmap-out`` export the structured
+    reports; ``--out DIR`` writes both plus a ``manifest.json``.
 ``sweep run|status|report|compare``
     The declarative parameter-sweep engine (DESIGN.md section 11):
     ``run`` executes (a shard of) a committed spec resumably, writing
@@ -201,6 +209,40 @@ def _build_parser():
     p_races.add_argument("--json", default=None, metavar="PATH",
                          dest="json_out",
                          help="write the structured reports as JSON")
+
+    p_adv = sub.add_parser(
+        "advise", help="memory heat map + rule-based diagnosis + "
+                       "simulator-verified optimization recommendation")
+    p_adv.add_argument("app", choices=workload_names())
+    p_adv.add_argument("--scale", type=float, default=0.25)
+    p_adv.add_argument("--engine",
+                       choices=("vectorized", "scalar", "compiled"),
+                       default=None,
+                       help="warp-execution engine (default: vectorized)")
+    p_adv.add_argument("--config", choices=("bench", "tiny", "c2050"),
+                       default="bench",
+                       help="GPU model for the verification runs")
+    p_adv.add_argument("--trace-cache", action="store_true",
+                       help="reuse/populate the on-disk trace cache")
+    p_adv.add_argument("--no-verify", action="store_true",
+                       help="diagnosis only: skip the baseline and "
+                            "transform timing simulations")
+    p_adv.add_argument("--max-requests", type=int, default=4,
+                       help="sub-warp line budget for the warp_split "
+                            "candidate")
+    p_adv.add_argument("--cluster", type=int, default=2,
+                       help="SM cluster size for the semi_global_l2 "
+                            "candidate")
+    p_adv.add_argument("--top", type=int, default=5,
+                       help="diagnoses to print in the text report")
+    p_adv.add_argument("--json", default=None, metavar="PATH",
+                       dest="json_out",
+                       help="write the advice report as JSON")
+    p_adv.add_argument("--heatmap-out", default=None, metavar="PATH",
+                       help="write the per-line heat map as JSON")
+    p_adv.add_argument("--out", default=None, metavar="DIR",
+                       help="write advice.json, heatmap.json and "
+                            "manifest.json to a directory")
 
     p_sweep = sub.add_parser(
         "sweep", help="declarative parameter sweeps: sharded resumable "
@@ -679,6 +721,66 @@ def _cmd_sweep_compare(args, out):
     return 0 if result.ok else 1
 
 
+def _cmd_advise(args, out):
+    import json
+    import os
+
+    from .advise import advise_app
+    from .experiments.runner import BENCH_CONFIG, ExperimentRunner
+    from .obs.manifest import RunManifest
+    from .obs.metrics import isolated_registry
+    from .sim.config import TINY
+
+    config = {"bench": BENCH_CONFIG, "tiny": TINY,
+              "c2050": TESLA_C2050}[args.config]
+    run_manifest = RunManifest("advise", {
+        "app": args.app, "scale": args.scale, "engine": args.engine,
+        "config": args.config, "trace_cache": args.trace_cache,
+        "verify": not args.no_verify, "max_requests": args.max_requests,
+        "cluster": args.cluster,
+    })
+    with isolated_registry() as registry:
+        runner = ExperimentRunner(
+            scale=args.scale, config=config,
+            simulate=not args.no_verify, engine=args.engine,
+            use_trace_cache=args.trace_cache, strict=False)
+        report = advise_app(
+            args.app, runner=runner, verify=not args.no_verify,
+            max_requests=args.max_requests, cluster_size=args.cluster,
+            registry=registry)
+        result = runner.result(args.app)
+        run_manifest.record_result(result)
+        run_manifest.attach_metrics(registry)
+    run_manifest.extras["verdict"] = report.verdict
+    run_manifest.extras["recommendation"] = report.recommendation
+
+    out.write(report.format(top=args.top) + "\n")
+
+    def _dump(path, payload):
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write("wrote %s\n" % path)
+
+    if args.json_out:
+        _dump(args.json_out, report.to_json())
+    if args.heatmap_out:
+        if report.heatmap is None:
+            out.write("no heat map produced (profiling failed)\n")
+        else:
+            _dump(args.heatmap_out, report.heatmap.to_json())
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        _dump(os.path.join(args.out, "advice.json"), report.to_json())
+        if report.heatmap is not None:
+            _dump(os.path.join(args.out, "heatmap.json"),
+                  report.heatmap.to_json())
+        manifest_path = os.path.join(args.out, "manifest.json")
+        run_manifest.finish().write(manifest_path)
+        out.write("wrote %s\n" % manifest_path)
+    return 0 if result.ok else 1
+
+
 _SWEEP_COMMANDS = {
     "run": _cmd_sweep_run,
     "status": _cmd_sweep_status,
@@ -702,6 +804,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "cache": _cmd_cache,
     "races": _cmd_races,
+    "advise": _cmd_advise,
     "sweep": _cmd_sweep,
 }
 

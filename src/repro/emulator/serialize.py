@@ -112,6 +112,35 @@ def _launch_header_and_columns(launch, module):
     return header, arrays
 
 
+def _source_lines(module):
+    """Per-kernel source-line numbers, in instruction order.
+
+    ``Instruction.line`` points into the text the module was *parsed*
+    from.  The payload stores the canonical ``print_module`` text, so a
+    re-parse on load would silently re-number every instruction against
+    the printed layout — and diagnostics (``repro advise``) would report
+    different PTX lines on a trace-cache hit than on a fresh run.
+    Persisting the original numbers keeps load_run a faithful inverse.
+    """
+    return {k.name: [inst.line for inst in k.instructions]
+            for k in module}
+
+
+def _restamp_lines(module, payload):
+    """Restore saved source-line numbers onto a re-parsed module.
+
+    Best effort: entries written before the ``lines`` field existed
+    (or whose instruction counts disagree) keep the printed-text
+    numbering rather than failing the load.
+    """
+    for kernel in module:
+        lines = payload.get("lines", {}).get(kernel.name)
+        if lines is None or len(lines) != len(kernel.instructions):
+            continue
+        for inst, line in zip(kernel.instructions, lines):
+            inst.line = int(line)
+
+
 def save_run(run, path):
     """Serialize a run's kernels and traces to ``path`` (schema v3)."""
     module = run.module
@@ -126,6 +155,7 @@ def save_run(run, path):
         "version": FORMAT_VERSION,
         "name": run.trace.name,
         "ptx": print_module(module),
+        "lines": _source_lines(module),
         "launches": launches,
         # digest of the column payload (blob bytes in canonical order,
         # padding excluded — so it is independent of the header length)
@@ -154,6 +184,7 @@ def save_run_legacy(run, path):
         "version": LEGACY_FORMAT_VERSION,
         "name": run.trace.name,
         "ptx": print_module(run.module),
+        "lines": _source_lines(run.module),
         "launches": [_encode_launch_v2(launch) for launch in run.trace],
     }
     data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
@@ -241,6 +272,7 @@ def load_run(path):
         _verify_container(buf, payload, hlen, path)
 
     module = parse_module(payload["ptx"])
+    _restamp_lines(module, payload)
     classifications = {k.name: classify_kernel(k) for k in module}
     app = ApplicationTrace(name=payload["name"])
     pos = len(MAGIC) + 4 + hlen
@@ -383,6 +415,7 @@ def _load_run_v2(path):
         raise ValueError("unsupported trace-file version: %r"
                          % payload.get("version"))
     module = parse_module(payload["ptx"])
+    _restamp_lines(module, payload)
     classifications = {k.name: classify_kernel(k) for k in module}
     app = ApplicationTrace(name=payload["name"])
     for launch_data in payload["launches"]:

@@ -16,26 +16,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..emulator.trace import KernelLaunchTrace, TraceOp, WarpTrace
+from ..sim.config import LINE_BYTES
 from ..sim.gpu import GPU
 
-BLOCK = 128
 WORD = 4
-WORDS_PER_BLOCK = BLOCK // WORD
 
 
-def coalesce_op(op):
+def coalesce_op(op, line_bytes=LINE_BYTES):
     """A copy of ``op`` whose lanes pack into the fewest possible blocks,
     drawn from the blocks the original access touched."""
-    touched = sorted({addr // BLOCK for _lane, addr in op.addresses})
+    words_per_block = line_bytes // WORD
+    touched = sorted({addr // line_bytes for _lane, addr in op.addresses})
     addresses = []
     for i, (lane, _addr) in enumerate(op.addresses):
-        block = touched[i // WORDS_PER_BLOCK]
-        word = i % WORDS_PER_BLOCK
-        addresses.append((lane, block * BLOCK + word * WORD))
+        block = touched[i // words_per_block]
+        word = i % words_per_block
+        addresses.append((lane, block * line_bytes + word * WORD))
     return TraceOp(op.inst, op.active_mask, tuple(addresses))
 
 
-def coalesced_launch(launch_trace, classification):
+def coalesced_launch(launch_trace, classification, line_bytes=LINE_BYTES):
     """Transformed copy of a launch with N loads perfectly coalesced."""
     nondet_pcs = set()
     if classification is not None:
@@ -51,7 +51,7 @@ def coalesced_launch(launch_trace, classification):
         for op in warp.ops:
             if (op.addresses and op.inst.is_global_load
                     and op.pc in nondet_pcs):
-                new_warp.ops.append(coalesce_op(op))
+                new_warp.ops.append(coalesce_op(op, line_bytes))
             else:
                 new_warp.ops.append(op)
         new_launch.warps.append(new_warp)
@@ -90,7 +90,8 @@ def compare_perfect_coalescing(run, config):
     for launch in run.trace:
         classification = run.classifications.get(launch.kernel_name)
         baseline.run_launch(launch, classification)
-        oracle.run_launch(coalesced_launch(launch, classification),
+        oracle.run_launch(coalesced_launch(launch, classification,
+                                           line_bytes=config.l1_line_size),
                           classification)
     return {
         "baseline": _outcome("baseline", baseline.stats),

@@ -18,32 +18,34 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..emulator.trace import KernelLaunchTrace, TraceOp, WarpTrace
+from ..sim.config import LINE_BYTES
 from ..sim.gpu import GPU
 
-BLOCK = 128
 
-
-def split_op(op, max_requests):
+def split_op(op, max_requests, line_bytes=LINE_BYTES):
     """Split one memory trace-op into sub-warp ops of bounded footprint.
 
-    Lanes are greedily packed: a lane joins the current sub-warp while the
-    sub-warp's distinct-block count stays within ``max_requests``.
+    Greedy contract: the op's distinct ``line_bytes`` blocks are taken
+    in ascending block-address order and packed whole into consecutive
+    sub-warps of at most ``max_requests`` blocks each; every lane access
+    joins the sub-warp that owns its block, and each sub-warp's accesses
+    keep ascending ``(lane, address)`` order.  Grouping therefore
+    depends only on the *multiset* of addresses — permuting the lane
+    iteration order of an equal address set yields the same sub-warp
+    block partition (the earlier lane-order greedy admitted a lane whose
+    block was already in the current group even when a later flush would
+    have grouped it better, so the split was iteration-order
+    sensitive).  Ops touching at most ``max_requests`` blocks are
+    returned unchanged.
     """
-    groups = []
-    current = []
-    blocks = set()
-    for lane, addr in op.addresses:
-        block = addr // BLOCK
-        if block not in blocks and len(blocks) >= max_requests:
-            groups.append(current)
-            current = []
-            blocks = set()
-        blocks.add(block)
-        current.append((lane, addr))
-    if current:
-        groups.append(current)
-    if len(groups) <= 1:
+    blocks = sorted({addr // line_bytes for _lane, addr in op.addresses})
+    if len(blocks) <= max_requests:
         return [op]
+    group_of = {block: i // max_requests for i, block in enumerate(blocks)}
+    groups = [[] for _ in range((len(blocks) + max_requests - 1)
+                               // max_requests)]
+    for lane, addr in sorted(op.addresses):
+        groups[group_of[addr // line_bytes]].append((lane, addr))
     ops = []
     for group in groups:
         mask = 0
@@ -53,7 +55,8 @@ def split_op(op, max_requests):
     return ops
 
 
-def split_launch(launch_trace, classification, max_requests=4):
+def split_launch(launch_trace, classification, max_requests=4,
+                 line_bytes=LINE_BYTES):
     """Transformed copy of a launch trace with N loads sub-warp split."""
     nondet_pcs = set()
     if classification is not None:
@@ -69,7 +72,7 @@ def split_launch(launch_trace, classification, max_requests=4):
         for op in warp.ops:
             if (op.addresses and op.inst.is_global_load
                     and op.pc in nondet_pcs):
-                new_warp.ops.extend(split_op(op, max_requests))
+                new_warp.ops.extend(split_op(op, max_requests, line_bytes))
             else:
                 new_warp.ops.append(op)
         new_launch.warps.append(new_warp)
@@ -109,7 +112,8 @@ def compare_warp_splitting(run, config, max_requests=4):
         classification = run.classifications.get(launch.kernel_name)
         baseline_gpu.run_launch(launch, classification)
         split_gpu.run_launch(split_launch(launch, classification,
-                                          max_requests),
+                                          max_requests,
+                                          line_bytes=config.l1_line_size),
                              classification)
     return {
         "baseline": _outcome("baseline", baseline_gpu.stats),

@@ -12,6 +12,14 @@ from .critical import (
     rank_critical_loads,
     stall_share_by_class,
 )
+from .heatmap import (
+    HeatMapAggregator,
+    HeatMapReport,
+    LineHeat,
+    PCHeat,
+    heatmap_of_run,
+    reuse_bucket,
+)
 from .irregularity import IrregularityReport, measure_irregularity
 from .requests import RequestHistogram, request_histogram
 from .locality import (
@@ -36,6 +44,12 @@ __all__ = [
     "format_critical_loads",
     "rank_critical_loads",
     "stall_share_by_class",
+    "HeatMapAggregator",
+    "HeatMapReport",
+    "LineHeat",
+    "PCHeat",
+    "heatmap_of_run",
+    "reuse_bucket",
     "IrregularityReport",
     "measure_irregularity",
     "RequestHistogram",

@@ -28,8 +28,12 @@ from typing import Dict
 import numpy as np
 
 from ..ptx.isa import Space
+from ..sim.config import LINE_BYTES
 
-BLOCK_SIZE = 128
+#: Locality block granularity — an alias of the repo-wide
+#: :data:`repro.sim.config.LINE_BYTES` (kept under its historical name
+#: for existing importers).
+BLOCK_SIZE = LINE_BYTES
 
 
 @dataclass
@@ -92,11 +96,32 @@ class LocalityReport:
 
     # -- Figure 12 ---------------------------------------------------------------
 
-    def distance_fractions(self, max_distance=None, load_class=None):
-        """``{distance: fraction of shared accesses}``, sorted by distance."""
+    def distance_fractions(self, max_distance=None, load_class=None,
+                           normalize="combined"):
+        """``{distance: fraction of shared accesses}``, sorted by distance.
+
+        ``load_class`` restricts the histogram to one class (``"D"`` /
+        ``"N"``).  ``normalize`` picks the denominator explicitly:
+
+        * ``"combined"`` (default, the Figure 12 convention): fractions
+          of *all* shared accesses, so the per-class curves of one run
+          sum to that class's share of sharing and are directly
+          stackable;
+        * ``"class"``: fractions of the selected histogram's own total,
+          so each curve sums to 1.0.
+
+        Returns ``{}`` when the selected denominator is zero — a class
+        histogram with entries no longer vanishes just because the
+        *combined* histogram happens to be empty.
+        """
+        if normalize not in ("combined", "class"):
+            raise ValueError(
+                "normalize must be 'combined' or 'class', got %r"
+                % (normalize,))
         hist = (self.distance_hist if load_class is None
                 else self.distance_hist_by_class.get(load_class, Counter()))
-        total = sum(self.distance_hist.values())
+        denom = (self.distance_hist if normalize == "combined" else hist)
+        total = sum(denom.values())
         if not total:
             return {}
         items = sorted(hist.items())

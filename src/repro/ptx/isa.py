@@ -371,6 +371,10 @@ class Instruction:
     target: Optional[str] = None
     pc: int = -1
     modifiers: Tuple[str, ...] = field(default_factory=tuple)
+    #: 1-based source line in the PTX text the parser read this
+    #: instruction from (0 for hand-built instructions).  Excluded from
+    #: equality/repr so parse∘print round trips stay fixed points.
+    line: int = field(default=0, repr=False, compare=False)
     # lazily computed register-name caches (hot path in the timing model)
     _read_names: Optional[Tuple[str, ...]] = field(
         default=None, repr=False, compare=False)

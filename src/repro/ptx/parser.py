@@ -268,7 +268,7 @@ class Parser:
         opcode = tokens[0]
         if opcode not in OPCODES:
             raise PTXSyntaxError("unsupported opcode %r" % opcode, line_no, raw)
-        inst = Instruction(opcode=opcode, pred=pred)
+        inst = Instruction(opcode=opcode, pred=pred, line=line_no)
         self._apply_suffixes(inst, tokens[1:], line_no, raw)
 
         operands = [self._parse_operand(t, inst, shared_vars, line_no, raw)

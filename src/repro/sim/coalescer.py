@@ -19,8 +19,10 @@ from typing import Dict
 
 import numpy as np
 
+from .config import LINE_BYTES
 
-def coalesce_addresses(addresses, line_size=128, access_size=4):
+
+def coalesce_addresses(addresses, line_size=LINE_BYTES, access_size=4):
     """Reduce per-lane byte addresses to distinct block base addresses.
 
     Parameters
@@ -48,7 +50,7 @@ def coalesce_addresses(addresses, line_size=128, access_size=4):
     return sorted(blocks)
 
 
-def coalescing_degree(addresses, line_size=128, access_size=4):
+def coalescing_degree(addresses, line_size=LINE_BYTES, access_size=4):
     """(num_requests, num_active_lanes) for one warp access — the two
     quantities Figure 2 reports per load class."""
     lanes = 0
@@ -63,7 +65,7 @@ def coalescing_degree(addresses, line_size=128, access_size=4):
     return len(blocks), lanes
 
 
-def table_degrees(table, access_sizes, line_size=128):
+def table_degrees(table, access_sizes, line_size=LINE_BYTES):
     """Vectorized :func:`coalescing_degree` over a columnar launch's
     :meth:`~repro.emulator.columnar.ColumnarLaunchTrace.memory_table`.
 
@@ -149,7 +151,7 @@ class CoalescingSummary:
         return self.uncoalesced[label] / loads if loads else 0.0
 
 
-def summarize_trace(app_trace, classifications=None, line_size=128):
+def summarize_trace(app_trace, classifications=None, line_size=LINE_BYTES):
     """Coalesce every global-load warp instruction of an application
     trace, bucketed by load class.
 

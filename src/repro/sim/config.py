@@ -14,6 +14,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
 
+#: The memory-line granularity (bytes) shared by every layer that reasons
+#: about spatial locality: the coalescer's transaction size, the L1/L2
+#: line-size defaults below, the trace-level locality and heat-map
+#: analyses, and the trace transforms in :mod:`repro.optim`.  128 B is
+#: Fermi's global-memory transaction size and the paper's block size
+#: (Sections VI, VIII); this constant is the single source of truth —
+#: per-run overrides flow through :attr:`GPUConfig.l1_line_size` or the
+#: explicit ``line_bytes``/``line_size``/``block_size`` parameters of the
+#: consumers.
+LINE_BYTES = 128
+
 
 @dataclass(frozen=True)
 class GPUConfig:
@@ -43,7 +54,7 @@ class GPUConfig:
 
     # -- L1 data cache (Table II: 16KB, 128B line, 4-way, 64 MSHR) ----------
     l1_size: int = 16 * 1024
-    l1_line_size: int = 128
+    l1_line_size: int = LINE_BYTES
     l1_assoc: int = 4
     l1_mshr_entries: int = 64
     #: max requests merged into one MSHR entry (GPGPU-Sim default 8).
@@ -83,7 +94,7 @@ class GPUConfig:
     # -- L2 cache (Table II: unified 768KB, 128B line, 8-way, 32 MSHR) -------
     num_partitions: int = 6
     l2_size: int = 768 * 1024
-    l2_line_size: int = 128
+    l2_line_size: int = LINE_BYTES
     l2_assoc: int = 8
     l2_mshr_entries: int = 32
     l2_mshr_merge: int = 8

@@ -1,0 +1,20 @@
+"""Shared advisor fixtures: one advice report per golden application.
+
+Reports are session-scoped (each costs an emulation plus a few timing
+simulations) and ride the suite-wide ``test_runner`` so its cached
+workload runs are shared with the other harness tests.
+"""
+
+import pytest
+
+from repro.advise import advise_app
+
+
+@pytest.fixture(scope="session")
+def bfs_advice(test_runner):
+    return advise_app("bfs", runner=test_runner)
+
+
+@pytest.fixture(scope="session")
+def twomm_advice(test_runner):
+    return advise_app("2mm", runner=test_runner)

@@ -53,6 +53,29 @@ class TestRoundtrip:
             assert [(ld.pc, str(ld.load_class)) for ld in original] == \
                 [(ld.pc, str(ld.load_class)) for ld in reloaded]
 
+    @pytest.mark.parametrize("writer", [save_run, save_run_legacy])
+    def test_source_lines_preserved(self, bfs_run, tmp_path, writer):
+        """Source-line numbers must survive the roundtrip verbatim.
+
+        The payload carries canonical printed PTX, so a plain re-parse
+        would re-number instructions against the printed layout and the
+        advisor would localize the same load to different PTX lines on
+        a cache hit vs. a fresh run.
+        """
+        path = str(tmp_path / "bfs.trace.gz")
+        writer(bfs_run, path)
+        loaded = load_run(path)
+        for kernel in bfs_run.module:
+            orig = [inst.line for inst in kernel.instructions]
+            new = [inst.line
+                   for inst in loaded.module[kernel.name].instructions]
+            assert orig == new
+            assert any(line > 0 for line in orig)
+        for name, original in bfs_run.classifications.items():
+            reloaded = loaded.classifications[name]
+            assert [(ld.pc, ld.instruction.line) for ld in original] == \
+                [(ld.pc, ld.instruction.line) for ld in reloaded]
+
     def test_simulation_equivalence(self, spmv_run, tmp_path):
         """A loaded trace must simulate to the exact same statistics."""
         path = str(tmp_path / "spmv.trace.gz")

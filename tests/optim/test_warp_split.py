@@ -64,6 +64,31 @@ class TestSplitOp:
             blocks = {a // 128 for _l, a in p.addresses}
             assert len(blocks) <= max_requests
 
+    @given(st.lists(st.integers(0, 4096), min_size=2, max_size=32),
+           st.integers(1, 4),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_invariant_grouping(self, raw, max_requests, rng):
+        """The greedy contract: the sub-warp *block partition* is a
+        function of the address multiset alone — permuting which lane
+        carries which address must not change how blocks group, and
+        hence not the per-sub-warp distinct-block counts."""
+        mask = (1 << len(raw)) - 1
+
+        def partition(addresses):
+            op = TraceOp(nondet_load(), mask, tuple(addresses))
+            parts = split_op(op, max_requests)
+            return [sorted({a // 128 for _l, a in p.addresses})
+                    for p in parts]
+
+        base = partition((lane, addr) for lane, addr in enumerate(raw))
+        shuffled = list(raw)
+        rng.shuffle(shuffled)
+        permuted = partition(
+            (lane, addr) for lane, addr in enumerate(shuffled))
+        assert base == permuted
+        assert [len(g) for g in base] == [len(g) for g in permuted]
+
 
 class TestSplitLaunch:
     def test_only_nondet_loads_split(self, bfs_run):

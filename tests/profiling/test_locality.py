@@ -107,6 +107,63 @@ class TestDistances:
         assert sum(report.distance_hist_by_class["D"].values()) == 0
 
 
+def mixed_class_report():
+    """Block 0: N load shared by CTAs 0->1->2 (distances 1, 1);
+    block 128: D load shared by CTAs 0->2 (distance 2)."""
+    launch = KernelLaunchTrace("k", make_launch(8, 32))
+    for cta, pc, addr in [(0, 8, 0), (1, 8, 0), (2, 8, 0),
+                          (0, 24, 128), (2, 24, 128)]:
+        warp = WarpTrace(cta_id=cta, warp_id=0)
+        warp.ops.append(TraceOp(load_inst(pc=pc), 1, ((0, addr),)))
+        launch.warps.append(warp)
+    analyzer = LocalityAnalyzer()
+    analyzer.analyze_launch(launch, pc_classes={8: "N", 24: "D"})
+    return analyzer.report()
+
+
+class TestDistanceFractionNormalization:
+    def test_combined_fractions_sum_to_class_share(self):
+        # regression: per-class curves must be fractions of *all* shared
+        # accesses (Figure 12 convention), summing to the class's share
+        report = mixed_class_report()
+        n = report.distance_fractions(load_class="N")
+        d = report.distance_fractions(load_class="D")
+        assert sum(n.values()) == pytest.approx(2 / 3)
+        assert sum(d.values()) == pytest.approx(1 / 3)
+        assert sum(n.values()) + sum(d.values()) == pytest.approx(1.0)
+
+    def test_class_normalization_sums_to_one(self):
+        report = mixed_class_report()
+        n = report.distance_fractions(load_class="N", normalize="class")
+        d = report.distance_fractions(load_class="D", normalize="class")
+        assert n == {1: pytest.approx(1.0)}
+        assert d == {2: pytest.approx(1.0)}
+
+    def test_class_normalization_survives_empty_combined(self):
+        # regression: a non-empty class histogram must not vanish just
+        # because the combined histogram is empty
+        from collections import Counter
+
+        from repro.profiling.locality import LocalityReport
+
+        report = LocalityReport()
+        report.distance_hist_by_class["N"] = Counter({1: 2})
+        assert report.distance_fractions(
+            load_class="N", normalize="class") == {1: pytest.approx(1.0)}
+        assert report.distance_fractions(load_class="N") == {}
+
+    def test_zero_total_returns_empty(self):
+        report = analyze([(0, [0])])  # single CTA: no sharing
+        assert report.distance_fractions() == {}
+        assert report.distance_fractions(load_class="D",
+                                         normalize="class") == {}
+
+    def test_invalid_normalize_rejected(self):
+        report = mixed_class_report()
+        with pytest.raises(ValueError):
+            report.distance_fractions(normalize="total")
+
+
 class TestFiltering:
     def test_stores_excluded_by_default(self):
         launch = KernelLaunchTrace("k", make_launch(1, 32))

@@ -322,6 +322,42 @@ class TestRaces:
         assert payload["clean"] is False
 
 
+class TestAdvise:
+    def test_bfs_diagnosis_only(self):
+        code, text = run_cli("advise", "bfs", "--scale", "0.1",
+                             "--config", "tiny", "--no-verify")
+        assert code == 0
+        assert "heat map" in text
+        assert "verdict:" in text
+        assert "verification disabled" in text
+
+    def test_bfs_verified_with_artifacts(self, tmp_path):
+        import json
+        out_dir = tmp_path / "advice"
+        code, text = run_cli(
+            "advise", "bfs", "--scale", "0.1", "--config", "tiny",
+            "--out", str(out_dir),
+            "--json", str(tmp_path / "a.json"),
+            "--heatmap-out", str(tmp_path / "h.json"))
+        assert code == 0
+        assert "verified transforms" in text
+        advice = json.loads((out_dir / "advice.json").read_text())
+        assert advice["app"] == "bfs"
+        assert advice["verified"] is True
+        assert advice["diagnoses"]
+        assert advice["deltas"]
+        heat = json.loads((out_dir / "heatmap.json").read_text())
+        assert heat["num_lines"] > 0
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["command"] == "advise"
+        assert "verdict" in manifest["extras"]
+        assert json.loads((tmp_path / "a.json").read_text()) == advice
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("advise", "nope")
+
+
 class TestSweep:
     SPEC = {
         "name": "cli-test",
