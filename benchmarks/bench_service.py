@@ -1,0 +1,129 @@
+"""Analysis-service benchmark: ``python benchmarks/bench_service.py``.
+
+Boots the service (in-process, ephemeral port, fresh temp store) and
+drives it with the :mod:`repro.service.loadgen` mixed workload — the
+Table I applications cycled through classify/simulate/races/advise
+stages — at a configurable client concurrency, then writes the
+latency/throughput/correctness report to ``BENCH_service.json``
+(repo root).
+
+The headline numbers the CI perf gate diffs with
+``repro sweep compare``:
+
+* ``latency_ms.p50/p95/p99`` — per-job submit→done wall time;
+* ``totals.jobs_per_sec`` — whole-run throughput;
+* ``totals.lost`` / ``totals.duplicated`` / ``totals.failed`` —
+  exact-zero correctness invariants (any loss under concurrency is a
+  queue bug, not a perf regression).
+
+``--url`` aims at an already-running server instead (then store and
+worker flags are ignored).  Unlike the pytest-benchmark figure
+harness in this directory, this is a plain script: it measures the
+service *infrastructure*, not the paper's results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="benchmark the analysis service job API")
+    parser.add_argument("--jobs", type=int, default=30,
+                        help="total jobs in the mixed workload")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent loadgen clients")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="service worker threads")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="workload input scale")
+    parser.add_argument("--apps", default=None,
+                        help="comma-separated app subset "
+                             "(default: all 15)")
+    parser.add_argument("--url", default=None,
+                        help="benchmark a running server instead of "
+                             "booting one")
+    parser.add_argument("--timeout", type=float, default=240.0,
+                        help="per-job completion timeout (seconds)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir,
+        "BENCH_service.json"))
+    args = parser.parse_args(argv)
+
+    import numpy
+
+    from repro.emulator import EMULATOR_VERSION
+    from repro.emulator.serialize import FORMAT_VERSION
+    from repro.service.loadgen import run_loadgen
+
+    apps = args.apps.split(",") if args.apps else None
+    server = service = tmp = None
+    if args.url:
+        url = args.url
+    else:
+        from repro.service.app import AnalysisService
+        from repro.service.http import ServiceServer
+
+        # fresh store and trace-cache state per run: the benchmark
+        # measures cold emulation plus queue/store overhead, not
+        # whatever the developer's cache happens to hold
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-svc-")
+        os.environ["REPRO_TRACE_CACHE_DIR"] = os.path.join(
+            tmp.name, "traces")
+        service = AnalysisService(os.path.join(tmp.name, "store"),
+                                  workers=args.workers).start()
+        server = ServiceServer(service)
+        server.serve_background()
+        url = server.url
+
+    try:
+        report = run_loadgen(
+            url, jobs=args.jobs, clients=args.clients, scale=args.scale,
+            apps=apps, timeout=args.timeout,
+            log=lambda message: print(message))
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if service is not None:
+            service.stop()
+        if tmp is not None:
+            tmp.cleanup()
+
+    report["meta"] = {
+        "workers": args.workers,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "emulator_version": EMULATOR_VERSION,
+        "format_version": FORMAT_VERSION,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % args.out)
+
+    totals = report["totals"]
+    bad = (totals["lost"] or totals["duplicated"]
+           or totals["failed"] or totals["submit_errors"])
+    if bad:
+        print("FAIL: lost=%d duplicated=%d failed=%d submit_errors=%d"
+              % (totals["lost"], totals["duplicated"],
+                 totals["failed"], totals["submit_errors"]),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

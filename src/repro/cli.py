@@ -26,6 +26,13 @@ Commands
 ``metrics export``
     Run a set of applications and export the resulting metrics-registry
     snapshot as JSON or Prometheus text exposition.
+``serve``
+    Run the analysis service: an async HTTP job API (``POST /kernels``,
+    ``GET /jobs/<id>``, ``GET /metrics``) backed by a priority queue
+    with per-tenant quotas, a worker-thread pool over the
+    fault-isolated experiment pipeline, and a pluggable artifact store
+    holding job records and content-addressed results (DESIGN.md
+    section 16).
 ``cache info|clear``
     Inspect or empty the content-addressed trace cache.
 ``races <app> | --all``
@@ -61,8 +68,6 @@ import argparse
 import sys
 
 from .core import classify_kernel, format_kernel_report
-from .profiling.critical import format_critical_loads, rank_critical_loads
-from .profiling.turnaround import class_breakdown
 from .ptx import parse_module
 from .sim.config import TESLA_C2050
 from .sim.gpu import GPU
@@ -179,6 +184,27 @@ def _build_parser():
                                 "(trace/locality series only)")
     p_metrics.add_argument("--out", default=None, metavar="PATH",
                            help="write to a file instead of stdout")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the analysis service HTTP API "
+                      "(POST /kernels, GET /jobs/<id>, GET /metrics)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8077,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_serve.add_argument("--store", default="service-data",
+                         help="artifact store location: a directory, "
+                              "file:// URL or s3:// URL "
+                              "(default: ./service-data)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker threads draining the job queue")
+    p_serve.add_argument("--quota", type=int, default=None,
+                         help="max outstanding jobs per tenant "
+                              "(default: unlimited)")
+    p_serve.add_argument("--no-trace-cache", action="store_true",
+                         help="emulate every job cold instead of using "
+                              "the content-addressed trace cache")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress per-request access logging")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk trace cache")
@@ -390,6 +416,11 @@ def _cmd_run(args, out):
 
 
 def _cmd_simulate(args, out):
+    # the report text is rendered by the same function the analysis
+    # service embeds in result payloads — CI asserts the two surfaces
+    # byte-match, so there is exactly one render path
+    from .service.pipeline import render_simulation
+
     workload = get_workload(args.app, scale=args.scale, seed=args.seed)
     run = workload.run(engine=args.engine)
     config = TESLA_C2050.scaled(
@@ -400,31 +431,8 @@ def _cmd_simulate(args, out):
     gpu = GPU(config, cta_policy=args.cta_policy)
     for launch in run.trace:
         gpu.run_launch(launch, run.classifications[launch.kernel_name])
-    stats = gpu.stats
-
-    out.write("%s simulated: %d warp insts in %d cycles\n"
-              % (workload.name, stats.issued_warp_insts, stats.cycles))
-    for label in ("D", "N"):
-        cls = stats.classes[label]
-        if cls.warp_insts == 0:
-            continue
-        breakdown = class_breakdown(stats, config, label)
-        out.write("  [%s] %d loads | %.2f req/warp | L1 miss %.0f%% | "
-                  "L2 miss %.0f%% | turnaround %.0f cycles\n"
-                  % (label, cls.warp_insts, cls.requests_per_warp(),
-                     100 * cls.l1_miss_ratio(), 100 * cls.l2_miss_ratio(),
-                     breakdown.total))
-    out.write("  L1 cycles lost to reservation fails: %.0f%%\n"
-              % (100 * stats.reservation_fail_fraction()))
-    idle = stats.unit_idle_fractions()
-    out.write("  unit idle: SP %.0f%%  SFU %.0f%%  LD/ST %.0f%%\n"
-              % (100 * idle["sp"], 100 * idle["sfu"], 100 * idle["ldst"]))
-    if stats.prefetch_issued:
-        out.write("  prefetches issued: %d\n" % stats.prefetch_issued)
-    out.write("\n")
-    loads = rank_critical_loads(stats, config, run.classifications,
-                                top=args.top)
-    out.write(format_critical_loads(loads, limit=args.top) + "\n")
+    out.write(render_simulation(workload.name, gpu.stats, config,
+                                run.classifications, top=args.top))
     return 0
 
 
@@ -529,9 +537,8 @@ def _cmd_trace(args, out):
 
 
 def _cmd_metrics(args, out):
-    import json
-
     from .experiments.runner import BENCH_CONFIG, ExperimentRunner
+    from .obs.export import render
     from .obs.metrics import isolated_registry
 
     names = (args.apps.split(",") if args.apps else workload_names())
@@ -542,17 +549,42 @@ def _cmd_metrics(args, out):
         mixed = runner.results(names)
         for failure in (r for r in mixed if not r.ok):
             out.write("FAILED %s\n" % failure.format())
-        if args.fmt == "prom":
-            text = registry.to_prometheus()
-        else:
-            text = json.dumps(registry.snapshot(), indent=2,
-                              sort_keys=True) + "\n"
+        # the same render the service's GET /metrics uses (obs.export
+        # is the single registry-export path)
+        text = render(registry, fmt=args.fmt)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text)
         out.write("wrote %s\n" % args.out)
     else:
         out.write(text)
+    return 0
+
+
+def _cmd_serve(args, out):
+    from .service.app import AnalysisService
+    from .service.http import ServiceServer
+
+    service = AnalysisService(
+        args.store, quota=args.quota, workers=args.workers,
+        use_trace_cache=not args.no_trace_cache).start()
+    server = ServiceServer(service, host=args.host, port=args.port,
+                           verbose=not args.quiet)
+    out.write("serving on %s (store: %s, workers: %d%s)\n"
+              % (server.url, service.store.describe(), args.workers,
+                 ", quota: %d" % args.quota if args.quota else ""))
+    if service.queue.recovered_ids:
+        out.write("recovered %d queued job(s) from the store\n"
+                  % len(service.queue.recovered_ids))
+    if hasattr(out, "flush"):
+        out.flush()  # the boot line gates CI readiness polling
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
     return 0
 
 
@@ -803,6 +835,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "races": _cmd_races,
     "advise": _cmd_advise,
     "sweep": _cmd_sweep,

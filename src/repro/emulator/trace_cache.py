@@ -1,10 +1,10 @@
-"""Content-addressed on-disk cache of serialized application traces.
+"""Content-addressed cache of serialized application traces.
 
 Emulation dominates the wall-clock cost of every figure and table in
 the reproduction; the trace produced for a given (workload, scale,
 seed) never changes unless the kernels or the emulator itself change.
-This module memoizes :func:`~.serialize.save_run` outputs on disk,
-keyed by the *content* that determines the trace:
+This module memoizes :func:`~.serialize.save_run` outputs, keyed by
+the *content* that determines the trace:
 
 * the workload name,
 * the printed PTX of every kernel (so editing a kernel invalidates),
@@ -23,21 +23,26 @@ returns the loaded run but counts under ``trace_cache.corrupt`` so the
 stale entry is visible.  ``trace_cache.corrupt`` otherwise stays
 reserved for genuinely damaged entries.
 
-The key is the SHA-256 of that tuple; entries live as ``<key>.trace``
-files (the exact :func:`save_run` byte format, so a cache entry is also
-a normal trace file) in
+Entries live in an :class:`~repro.service.store.ArtifactStore` under
+``<key>.trace`` names (the exact :func:`save_run` byte format, so a
+cache entry is also a normal trace file).  The default backend is a
+:class:`~repro.service.store.LocalDirStore` over
 
 * ``$REPRO_TRACE_CACHE_DIR`` if set, else
-* ``~/.cache/repro-traces``.
+* ``~/.cache/repro-traces``;
+
+:func:`set_store` swaps in any other backend (the analysis service
+shares its store this way; a backend without local paths stages trace
+bytes through a temporary file for the mmap loader).
 
 ``REPRO_TRACE_CACHE=0`` disables the cache entirely.  A corrupted or
 truncated entry (including a checksum mismatch detected on mmap load)
-is moved into the cache's ``.corrupt/`` quarantine sidecar, counted
-under ``trace_cache.quarantined``, and treated as a miss — the caller
-re-emulates and the following store heals the cache, while the damaged
-bytes stay inspectable.  Writes go through a temporary file and an
-atomic rename so concurrent experiment workers never observe partial
-entries.
+is quarantined through the store (the local backend's ``.corrupt/``
+sidecar), counted under ``trace_cache.quarantined``, and treated as a
+miss — the caller re-emulates and the following store heals the cache,
+while the damaged bytes stay inspectable.  Writes are atomic
+(temporary file + rename via the store), so concurrent experiment
+workers never observe partial entries.
 """
 
 from __future__ import annotations
@@ -47,9 +52,10 @@ import os
 import tempfile
 import time
 from pathlib import Path
+from typing import Optional
 
 from ..obs.metrics import get_registry
-from ..resilience.quarantine import quarantine_file, quarantined_entries
+from ..resilience.quarantine import quarantined_entries
 from .machine import EMULATOR_VERSION
 from .serialize import FORMAT_VERSION, load_run, save_run
 
@@ -57,13 +63,17 @@ _ENV_DIR = "REPRO_TRACE_CACHE_DIR"
 _ENV_SWITCH = "REPRO_TRACE_CACHE"
 _SUFFIX = ".trace"
 #: Entry naming used while the cache stored gzip-JSON (schema v2)
-#: traces; such files are migrated (deleted + miss) on lookup.
+#: traces; such files are migrated (rewritten + deleted) on lookup.
 _LEGACY_SUFFIX = ".trace.gz"
 
 #: Back-off delays (seconds) between retries of transient cache I/O
 #: failures.  Short: the cache is best-effort and the fallback — a
 #: re-emulation — is always correct.
 _RETRY_DELAYS = (0.05, 0.2)
+
+#: backend override installed by :func:`set_store` (``None`` = the
+#: environment-selected local directory).
+_store_override = None
 
 
 def _count(result):
@@ -96,9 +106,13 @@ def _count_quarantined():
         "damaged cache entries moved to quarantine").inc(1)
 
 
-def _quarantine(path):
+def _quarantine(name):
     """Move a damaged entry out of the lookup path (never raises)."""
-    quarantine_file(path, kind="trace_cache", reason="corrupt")
+    try:
+        cache_store().quarantine(name, kind="trace_cache",
+                                 reason="corrupt")
+    except Exception:  # noqa: BLE001 — quarantine is best-effort
+        pass
     _count_quarantined()
 
 
@@ -111,11 +125,32 @@ def cache_enabled():
 
 
 def cache_dir():
-    """The cache directory (not created until the first store)."""
+    """The local cache directory (not created until the first store)."""
     override = os.environ.get(_ENV_DIR)
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro-traces"
+
+
+def cache_store():
+    """The :class:`~repro.service.store.ArtifactStore` entries live in
+    (the :func:`set_store` override, else a local-directory store over
+    :func:`cache_dir` — rebuilt per call so env changes in tests take
+    effect immediately)."""
+    if _store_override is not None:
+        return _store_override
+    from ..service.store import LocalDirStore
+
+    return LocalDirStore(cache_dir(), fsync=False)
+
+
+def set_store(store):
+    """Install (or with ``None`` remove) a cache backend override;
+    returns the previous override."""
+    global _store_override
+    previous = _store_override
+    _store_override = store
+    return previous
 
 
 def trace_key(name, ptx, seed, scale):
@@ -139,15 +174,40 @@ def trace_key(name, ptx, seed, scale):
     return h.hexdigest()
 
 
-def entry_path(key):
-    return cache_dir() / (key + _SUFFIX)
+def entry_path(key) -> Optional[Path]:
+    """The local path of ``key``'s entry (``None`` on a backend
+    without local paths)."""
+    return cache_store().path_of(key + _SUFFIX)
 
 
-def _legacy_entry_path(key):
-    return cache_dir() / (key + _LEGACY_SUFFIX)
+def _legacy_entry_path(key) -> Optional[Path]:
+    """The local path a legacy-named (``.trace.gz``) entry would have."""
+    return cache_store().path_of(key + _LEGACY_SUFFIX)
 
 
-def _migrate(key, run, old_path):
+def _load_entry(backend, name):
+    """Load one entry by store name: straight off the file for
+    path-backed stores (the mmap fast path), else staged through a
+    temporary file.  Raises ``KeyError`` when absent."""
+    path = backend.path_of(name)
+    if path is not None:
+        if not path.is_file():
+            raise KeyError(name)
+        return load_run(path)
+    data = backend.get_bytes(name)
+    fd, tmp = tempfile.mkstemp(prefix=".trace-stage-", suffix=_SUFFIX)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        return load_run(tmp)
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def _migrate(key, run, old_name):
     """Rewrite an outdated-but-healthy entry at the current schema.
 
     The loaded run is returned to the caller either way (it *is* the
@@ -157,11 +217,11 @@ def _migrate(key, run, old_path):
     stored = store(key, run)
     if stored is None:
         _count_corrupt()
-    elif Path(old_path) != Path(stored):
+    elif old_name != key + _SUFFIX:
         # legacy-named entry replaced by a fresh <key>.trace
         try:
-            Path(old_path).unlink()
-        except OSError:
+            cache_store().delete(old_name)
+        except Exception:  # noqa: BLE001 — cleanup is best-effort
             pass
     _count_migrated()
     return run
@@ -181,19 +241,22 @@ def lookup(key):
     """
     if not cache_enabled():
         return None
-    path = entry_path(key)
-    legacy = _legacy_entry_path(key)
+    backend = cache_store()
+    name = key + _SUFFIX
+    legacy = key + _LEGACY_SUFFIX
     for delay in (_RETRY_DELAYS[0], None):
-        target = path
+        target = name
         try:
-            if not path.is_file():
-                if legacy.is_file():
-                    target = legacy
-                else:
+            try:
+                run = _load_entry(backend, target)
+            except KeyError:
+                target = legacy
+                try:
+                    run = _load_entry(backend, target)
+                except KeyError:
                     _count("miss")
                     return None
-            run = load_run(target)
-            if run.format_version != FORMAT_VERSION or target is legacy:
+            if run.format_version != FORMAT_VERSION or target == legacy:
                 run = _migrate(key, run, target)
             _count("hit")
             return run
@@ -224,29 +287,19 @@ def lookup(key):
 def store(key, run):
     """Serialize ``run`` into the cache under ``key`` (atomic).
 
-    Returns the entry path, or ``None`` when the cache is disabled or
-    the directory is unwritable (caching is best-effort; emulation
-    results are never lost to a cache failure).
+    Returns the entry path (or store name for path-less backends), or
+    ``None`` when the cache is disabled or the backend is unwritable
+    (caching is best-effort; emulation results are never lost to a
+    cache failure).
     """
     if not cache_enabled():
         return None
-    path = entry_path(key)
+    backend = cache_store()
+    name = key + _SUFFIX
     for delay in _RETRY_DELAYS + (None,):
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                prefix=".tmp-" + key[:16] + "-", suffix=_SUFFIX,
-                dir=str(path.parent))
-            os.close(fd)
-            try:
-                save_run(run, tmp)
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    try:
-                        os.unlink(tmp)
-                    except OSError:
-                        pass
+            result = backend.put_file(name,
+                                      lambda tmp: save_run(run, tmp))
         except OSError:
             if delay is not None:
                 time.sleep(delay)
@@ -254,8 +307,13 @@ def store(key, run):
             _count("store_error")
             return None
         _count("store")
-        return path
+        return result if result is not None else name
     return None
+
+
+def _entry_names(backend):
+    return [name for name in backend.keys()
+            if name.endswith((_SUFFIX, _LEGACY_SUFFIX))]
 
 
 def clear():
@@ -263,17 +321,17 @@ def clear():
     the number removed."""
     from ..resilience.quarantine import clear_quarantine
 
-    directory = cache_dir()
+    backend = cache_store()
     removed = 0
-    if directory.is_dir():
-        for pattern in ("*" + _SUFFIX, "*" + _LEGACY_SUFFIX):
-            for entry in directory.glob(pattern):
-                try:
-                    entry.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-        removed += clear_quarantine(directory)
+    for name in _entry_names(backend):
+        try:
+            if backend.delete(name):
+                removed += 1
+        except OSError:
+            pass
+    root = backend.path_of("probe")
+    if root is not None and root.parent.is_dir():
+        removed += clear_quarantine(root.parent)
     return removed
 
 
@@ -281,7 +339,10 @@ def quarantine_stats():
     """``(entry_count, total_bytes)`` for the quarantine sidecar."""
     count = 0
     total = 0
-    for entry in quarantined_entries(cache_dir()):
+    root = cache_store().path_of("probe")
+    if root is None:
+        return count, total
+    for entry in quarantined_entries(root.parent):
         try:
             total += entry.stat().st_size
             count += 1
@@ -291,16 +352,16 @@ def quarantine_stats():
 
 
 def stats():
-    """``(entry_count, total_bytes)`` for the current cache directory."""
-    directory = cache_dir()
+    """``(entry_count, total_bytes)`` for the current cache backend."""
+    backend = cache_store()
     count = 0
     total = 0
-    if directory.is_dir():
-        for pattern in ("*" + _SUFFIX, "*" + _LEGACY_SUFFIX):
-            for entry in directory.glob(pattern):
-                try:
-                    total += entry.stat().st_size
-                    count += 1
-                except OSError:
-                    pass
+    for name in _entry_names(backend):
+        try:
+            path = backend.path_of(name)
+            total += (path.stat().st_size if path is not None
+                      else len(backend.get_bytes(name)))
+            count += 1
+        except (KeyError, OSError):
+            pass
     return count, total

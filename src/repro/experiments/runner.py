@@ -152,8 +152,9 @@ class ExperimentRunner:
     def __init__(self, scale=BENCH_SCALE, config=BENCH_CONFIG,
                  cta_policy="round_robin", simulate=True, verify=True,
                  jobs=1, use_trace_cache=False, engine=None, strict=True,
-                 timeout=None):
+                 timeout=None, seed=None):
         self.scale = scale
+        self.seed = seed
         self.config = config
         self.cta_policy = cta_policy
         self.simulate = simulate
@@ -175,7 +176,10 @@ class ExperimentRunner:
         # the same hook Workload.run fires, so injection also covers the
         # cache-hit path (which skips Workload.run entirely)
         check_fault(name, "emulate")
-        workload = get_workload(name, scale=self.scale)
+        if self.seed is not None:
+            workload = get_workload(name, scale=self.scale, seed=self.seed)
+        else:
+            workload = get_workload(name, scale=self.scale)
         key = None
         cache_status = None
         if self.use_trace_cache and trace_cache.cache_enabled():
@@ -370,6 +374,7 @@ class ExperimentRunner:
         """
         return {
             "scale": self.scale,
+            "seed": self.seed,
             "config": self.config,
             "cta_policy": self.cta_policy,
             "simulate": self.simulate,

@@ -1,0 +1,42 @@
+"""The one rendering of a metrics registry for external consumers.
+
+Both exporters — the ``repro metrics export`` CLI and the analysis
+service's ``GET /metrics`` endpoint — call :func:`render`, so the two
+surfaces can never drift: a scrape of the service and a CLI export
+over the same registry are byte-identical (a parity test pins this).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import get_registry
+
+#: formats :func:`render` accepts.
+FORMATS = ("prom", "json")
+
+
+def render_prometheus(registry=None, prefix="repro"):
+    """The registry as Prometheus text exposition."""
+    registry = registry if registry is not None else get_registry()
+    return registry.to_prometheus(prefix=prefix)
+
+
+def render_json(registry=None):
+    """The registry snapshot as canonical JSON text (sorted keys,
+    indent 2, trailing newline)."""
+    registry = registry if registry is not None else get_registry()
+    return json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+
+
+def render(registry=None, fmt="prom"):
+    """Render a registry in one of :data:`FORMATS`."""
+    if fmt == "prom":
+        return render_prometheus(registry)
+    if fmt == "json":
+        return render_json(registry)
+    raise ValueError("unknown metrics format %r (choices: %s)"
+                     % (fmt, ", ".join(FORMATS)))
+
+
+__all__ = ["FORMATS", "render", "render_json", "render_prometheus"]

@@ -1,0 +1,186 @@
+"""stdlib HTTP front end for the analysis service.
+
+A :class:`~http.server.ThreadingHTTPServer` over the
+:class:`~repro.service.app.AnalysisService` facade — no web framework,
+no new dependencies.  Routes:
+
+``POST /kernels``
+    Submit a job (JSON body = a
+    :class:`~repro.service.jobs.JobRequest`, plus optional ``tenant``
+    and ``priority``).  201 with the job record; 400 on a malformed
+    request (:class:`~repro.service.jobs.JobError`); 429 over quota.
+``GET /jobs/<id>``
+    Job status; includes the full result payload once ``done``.
+    ``?result=0`` returns the record alone.
+``GET /jobs``
+    All job records (no payloads); ``?tenant=NAME`` filters.
+``GET /metrics``
+    Prometheus text exposition of the process registry — rendered by
+    :func:`repro.obs.export.render_prometheus`, the same function
+    ``repro metrics export`` uses, so the two can never drift.
+    Scrapes do not count themselves into the registry (else the
+    CLI/HTTP parity assertion could never hold).
+``GET /healthz``
+    Queue depth, per-status counts, store location.
+
+Error bodies are always JSON: ``{"error": "..."}`` plus route-specific
+fields (429 carries ``tenant``/``limit``/``outstanding``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..obs.export import render_prometheus
+from ..obs.metrics import get_registry
+from .jobs import JobError
+from .queue import QuotaExceededError
+
+#: request bodies beyond this are rejected with 413 (a PTX kernel is
+#: a few KiB; this is generous headroom, not a real workload bound).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; ``self.server.service`` is the shared facade."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if getattr(self.server, "verbose", False):
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send(self, status, body, content_type="application/json"):
+        if isinstance(body, (dict, list)):
+            body = json.dumps(body, indent=2, sort_keys=True) + "\n"
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type",
+                         content_type + "; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, status, message, **fields):
+        self._send(status, dict(fields, error=message))
+
+    def _count(self, route, status):
+        get_registry().counter(
+            "service.http.requests",
+            "HTTP requests served, by route and status").inc(
+            1, route=route, status=str(status))
+
+    # -- routes -----------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 — stdlib naming
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if url.path == "/metrics":
+            # deliberately uncounted: a scrape must not mutate what it
+            # reports, or CLI/HTTP registry parity breaks
+            self._send(200, render_prometheus(),
+                       content_type="text/plain; version=0.0.4")
+            return
+        if url.path == "/healthz":
+            self._send(200, self.server.service.stats())
+            self._count("healthz", 200)
+            return
+        if parts[:1] == ["jobs"] and len(parts) == 2:
+            query = parse_qs(url.query)
+            include = query.get("result", ["1"])[0] not in ("0", "false")
+            body = self.server.service.job_json(parts[1],
+                                                include_result=include)
+            if body is None:
+                self._error(404, "no such job: %s" % parts[1])
+                self._count("job", 404)
+                return
+            self._send(200, body)
+            self._count("job", 200)
+            return
+        if parts == ["jobs"]:
+            query = parse_qs(url.query)
+            tenant = query.get("tenant", [None])[0]
+            self._send(200,
+                       {"jobs": self.server.service.jobs_json(tenant)})
+            self._count("jobs", 200)
+            return
+        self._error(404, "no such route: %s" % url.path)
+        self._count("other", 404)
+
+    def do_POST(self):  # noqa: N802 — stdlib naming
+        url = urlparse(self.path)
+        if url.path != "/kernels":
+            self._error(404, "no such route: %s" % url.path)
+            self._count("other", 404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            # the body is never read: answer and drop the connection
+            # rather than draining megabytes we already refused
+            self.close_connection = True
+            self._error(413, "request body too large or unsized")
+            self._count("submit", 413)
+            return
+        try:
+            body = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, "request body is not JSON: %s" % exc)
+            self._count("submit", 400)
+            return
+        try:
+            record = self.server.service.submit(body)
+        except QuotaExceededError as exc:
+            self._error(exc.status, str(exc), tenant=exc.tenant,
+                        limit=exc.limit, outstanding=exc.outstanding)
+            self._count("submit", exc.status)
+            return
+        except JobError as exc:
+            self._error(400, str(exc))
+            self._count("submit", 400)
+            return
+        self._send(201, record.to_json(include_request=False))
+        self._count("submit", 201)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The HTTP server bound to one :class:`AnalysisService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service, host="127.0.0.1", port=0, verbose=False):
+        self.service = service
+        self.verbose = verbose
+        ThreadingHTTPServer.__init__(self, (host, port), ServiceHandler)
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        return "http://%s:%d" % (host, port)
+
+    def serve_background(self):
+        """Serve on a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="repro-service-http", daemon=True)
+        thread.start()
+        return thread
+
+
+def serve(service, host="127.0.0.1", port=8077, verbose=True):
+    """Run the blocking server loop (the ``repro serve`` entry)."""
+    server = ServiceServer(service, host=host, port=port, verbose=verbose)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+
+
+__all__ = ["MAX_BODY_BYTES", "ServiceHandler", "ServiceServer", "serve"]

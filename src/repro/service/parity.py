@@ -1,0 +1,173 @@
+"""HTTP/CLI parity checker: ``python -m repro.service.parity``.
+
+The service's reason to exist is *the same analysis, over a wire* —
+so CI proves it literally.  For each checked application this script:
+
+1. submits the job over HTTP to a live service and polls it done;
+2. runs the identical request in-process through
+   :func:`repro.service.pipeline.execute_job`;
+3. asserts the two result payloads are **byte-identical** as canonical
+   JSON;
+4. re-renders the CLI surfaces — ``repro classify`` and
+   ``repro simulate`` stdout — and asserts the payload's embedded
+   report texts match them byte-for-byte.
+
+Any drift (a knob default forked between CLI flag and service schema,
+a render path duplicated and edited once) fails the process with a
+diff-style report.
+
+With ``--serve`` the script boots its own service on an ephemeral
+port first, so the CI job needs no orchestration beyond one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import io
+import json
+import sys
+import tempfile
+
+DEFAULT_APPS = ("2mm", "bfs")
+
+
+def _canonical(payload):
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _cli_stdout(argv):
+    from ..cli import main
+
+    buffer = io.StringIO()
+    status = main(argv, out=buffer)
+    if status != 0:
+        raise RuntimeError("CLI %r exited %d" % (argv, status))
+    return buffer.getvalue()
+
+
+def _diff(label, expected, actual):
+    lines = difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        actual.splitlines(keepends=True),
+        fromfile=label + " (expected)", tofile=label + " (actual)")
+    return "".join(lines)
+
+
+def check_app(client, app, scale, out=sys.stdout, with_ptx=False):
+    """All parity assertions for one application; returns the list of
+    failure descriptions (empty = parity holds).
+
+    ``with_ptx`` ships the workload's PTX source in the submission
+    body (the full ``POST /kernels`` shape: source + knobs over the
+    wire, validated server-side against the named workload)."""
+    from .jobs import JobRequest
+    from .pipeline import execute_job
+
+    body = {"app": app, "scale": scale}
+    if with_ptx:
+        from ..workloads import get_workload
+
+        body["ptx"] = get_workload(app, scale=scale).ptx()
+    status, ack = client.submit(body)
+    if status != 201:
+        return ["%s: submit returned %d: %s"
+                % (app, status, ack.get("error"))]
+    final = client.wait(ack["id"], timeout=300.0)
+    if final["status"] != "done":
+        return ["%s: job finished %s: %s"
+                % (app, final["status"], final.get("error"))]
+    _, with_result = client.job(ack["id"], include_result=True)
+    http_payload = with_result["result"]
+
+    failures = []
+    local_payload = execute_job(JobRequest.from_json(body))
+    http_text = _canonical(http_payload)
+    local_text = _canonical(local_payload)
+    if http_text != local_text:
+        failures.append("%s: HTTP result differs from in-process "
+                        "pipeline:\n%s"
+                        % (app, _diff("result.json", local_text,
+                                      http_text)))
+
+    cli_classify = _cli_stdout(["classify", app])
+    service_classify = "".join(
+        kernel["text"] + "\n\n"
+        for kernel in http_payload["classification"]["kernels"])
+    if cli_classify != service_classify:
+        failures.append("%s: classification text differs from "
+                        "`repro classify`:\n%s"
+                        % (app, _diff("classify", cli_classify,
+                                      service_classify)))
+
+    cli_simulate = _cli_stdout(["simulate", app, "--scale", str(scale)])
+    service_simulate = http_payload["simulation"]["text"]
+    if cli_simulate != service_simulate:
+        failures.append("%s: simulation text differs from "
+                        "`repro simulate`:\n%s"
+                        % (app, _diff("simulate", cli_simulate,
+                                      service_simulate)))
+
+    if not failures:
+        out.write("parity OK: %s (%d result bytes, %d sim cycles)\n"
+                  % (app, len(http_text),
+                     http_payload["simulation"]["cycles"]))
+    return failures
+
+
+def main(argv=None, out=sys.stdout):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.parity",
+        description="assert HTTP results byte-match the CLI pipeline")
+    parser.add_argument("--url", help="base URL of a running service "
+                                      "(e.g. http://127.0.0.1:8077)")
+    parser.add_argument("--serve", action="store_true",
+                        help="boot an in-process service on an "
+                             "ephemeral port instead of --url")
+    parser.add_argument("--apps", default=",".join(DEFAULT_APPS),
+                        help="comma-separated applications to check")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--with-ptx", action="store_true",
+                        help="ship each workload's PTX source in the "
+                             "submission body")
+    args = parser.parse_args(argv)
+    if not args.url and not args.serve:
+        parser.error("provide --url or --serve")
+
+    from .loadgen import ServiceClient
+
+    server = service = tmp = None
+    if args.serve:
+        from .app import AnalysisService
+        from .http import ServiceServer
+
+        tmp = tempfile.TemporaryDirectory(prefix="repro-parity-")
+        service = AnalysisService(tmp.name, workers=2).start()
+        server = ServiceServer(service)
+        server.serve_background()
+        url = server.url
+    else:
+        url = args.url
+
+    failures = []
+    try:
+        client = ServiceClient(url)
+        for app in args.apps.split(","):
+            failures.extend(check_app(client, app.strip(), args.scale,
+                                      out=out, with_ptx=args.with_ptx))
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if service is not None:
+            service.stop()
+        if tmp is not None:
+            tmp.cleanup()
+    for failure in failures:
+        out.write("PARITY FAILURE: %s\n" % failure)
+    out.write("%d parity failure(s)\n" % len(failures))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

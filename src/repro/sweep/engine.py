@@ -44,9 +44,7 @@ from ..resilience.artifacts import (
     ChecksumError,
     atomic_write_json,
     attach_checksum,
-    verify_payload_checksum,
 )
-from ..resilience.quarantine import quarantine_file
 from .metrics import collect_metrics
 from .spec import (
     SWEEP_SCHEMA_VERSION,
@@ -156,8 +154,14 @@ class SweepEngine:
         if isinstance(spec, dict):
             spec = SweepSpec.from_json(spec)
         self.spec = spec.validate()
+        from ..service.store import LocalDirStore
+
         self.out = Path(out)
         self.points_dir = self.out / "points"
+        #: per-point results live in an artifact store (the same
+        #: abstraction behind the trace cache and the service's job
+        #: records), keyed ``<point-key>.json``
+        self.points_store = LocalDirStore(self.points_dir)
         self.jobs = max(1, int(jobs))
         self.engine = engine
         self.use_trace_cache = use_trace_cache
@@ -177,17 +181,14 @@ class SweepEngine:
         ``points/.corrupt/``) so the point recomputes — resume heals
         silent corruption instead of aggregating it.
         """
-        path = self.point_path(key)
-        if not path.is_file():
-            return False
+        name = key + ".json"
         try:
-            with open(path) as fh:
-                data = json.load(fh)
-            verify_payload_checksum(data, path)
+            data = self.points_store.get_json(name)
         except ChecksumError:
-            quarantine_file(path, kind="sweep_point", reason="checksum")
+            self.points_store.quarantine(name, kind="sweep_point",
+                                         reason="checksum")
             return False
-        except (OSError, ValueError):
+        except (KeyError, OSError, ValueError):
             return False
         return data.get("key") == key and data.get("versions") == versions()
 
@@ -203,7 +204,9 @@ class SweepEngine:
             "metrics": metric_values,
             "versions": versions(),
         }
-        return _write_json(self.point_path(key), attach_checksum(payload))
+        self.points_store.put_json(key + ".json",
+                                   attach_checksum(payload))
+        return self.point_path(key)
 
     def _write_sweep_manifest(self):
         """Bind ``out`` to this spec (or verify it is already bound)."""

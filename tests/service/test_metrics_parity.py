@@ -1,0 +1,100 @@
+"""CLI `metrics export` and service `GET /metrics` parity.
+
+There is exactly one rendering of a metrics registry
+(``repro.obs.export.render``); these tests pin that both consumers
+sit on it and that a scrape never mutates what it reports.
+"""
+
+import io
+import urllib.request
+
+import pytest
+
+from repro import cli
+from repro.obs.export import (
+    render,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.metrics import get_registry, isolated_registry
+from repro.service.app import AnalysisService
+from repro.service.http import ServiceServer
+
+
+class TestRender:
+    def test_prom_is_the_registry_exposition(self):
+        with isolated_registry() as registry:
+            registry.counter("sim.test.count", "help").inc(2, app="2mm")
+            assert render(registry, fmt="prom") \
+                == registry.to_prometheus()
+            assert render(fmt="prom") == registry.to_prometheus()
+
+    def test_json_is_the_snapshot(self):
+        with isolated_registry() as registry:
+            registry.counter("sim.test.count", "help").inc(1)
+            text = render(registry, fmt="json")
+            assert text == render_json(registry)
+            assert '"sim.test.count"' in text
+            assert text.endswith("\n")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            render(fmt="xml")
+
+
+class TestHttpParity:
+    def test_scrape_equals_cli_render_and_does_not_mutate(
+            self, tmp_path, monkeypatch):
+        """Over one registry state, GET /metrics byte-equals the CLI's
+        renderer, and scraping twice returns identical bytes (the
+        scrape itself is deliberately uncounted)."""
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR",
+                           str(tmp_path / "traces"))
+        with isolated_registry():
+            service = AnalysisService(tmp_path / "svc", workers=0)
+            server = ServiceServer(service, port=0)
+            server.serve_background()
+            try:
+                service.submit({"app": "2mm", "scale": 0.1})
+                service.drain()
+
+                def scrape():
+                    with urllib.request.urlopen(
+                            server.url + "/metrics", timeout=30) as r:
+                        assert r.headers["Content-Type"].startswith(
+                            "text/plain")
+                        return r.read().decode("utf-8")
+
+                first = scrape()
+                assert first == render_prometheus(get_registry())
+                assert first == render(fmt="prom")
+                assert scrape() == first
+                assert "repro_service_jobs_total" in first
+                assert "repro_service_queue_submitted_total" in first
+            finally:
+                server.shutdown()
+                server.server_close()
+
+
+class TestCliParity:
+    def test_metrics_export_uses_the_shared_renderer(
+            self, tmp_path, monkeypatch):
+        """`repro metrics export --format prom` byte-equals render()
+        over an identically-prepared registry — the CLI surface cannot
+        drift from the service's /metrics exposition."""
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR",
+                           str(tmp_path / "traces"))
+        from repro.experiments.runner import BENCH_CONFIG, ExperimentRunner
+
+        with isolated_registry() as registry:
+            runner = ExperimentRunner(scale=0.1, config=BENCH_CONFIG,
+                                      simulate=False, strict=False)
+            runner.results(["2mm"])
+            expected = render(registry, fmt="prom")
+
+        out = io.StringIO()
+        code = cli.main(["metrics", "export", "--apps", "2mm",
+                         "--scale", "0.1", "--no-simulate",
+                         "--format", "prom"], out=out)
+        assert code == 0
+        assert out.getvalue() == expected
